@@ -1,0 +1,107 @@
+(** Benchmark harness.
+
+    - [dune exec bench/main.exe] runs every experiment E1-E15 (DESIGN.md's
+      index of the paper's tables and figures) and prints paper-vs-measured
+      rows.
+    - [dune exec bench/main.exe -- e12 e14] runs a subset.
+    - [dune exec bench/main.exe -- bechamel] runs the Bechamel
+      micro-benchmarks (one [Test.make] per experiment family). *)
+
+let run_experiments ids =
+  let selected =
+    if ids = [] then Experiments.all
+    else
+      List.filter_map
+        (fun id ->
+           match List.find_opt (fun (eid, _, _) -> eid = id) Experiments.all with
+           | Some e -> Some e
+           | None ->
+             Printf.eprintf "unknown experiment %s\n" id;
+             None)
+        ids
+  in
+  print_endline "Reproduction of 'Targeting Classical Code to a Quantum Annealer' (ASPLOS'19)";
+  print_endline "Absolute numbers come from a classical substrate; compare shapes, not values.";
+  List.iter
+    (fun (_, _, run) ->
+       let t0 = Unix.gettimeofday () in
+       run ();
+       Printf.printf "[%.1fs]\n" (Unix.gettimeofday () -. t0))
+    selected
+
+(* --- Bechamel micro-benchmarks -------------------------------------------- *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  (* Small fixed workloads, one per experiment family. *)
+  let fig2 =
+    "module circuit (s, a, b, c); input s, a, b; output [1:0] c; assign c = s ? a + b : a - b; endmodule"
+  in
+  let compiled = Qac_core.Pipeline.compile fig2 in
+  let logical = compiled.Qac_core.Pipeline.program.Qac_qmasm.Assemble.problem in
+  let australia_csp () =
+    Qac_csp.Mzn.parse
+      "var 1..4: NSW; var 1..4: QLD; var 1..4: SA; var 1..4: VIC; var 1..4: WA;\n\
+       var 1..4: NT; var 1..4: ACT;\n\
+       constraint WA != NT; constraint WA != SA; constraint NT != SA;\n\
+       constraint NT != QLD; constraint SA != QLD; constraint SA != NSW;\n\
+       constraint SA != VIC; constraint QLD != NSW; constraint NSW != VIC;\n\
+       constraint NSW != ACT;\nsolve satisfy;\n"
+  in
+  let chimera = Qac_chimera.Chimera.create 4 in
+  let triangle =
+    Qac_ising.Problem.create ~num_vars:3 ~h:[| 0.5; 0.5; 0.5 |]
+      ~j:[ ((0, 1), 1.0); ((1, 2), 1.0); ((0, 2), 1.0) ]
+      ()
+  in
+  let and_table = Qac_cellgen.Truthtab.of_function ~num_inputs:2 (fun v -> v.(0) && v.(1)) in
+  let sa_params =
+    { Qac_anneal.Sa.default_params with Qac_anneal.Sa.num_reads = 5; num_sweeps = 100 }
+  in
+  let tests =
+    [ Test.make ~name:"e1-compile: verilog->ising (fig2)"
+        (Staged.stage (fun () -> ignore (Qac_core.Pipeline.compile fig2)));
+      Test.make ~name:"e4-cellgen: derive AND via LP"
+        (Staged.stage (fun () -> ignore (Qac_cellgen.Gen.derive_exact and_table)));
+      Test.make ~name:"e6-exact: enumerate fig2 problem"
+        (Staged.stage (fun () -> ignore (Qac_ising.Exact.solve ~limit:1 logical)));
+      Test.make ~name:"e9-embed: triangle into C4"
+        (Staged.stage (fun () -> ignore (Qac_embed.Cmr.find chimera triangle)));
+      Test.make ~name:"e12-sa: 5 reads x 100 sweeps (fig2 problem)"
+        (Staged.stage (fun () -> ignore (Qac_anneal.Sa.sample ~params:sa_params logical)));
+      Test.make ~name:"e15-csp: solve Listing 8"
+        (Staged.stage
+           (fun () ->
+              let csp = australia_csp () in
+              ignore (Qac_csp.Csp.solve csp)));
+      Test.make ~name:"qmasm: parse+assemble stdcell AND"
+        (Staged.stage
+           (fun () ->
+              ignore
+                (Qac_qmasm.Qmasm.load ~resolve:Qac_edif2qmasm.Edif2qmasm.resolve
+                   "!include \"stdcell.qmasm\"\n!use_macro AND g\n")));
+    ]
+  in
+  print_endline "Bechamel micro-benchmarks (time per run, monotonic clock):";
+  List.iter
+    (fun test ->
+       let instances = Instance.[ monotonic_clock ] in
+       let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+       let results = Benchmark.all cfg instances test in
+       let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+       let analyzed = Analyze.all ols Instance.monotonic_clock results in
+       Hashtbl.iter
+         (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] ->
+              Printf.printf "  %-48s %12.1f us\n" name (est /. 1000.0)
+            | Some _ | None -> Printf.printf "  %-48s (no estimate)\n" name)
+         analyzed)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "bechamel" ] -> bechamel ()
+  | ids -> run_experiments ids

@@ -1,0 +1,1 @@
+bin/qmasm_cli.ml: Arg Cmd Cmdliner Format List Printf Problem Qac_anneal Qac_edif2qmasm Qac_ising Qac_qmasm String Term

@@ -1,0 +1,1 @@
+bin/qmasm_cli.mli:

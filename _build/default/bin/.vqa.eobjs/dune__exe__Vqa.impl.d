@@ -1,0 +1,1 @@
+bin/vqa.ml: Arg Cmd Cmdliner List Printf Qac_anneal Qac_cells Qac_chimera Qac_core Qac_embed Qac_ising Qac_qmasm String Term

@@ -1,0 +1,105 @@
+(** qmasm_cli — assemble and run standalone QMASM programs, in the spirit of
+    the paper's qmasm tool: accepts [--pin], chooses a solver, can emit
+    MiniZinc, and reports solutions by symbolic name with run statistics. *)
+
+open Cmdliner
+open Qac_ising
+module Qmasm = Qac_qmasm
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let src_arg =
+  let doc = "QMASM source file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let pin_arg =
+  let doc = "Pin variables, QMASM syntax: --pin 'C[7:0] := 10001111'.  Repeatable." in
+  Arg.(value & opt_all string [] & info [ "pin" ] ~docv:"PIN" ~doc)
+
+let solver_arg =
+  let doc = "Solver: exact, sa, sqa, tabu or qbsolv." in
+  Arg.(value & opt (enum [ ("exact", `Exact); ("sa", `Sa); ("sqa", `Sqa); ("tabu", `Tabu);
+                           ("qbsolv", `Qbsolv) ]) `Sa
+       & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let reads_arg =
+  let doc = "Annealing reads." in
+  Arg.(value & opt int 100 & info [ "reads" ] ~docv:"N" ~doc)
+
+let minizinc_arg =
+  let doc = "Emit the problem as MiniZinc instead of solving." in
+  Arg.(value & flag & info [ "minizinc" ] ~doc)
+
+let merge_arg =
+  let doc = "Merge chained variables into one (qmasm's optimization)." in
+  Arg.(value & flag & info [ "merge-chains" ] ~doc)
+
+let main src pins solver reads minizinc merge =
+  try
+    let pin_lines = String.concat "\n" pins in
+    let source = read_file src ^ "\n" ^ pin_lines ^ "\n" in
+    let options = { Qmasm.Assemble.default_options with Qmasm.Assemble.merge_chains = merge } in
+    let program =
+      Qmasm.Qmasm.load ~options ~resolve:Qac_edif2qmasm.Edif2qmasm.resolve source
+    in
+    if minizinc then begin
+      print_string (Qmasm.Qmasm.to_minizinc program);
+      `Ok ()
+    end
+    else begin
+      let problem = program.Qmasm.Assemble.problem in
+      Printf.printf "# %d variables, %d couplers\n" problem.Problem.num_vars
+        (Problem.num_interactions problem);
+      let response =
+        match solver with
+        | `Exact -> Qac_anneal.Exact_sampler.sample problem
+        | `Sa ->
+          Qac_anneal.Sa.sample
+            ~params:{ Qac_anneal.Sa.default_params with Qac_anneal.Sa.num_reads = reads }
+            problem
+        | `Sqa ->
+          Qac_anneal.Sqa.sample
+            ~params:{ Qac_anneal.Sqa.default_params with Qac_anneal.Sqa.num_reads = reads }
+            problem
+        | `Tabu -> Qac_anneal.Tabu.sample problem
+        | `Qbsolv -> Qac_anneal.Qbsolv.sample problem
+      in
+      Printf.printf "# %d reads in %.3fs\n" response.Qac_anneal.Sampler.num_reads
+        response.Qac_anneal.Sampler.elapsed_seconds;
+      Format.printf "%a" (Qac_anneal.Sampler.pp_histogram ?buckets:None) response;
+      List.iteri
+        (fun i sample ->
+           if i < 10 then begin
+             Printf.printf "solution %d: energy %g, %d occurrence(s)\n" (i + 1)
+               sample.Qac_anneal.Sampler.energy sample.Qac_anneal.Sampler.num_occurrences;
+             let assignment, checks =
+               Qmasm.Qmasm.report program sample.Qac_anneal.Sampler.spins
+             in
+             List.iter
+               (fun (name, v) -> Printf.printf "  %s = %s\n" name (if v then "True" else "False"))
+               assignment;
+             List.iter
+               (fun (expr, ok) ->
+                  if not ok then
+                    Format.printf "  assertion FAILED: %a@." Qmasm.Ast.pp_bexpr expr)
+               checks
+           end)
+        response.Qac_anneal.Sampler.samples;
+      `Ok ()
+    end
+  with
+  | Qmasm.Qmasm.Error msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+let () =
+  let doc = "a quantum macro assembler (classical-substrate reproduction)" in
+  let info = Cmd.info "qmasm_cli" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(ret (const main $ src_arg $ pin_arg $ solver_arg $ reads_arg $ minizinc_arg $ merge_arg))
+  in
+  exit (Cmd.eval (Cmd.v info term))

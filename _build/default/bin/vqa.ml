@@ -1,0 +1,264 @@
+(** vqa — "Verilog to quantum annealer", the end-to-end compiler/runner CLI.
+
+    Subcommands:
+    - [compile]: Verilog -> EDIF / QMASM / MiniZinc on stdout;
+    - [run]: compile and execute, forward or backward, with [--pin];
+    - [cells]: print the Table 5 standard-cell library with verification;
+    - [stats]: the section 6.1 static properties of a module. *)
+
+open Cmdliner
+module P = Qac_core.Pipeline
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- Shared arguments --------------------------------------------------- *)
+
+let src_arg =
+  let doc = "Verilog source file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let top_arg =
+  let doc = "Top module name (default: the last module in the file)." in
+  Arg.(value & opt (some string) None & info [ "top" ] ~docv:"MODULE" ~doc)
+
+let steps_arg =
+  let doc = "Unroll depth for sequential designs (section 4.3.3)." in
+  Arg.(value & opt (some int) None & info [ "steps" ] ~docv:"N" ~doc)
+
+let no_optimize_arg =
+  let doc = "Skip netlist optimization (dead-gate elimination, tech mapping)." in
+  Arg.(value & flag & info [ "no-optimize" ] ~doc)
+
+let compile ?top ?steps ~optimize path =
+  P.compile ?top ?steps ~optimize (read_file path)
+
+(* --- compile ------------------------------------------------------------- *)
+
+let format_arg =
+  let doc = "Output format: qmasm (default), edif, minizinc, or stdcell." in
+  Arg.(value & opt (enum [ ("qmasm", `Qmasm); ("edif", `Edif); ("minizinc", `Minizinc);
+                           ("stdcell", `Stdcell) ]) `Qmasm
+       & info [ "f"; "format" ] ~docv:"FORMAT" ~doc)
+
+let compile_cmd =
+  let run src top steps no_optimize format =
+    try
+      (match format with
+       | `Stdcell -> print_string (Qac_cells.Stdcell.contents ())
+       | _ ->
+         let t = compile ?top ?steps ~optimize:(not no_optimize) src in
+         (match format with
+          | `Qmasm -> print_string t.P.qmasm_src
+          | `Edif -> print_string t.P.edif
+          | `Minizinc -> print_string (Qac_qmasm.Qmasm.to_minizinc t.P.program)
+          | `Stdcell -> assert false));
+      `Ok ()
+    with P.Error msg -> `Error (false, msg)
+  in
+  let doc = "compile Verilog to EDIF, QMASM or MiniZinc" in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(ret (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ format_arg))
+
+(* --- run ------------------------------------------------------------------ *)
+
+let pins_arg =
+  let doc =
+    "Pin a port to a value, e.g. --pin 'C[7:0] := 10001111' or --pin 'valid := true' \
+     or the shorthand --pin C=143.  Repeatable.  Pin outputs to run backward \
+     (section 4.3.6)."
+  in
+  Arg.(value & opt_all string [] & info [ "pin" ] ~docv:"PIN" ~doc)
+
+let solver_arg =
+  let doc = "Solver: exact, sa, sqa, tabu or qbsolv." in
+  Arg.(value & opt (enum [ ("exact", `Exact); ("sa", `Sa); ("sqa", `Sqa); ("tabu", `Tabu);
+                           ("qbsolv", `Qbsolv) ]) `Sa
+       & info [ "solver" ] ~docv:"SOLVER" ~doc)
+
+let reads_arg =
+  let doc = "Number of annealing reads (SA)." in
+  Arg.(value & opt int 200 & info [ "reads" ] ~docv:"N" ~doc)
+
+let sweeps_arg =
+  let doc = "Sweeps per read (SA)." in
+  Arg.(value & opt int 1000 & info [ "sweeps" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let physical_arg =
+  let doc =
+    "Minor-embed into a Chimera C$(docv) topology before solving (0 = solve the \
+     logical problem directly)."
+  in
+  Arg.(value & opt int 0 & info [ "physical" ] ~docv:"M" ~doc)
+
+let pegasus_arg =
+  let doc = "Use a Pegasus topology for --physical instead of Chimera." in
+  Arg.(value & flag & info [ "pegasus" ] ~doc)
+
+let roof_arg =
+  let doc = "Apply roof duality to elide determined qubits before embedding." in
+  Arg.(value & flag & info [ "roof-duality" ] ~doc)
+
+let all_arg =
+  let doc = "Show every distinct sample, not just valid solutions." in
+  Arg.(value & flag & info [ "all" ] ~doc)
+
+(* Pins in QMASM syntax ("C[7:0] := 10001111") go to the QMASM parser
+   verbatim; the "name=value" shorthand becomes an integer port pin. *)
+let split_pins specs =
+  List.partition_map
+    (fun spec ->
+       let spec = String.trim spec in
+       match Qac_qmasm.Str_split.find_substring spec ":=" with
+       | Some _ -> Left spec
+       | None ->
+         (match String.index_opt spec '=' with
+          | Some i ->
+            let name = String.trim (String.sub spec 0 i) in
+            let value = String.trim (String.sub spec (i + 1) (String.length spec - i - 1)) in
+            Right (name, int_of_string value)
+          | None -> failwith ("bad pin syntax: " ^ spec)))
+    specs
+
+let run_cmd =
+  let run src top steps no_optimize pins solver reads sweeps seed physical pegasus roof all =
+    try
+      let t = compile ?top ?steps ~optimize:(not no_optimize) src in
+      let qmasm_pins, int_pins = split_pins pins in
+      let pin_source = String.concat "\n" qmasm_pins in
+      let pins = int_pins in
+      let solver =
+        match solver with
+        | `Exact -> P.Exact_solver
+        | `Sa ->
+          P.Sa { Qac_anneal.Sa.default_params with
+                 Qac_anneal.Sa.num_reads = reads; num_sweeps = sweeps; seed }
+        | `Sqa ->
+          P.Sqa { Qac_anneal.Sqa.default_params with
+                  Qac_anneal.Sqa.num_reads = reads; num_sweeps = sweeps; seed }
+        | `Tabu -> P.Tabu { Qac_anneal.Tabu.default_params with Qac_anneal.Tabu.seed }
+        | `Qbsolv -> P.Qbsolv { Qac_anneal.Qbsolv.default_params with Qac_anneal.Qbsolv.seed }
+      in
+      let target =
+        if physical = 0 then P.Logical
+        else
+          P.Physical
+            { graph =
+                (if pegasus then Qac_chimera.Pegasus.create physical
+                 else Qac_chimera.Chimera.create physical);
+              embed_params = None;
+              chain_strength = None;
+              roof_duality = roof }
+      in
+      let result = P.run t ~pins ~pin_source ~solver ~target in
+      Printf.printf "# logical variables: %d\n" result.P.num_logical_vars;
+      (match result.P.num_physical_qubits with
+       | Some q -> Printf.printf "# physical qubits:  %d\n" q
+       | None -> ());
+      Printf.printf "# reads: %d  elapsed: %.3fs\n" result.P.num_reads result.P.elapsed_seconds;
+      let shown = if all then result.P.solutions else P.valid_solutions result in
+      if shown = [] then print_endline "no valid solutions found (try more reads/sweeps)"
+      else
+        List.iteri
+          (fun i s ->
+             Printf.printf "solution %d: energy %g, %d occurrence(s)%s%s\n" (i + 1)
+               s.P.energy s.P.num_occurrences
+               (if s.P.valid then "" else " [INVALID]")
+               (if s.P.broken_chains > 0 then
+                  Printf.sprintf " [%d broken chains]" s.P.broken_chains
+                else "");
+             List.iter (fun (name, v) -> Printf.printf "  %s = %d\n" name v) s.P.ports)
+          shown;
+      `Ok ()
+    with
+    | P.Error msg -> `Error (false, msg)
+    | Failure msg -> `Error (false, msg)
+  in
+  let doc = "compile and execute a Verilog module on the annealing substrate" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret
+            (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ pins_arg
+             $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ physical_arg $ pegasus_arg
+             $ roof_arg $ all_arg))
+
+(* --- cells ----------------------------------------------------------------- *)
+
+let cells_cmd =
+  let run () =
+    Printf.printf "%-6s %-28s %-9s %-5s %s\n" "cell" "logic" "ancillas" "gap" "status";
+    List.iter
+      (fun (c : Qac_cells.Cells.t) ->
+         let logic =
+           match c.Qac_cells.Cells.name with
+           | "NOT" -> "Y = ~A"
+           | "AND" -> "Y = A & B"
+           | "OR" -> "Y = A | B"
+           | "NAND" -> "Y = ~(A & B)"
+           | "NOR" -> "Y = ~(A | B)"
+           | "XOR" -> "Y = A ^ B"
+           | "XNOR" -> "Y = ~(A ^ B)"
+           | "MUX" -> "Y = S ? B : A"
+           | "AOI3" -> "Y = ~((A & B) | C)"
+           | "OAI3" -> "Y = ~((A | B) & C)"
+           | "AOI4" -> "Y = ~((A & B) | (C & D))"
+           | "OAI4" -> "Y = ~((A | B) & (C | D))"
+           | _ -> "Q = D"
+         in
+         match Qac_cells.Cells.verify c with
+         | Ok gap ->
+           Printf.printf "%-6s %-28s %-9d %-5g verified\n" c.Qac_cells.Cells.name logic
+             c.Qac_cells.Cells.num_ancillas gap
+         | Error msg ->
+           Printf.printf "%-6s %-28s %-9d %-5s FAILED: %s\n" c.Qac_cells.Cells.name logic
+             c.Qac_cells.Cells.num_ancillas "-" msg)
+      Qac_cells.Cells.all;
+    `Ok ()
+  in
+  let doc = "print and verify the Table 5 standard-cell library" in
+  Cmd.v (Cmd.info "cells" ~doc) Term.(ret (const run $ const ()))
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run src top steps no_optimize physical =
+    try
+      let t = compile ?top ?steps ~optimize:(not no_optimize) src in
+      let props = P.static_properties t in
+      Printf.printf "verilog lines:        %d\n" props.P.verilog_lines;
+      Printf.printf "edif lines:           %d\n" props.P.edif_lines;
+      Printf.printf "qmasm lines:          %d (+ %d in stdcell.qmasm)\n" props.P.qmasm_lines
+        props.P.stdcell_lines;
+      Printf.printf "logical variables:    %d\n" props.P.logical_vars;
+      Printf.printf "logical terms:        %d\n" props.P.logical_terms;
+      if physical > 0 then begin
+        let graph = Qac_chimera.Chimera.create physical in
+        let problem = t.P.program.Qac_qmasm.Assemble.problem in
+        match Qac_embed.Cmr.find graph problem with
+        | Some e ->
+          let phys = Qac_embed.Embedding.apply graph problem e in
+          Printf.printf "physical qubits:      %d (C%d)\n"
+            (Qac_embed.Embedding.num_physical_qubits e)
+            physical;
+          Printf.printf "physical terms:       %d\n" (Qac_ising.Problem.num_terms phys);
+          Printf.printf "max chain length:     %d\n" (Qac_embed.Embedding.max_chain_length e)
+        | None -> Printf.printf "physical: no embedding found on C%d\n" physical
+      end;
+      `Ok ()
+    with P.Error msg -> `Error (false, msg)
+  in
+  let doc = "print the section 6.1 static properties of a module" in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(ret (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ physical_arg))
+
+let () =
+  let doc = "compile classical Verilog code to a quantum annealer (ASPLOS'19 reproduction)" in
+  let info = Cmd.info "vqa" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; cells_cmd; stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/circsat.ml: List Printf Qac_core Qac_ising Qac_qmasm

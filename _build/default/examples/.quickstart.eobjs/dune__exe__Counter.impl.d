@@ -1,0 +1,1 @@
+examples/counter.ml: List Printf Qac_anneal Qac_core

@@ -1,0 +1,1 @@
+examples/factor.ml: Hashtbl List Printf Qac_anneal Qac_core Qac_ising Qac_qmasm

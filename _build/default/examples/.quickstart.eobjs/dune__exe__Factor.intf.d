@@ -1,0 +1,1 @@
+examples/factor.mli:

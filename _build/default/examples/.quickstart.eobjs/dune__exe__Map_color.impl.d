@@ -1,0 +1,1 @@
+examples/map_color.ml: Array List Printf Problem Qac_anneal Qac_core Qac_csp Qac_ising

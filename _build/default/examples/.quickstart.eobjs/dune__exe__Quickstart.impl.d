@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Qac_anneal Qac_core

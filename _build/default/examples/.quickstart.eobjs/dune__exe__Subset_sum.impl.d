@@ -1,0 +1,1 @@
+examples/subset_sum.ml: List Printf Qac_anneal Qac_core Qac_ising Qac_qmasm String

@@ -1,0 +1,1 @@
+examples/subset_sum.mli:

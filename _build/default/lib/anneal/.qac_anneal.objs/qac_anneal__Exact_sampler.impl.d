@@ -1,0 +1,1 @@
+lib/anneal/exact_sampler.ml: Exact Problem Qac_ising Sampler Unix

@@ -1,0 +1,1 @@
+lib/anneal/exact_sampler.mli: Qac_ising Sampler

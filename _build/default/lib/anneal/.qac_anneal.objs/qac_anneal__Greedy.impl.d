@@ -1,0 +1,1 @@
+lib/anneal/greedy.ml: Array Problem Qac_ising

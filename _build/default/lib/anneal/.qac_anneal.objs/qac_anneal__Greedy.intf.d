@@ -1,0 +1,1 @@
+lib/anneal/greedy.mli: Qac_ising

@@ -1,0 +1,1 @@
+lib/anneal/qbsolv.ml: Array Exact Float Greedy Hashtbl List Problem Qac_ising Rng Sampler Unix

@@ -1,0 +1,1 @@
+lib/anneal/qbsolv.mli: Qac_ising Sampler

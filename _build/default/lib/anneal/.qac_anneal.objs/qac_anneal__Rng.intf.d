@@ -1,0 +1,1 @@
+lib/anneal/rng.mli: Qac_ising

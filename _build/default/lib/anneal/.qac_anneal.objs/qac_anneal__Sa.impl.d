@@ -1,0 +1,1 @@
+lib/anneal/sa.ml: Array Greedy List Problem Qac_ising Rng Sampler Schedule Unix

@@ -1,0 +1,1 @@
+lib/anneal/sampler.ml: Array Float Format Hashtbl List Problem Qac_ising String

@@ -1,0 +1,1 @@
+lib/anneal/sampler.mli: Format Qac_ising

@@ -1,0 +1,1 @@
+lib/anneal/schedule.ml: Array Float List Option Problem Qac_ising

@@ -1,0 +1,1 @@
+lib/anneal/sqa.ml: Array Float Greedy List Problem Qac_ising Rng Sampler Unix

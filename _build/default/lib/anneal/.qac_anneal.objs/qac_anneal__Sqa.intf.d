@@ -1,0 +1,1 @@
+lib/anneal/sqa.mli: Qac_ising Sampler

@@ -1,0 +1,1 @@
+lib/anneal/tabu.ml: Array List Problem Qac_ising Rng Sampler Unix

@@ -1,0 +1,1 @@
+lib/anneal/tabu.mli: Qac_ising Sampler

@@ -1,0 +1,11 @@
+(** Exhaustive enumeration presented through the sampler interface, for
+    problems small enough ([<= Exact.max_vars]).  Returns every ground state
+    once. *)
+
+open Qac_ising
+
+let sample (p : Problem.t) =
+  let start = Unix.gettimeofday () in
+  let result = Exact.solve p in
+  let elapsed_seconds = Unix.gettimeofday () -. start in
+  Sampler.response_of_reads p ~elapsed_seconds result.Exact.ground_states

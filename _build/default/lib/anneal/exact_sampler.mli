@@ -1,0 +1,5 @@
+(** Exhaustive enumeration behind the sampler interface, for problems up to
+    [Qac_ising.Exact.max_vars] variables.  The response contains every
+    ground state exactly once. *)
+
+val sample : Qac_ising.Problem.t -> Sampler.response

@@ -1,0 +1,29 @@
+(** Greedy single-spin descent: repeatedly flip any spin that lowers the
+    energy until none does.  Used standalone and as post-processing for
+    stochastic samplers (qmasm-style sample polishing). *)
+
+open Qac_ising
+
+(** [descend p spins] mutates [spins] to a local minimum; returns the number
+    of flips performed. *)
+let descend (p : Problem.t) spins =
+  let n = p.Problem.num_vars in
+  let flips = ref 0 in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 1 do
+      if Problem.energy_delta p spins i < -1e-12 then begin
+        spins.(i) <- -spins.(i);
+        incr flips;
+        improved := true
+      end
+    done
+  done;
+  !flips
+
+(** Non-mutating variant. *)
+let local_minimum p spins =
+  let copy = Array.copy spins in
+  ignore (descend p copy);
+  copy

@@ -1,0 +1,10 @@
+(** Greedy single-spin descent, used standalone and as post-processing for
+    stochastic samplers (qmasm-style sample polishing). *)
+
+val descend : Qac_ising.Problem.t -> Qac_ising.Problem.spin array -> int
+(** Mutates the configuration to a single-flip local minimum; returns the
+    number of flips performed. *)
+
+val local_minimum :
+  Qac_ising.Problem.t -> Qac_ising.Problem.spin array -> Qac_ising.Problem.spin array
+(** Non-mutating variant. *)

@@ -1,0 +1,119 @@
+(** qbsolv-style large-problem decomposition (section 3; Booth et al.).
+
+    Problems beyond the sub-solver's size are attacked iteratively: pick the
+    [sub_size] variables with the highest energy impact in the current
+    configuration, freeze the rest (their couplings fold into the
+    subproblem's fields), solve the subproblem exactly, splice the result
+    back, and repeat (with occasional random subsets for diversification)
+    until no improvement persists. *)
+
+open Qac_ising
+
+type params = {
+  sub_size : int;  (** exact-solvable subproblem size *)
+  num_repeats : int;  (** rounds without improvement before stopping *)
+  max_rounds : int;
+  seed : int;
+}
+
+let default_params = { sub_size = 20; num_repeats = 15; max_rounds = 400; seed = 11 }
+
+(* Extract the subproblem over [vars] given frozen spins elsewhere.
+   Returns the subproblem; index [k] of the subproblem is variable
+   [vars.(k)] of [p]. *)
+let subproblem (p : Problem.t) spins vars =
+  let position = Hashtbl.create (Array.length vars) in
+  Array.iteri (fun k v -> Hashtbl.replace position v k) vars;
+  let b = Problem.Builder.create ~num_vars:(Array.length vars) () in
+  Array.iteri
+    (fun k v ->
+       Problem.Builder.add_h b k p.Problem.h.(v);
+       List.iter
+         (fun (j, coupling) ->
+            match Hashtbl.find_opt position j with
+            | Some kj ->
+              (* Internal coupler; add once (when k < kj). *)
+              if k < kj then Problem.Builder.add_j b k kj coupling
+            | None ->
+              (* Frozen neighbor: folds into the field. *)
+              Problem.Builder.add_h b k (coupling *. float_of_int spins.(j)))
+         p.Problem.adj.(v))
+    vars;
+  Problem.Builder.build b
+
+let improve_with_subset ~sub_solver (p : Problem.t) spins vars =
+  let sub = subproblem p spins vars in
+  if sub.Problem.num_vars = 0 then false
+  else begin
+    let response = sub_solver sub in
+    match response.Sampler.samples with
+    | [] -> false
+    | best :: _ ->
+      let best = best.Sampler.spins in
+      let before = Problem.energy p spins in
+      let saved = Array.map (fun v -> spins.(v)) vars in
+      Array.iteri (fun k v -> spins.(v) <- best.(k)) vars;
+      let after = Problem.energy p spins in
+      if after < before -. 1e-12 then true
+      else begin
+        Array.iteri (fun k v -> spins.(v) <- saved.(k)) vars;
+        false
+      end
+  end
+
+let impact_order (p : Problem.t) spins =
+  let n = p.Problem.num_vars in
+  let impacts = Array.init n (fun i -> (Float.abs (Problem.energy_delta p spins i), i)) in
+  Array.sort (fun (a, _) (b, _) -> compare b a) impacts;
+  Array.map snd impacts
+
+let exact_sub_solver sub =
+  let result = Exact.solve ~limit:1 sub in
+  Sampler.response_of_reads sub result.Exact.ground_states
+
+let sample ?(params = default_params) ?(sub_solver = exact_sub_solver) (p : Problem.t) =
+  let n = p.Problem.num_vars in
+  let start = Unix.gettimeofday () in
+  if n = 0 then Sampler.response_of_reads p [ [||] ]
+  else if n <= params.sub_size then begin
+    (* Fits the sub-solver: solve directly. *)
+    let response = sub_solver p in
+    let reads = List.map (fun s -> s.Sampler.spins) response.Sampler.samples in
+    let elapsed_seconds = Unix.gettimeofday () -. start in
+    Sampler.response_of_reads p ~elapsed_seconds reads
+  end
+  else begin
+    let rng = Rng.create params.seed in
+    let spins = Rng.spins rng n in
+    ignore (Greedy.descend p spins);
+    let stall = ref 0 in
+    let round = ref 0 in
+    while !stall < params.num_repeats && !round < params.max_rounds do
+      incr round;
+      let improved =
+        match !round mod 3 with
+        | 0 ->
+          (* Diversification: a random subset. *)
+          let perm = Array.init n (fun i -> i) in
+          Rng.shuffle rng perm;
+          improve_with_subset ~sub_solver p spins (Array.sub perm 0 params.sub_size)
+        | 1 ->
+          (* Locality: a contiguous index window, which repairs structures
+             like domain walls in chain-shaped problems. *)
+          let start = Rng.int rng (n - params.sub_size + 1) in
+          improve_with_subset ~sub_solver p spins
+            (Array.init params.sub_size (fun k -> start + k))
+        | _ ->
+          (* Intensification: highest-impact variables, with a random offset
+             so consecutive rounds differ. *)
+          let order = impact_order p spins in
+          let offset = if !round <= 2 then 0 else Rng.int rng (max 1 (n - params.sub_size)) in
+          improve_with_subset ~sub_solver p spins
+            (Array.sub order (min offset (n - params.sub_size)) params.sub_size)
+      in
+      if improved then stall := 0 else incr stall
+    done;
+    ignore (Greedy.descend p spins);
+    let elapsed_seconds = Unix.gettimeofday () -. start in
+    Sampler.response_of_reads p ~elapsed_seconds [ spins ]
+  end

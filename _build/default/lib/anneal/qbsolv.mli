@@ -1,0 +1,29 @@
+(** qbsolv-style large-problem decomposition (section 3; Booth et al.).
+
+    Problems beyond the sub-solver's size are attacked iteratively: select a
+    subset of variables (by energy impact, by contiguity, or at random),
+    freeze the rest — their couplings fold into the subproblem's fields —
+    solve the subproblem exactly, splice the improvement back, and repeat
+    until no improvement persists.  Returns one polished configuration. *)
+
+type params = {
+  sub_size : int;  (** exactly-solvable subproblem size *)
+  num_repeats : int;  (** rounds without improvement before stopping *)
+  max_rounds : int;
+  seed : int;
+}
+
+val default_params : params
+(** sub_size 20, 15 stall rounds, 400 round cap. *)
+
+(** [sample ?params ?sub_solver p] decomposes [p].  [sub_solver] minimizes
+    each subproblem; the default enumerates exactly (so [sub_size] must stay
+    within [Exact.max_vars]).  Passing an annealer-backed solver — e.g.
+    minor-embed into a small Chimera and sample — reproduces qbsolv's real
+    role: "split large problems into sub-problems that fit on the D-Wave
+    hardware" (section 4.3). *)
+val sample :
+  ?params:params ->
+  ?sub_solver:(Qac_ising.Problem.t -> Sampler.response) ->
+  Qac_ising.Problem.t ->
+  Sampler.response

@@ -1,0 +1,46 @@
+(** Deterministic splitmix64 PRNG.
+
+    Solvers take integer seeds and must reproduce bit-identical runs across
+    OCaml versions, so we avoid [Stdlib.Random] (whose algorithm changed in
+    5.0) and implement splitmix64 directly. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let raw = Int64.to_int (next_int64 t) land max_int in
+  raw mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** A random spin vector. *)
+let spins t n = Array.init n (fun _ -> if bool t then 1 else -1)
+
+(** Fisher–Yates shuffle in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** Derive an independent stream (for per-read seeding). *)
+let split t = create (Int64.to_int (next_int64 t))

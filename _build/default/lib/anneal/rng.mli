@@ -1,0 +1,29 @@
+(** Deterministic splitmix64 PRNG.
+
+    Solvers take integer seeds and must reproduce bit-identical runs across
+    OCaml versions, so [Stdlib.Random] (whose algorithm changed in 5.0) is
+    avoided. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); raises [Invalid_argument] for
+    non-positive bounds. *)
+
+val bool : t -> bool
+
+val spins : t -> int -> Qac_ising.Problem.spin array
+(** A uniformly random +-1 vector. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)
+
+val split : t -> t
+(** Derive an independent stream (per-read seeding). *)

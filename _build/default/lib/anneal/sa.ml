@@ -1,0 +1,56 @@
+open Qac_ising
+
+type params = {
+  num_reads : int;
+  num_sweeps : int;
+  beta_min : float option;
+  beta_max : float option;
+  schedule : [ `Geometric | `Linear ];
+  greedy_postprocess : bool;
+  seed : int;
+}
+
+let default_params =
+  { num_reads = 100;
+    num_sweeps = 200;
+    beta_min = None;
+    beta_max = None;
+    schedule = `Geometric;
+    greedy_postprocess = true;
+    seed = 42 }
+
+let anneal_one (p : Problem.t) ~rng ~num_sweeps ~schedule =
+  let n = p.Problem.num_vars in
+  let spins = Rng.spins rng n in
+  let order = Array.init n (fun i -> i) in
+  for step = 0 to num_sweeps - 1 do
+    let beta = Schedule.beta schedule ~step ~num_steps:num_sweeps in
+    Rng.shuffle rng order;
+    Array.iter
+      (fun i ->
+         let delta = Problem.energy_delta p spins i in
+         if delta <= 0.0 || Rng.float rng < exp (-.beta *. delta) then
+           spins.(i) <- -spins.(i))
+      order
+  done;
+  spins
+
+let sample ?(params = default_params) (p : Problem.t) =
+  if p.Problem.num_vars = 0 then
+    Sampler.response_of_reads p (List.init params.num_reads (fun _ -> [||]))
+  else begin
+    let schedule =
+      Schedule.create ~kind:params.schedule ?beta_min:params.beta_min
+        ?beta_max:params.beta_max p
+    in
+    let rng = Rng.create params.seed in
+    let start = Unix.gettimeofday () in
+    let reads =
+      List.init params.num_reads (fun _ ->
+          let spins = anneal_one p ~rng ~num_sweeps:params.num_sweeps ~schedule in
+          if params.greedy_postprocess then ignore (Greedy.descend p spins);
+          spins)
+    in
+    let elapsed_seconds = Unix.gettimeofday () -. start in
+    Sampler.response_of_reads p ~elapsed_seconds reads
+  end

@@ -1,0 +1,33 @@
+(** Simulated annealing — the classical stand-in for the D-Wave quantum
+    annealer (section 2 notes the generated Hamiltonians "can be minimized
+    in software on conventional computers using, e.g., simulated
+    annealing").
+
+    Each read starts from a fresh random spin configuration and Metropolis
+    sweeps through every spin while the inverse temperature ramps from hot
+    to cold.  Reads are independent and deterministic given [seed]. *)
+
+type params = {
+  num_reads : int;
+  num_sweeps : int;  (** full passes over all spins per read *)
+  beta_min : float option;  (** [None]: derived from the problem *)
+  beta_max : float option;
+  schedule : [ `Geometric | `Linear ];
+  greedy_postprocess : bool;  (** descend to a local minimum after the ramp *)
+  seed : int;
+}
+
+val default_params : params
+(** 100 reads, 200 sweeps, geometric auto schedule, postprocessing on,
+    seed 42. *)
+
+val sample : ?params:params -> Qac_ising.Problem.t -> Sampler.response
+
+(** [anneal_one p ~rng ~num_sweeps ~schedule] runs a single read and returns
+    its final configuration. *)
+val anneal_one :
+  Qac_ising.Problem.t ->
+  rng:Rng.t ->
+  num_sweeps:int ->
+  schedule:Schedule.t ->
+  Qac_ising.Problem.spin array

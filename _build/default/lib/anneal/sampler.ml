@@ -1,0 +1,117 @@
+(** Common sampler types: all solvers return a [response], mirroring how
+    qmasm "can run a program arbitrarily many times and report statistics on
+    the results" (section 4.3). *)
+
+open Qac_ising
+
+type sample = {
+  spins : Problem.spin array;
+  energy : float;
+  num_occurrences : int;
+}
+
+type response = {
+  samples : sample list;  (** distinct configurations, ascending energy *)
+  num_reads : int;
+  elapsed_seconds : float;
+}
+
+(** Aggregate raw reads into a response: duplicates are merged with
+    occurrence counts, samples sorted by energy then configuration. *)
+let response_of_reads problem ?(elapsed_seconds = 0.0) reads =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun spins ->
+       let key = Array.to_list spins in
+       match Hashtbl.find_opt tbl key with
+       | Some (sample : sample) ->
+         Hashtbl.replace tbl key { sample with num_occurrences = sample.num_occurrences + 1 }
+       | None ->
+         Hashtbl.replace tbl key
+           { spins = Array.copy spins; energy = Problem.energy problem spins; num_occurrences = 1 })
+    reads;
+  let samples =
+    Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+    |> List.sort (fun a b ->
+        match compare a.energy b.energy with
+        | 0 -> compare a.spins b.spins
+        | c -> c)
+  in
+  { samples; num_reads = List.length reads; elapsed_seconds }
+
+let best response =
+  match response.samples with
+  | [] -> invalid_arg "Sampler.best: empty response"
+  | s :: _ -> s
+
+let num_distinct response = List.length response.samples
+
+(** Lowest-energy samples only (within [tolerance] of the best). *)
+let ground_samples ?(tolerance = 1e-9) response =
+  match response.samples with
+  | [] -> []
+  | best :: _ ->
+    List.filter (fun s -> s.energy <= best.energy +. tolerance) response.samples
+
+let success_probability response ~target_energy =
+  if response.num_reads = 0 then 0.0
+  else begin
+    let hits =
+      List.fold_left
+        (fun acc s -> if s.energy <= target_energy +. 1e-9 then acc + s.num_occurrences else acc)
+        0 response.samples
+    in
+    float_of_int hits /. float_of_int response.num_reads
+  end
+
+let time_to_solution ?(confidence = 0.99) response ~target_energy =
+  let p = success_probability response ~target_energy in
+  if p <= 0.0 then None
+  else if p >= 1.0 then Some (response.elapsed_seconds /. float_of_int response.num_reads)
+  else begin
+    let per_read = response.elapsed_seconds /. float_of_int response.num_reads in
+    let reads_needed = log (1.0 -. confidence) /. log (1.0 -. p) in
+    Some (per_read *. Float.max 1.0 reads_needed)
+  end
+
+(** Merge responses from several solver invocations. *)
+let merge problem responses =
+  let reads =
+    List.concat_map
+      (fun r ->
+         List.concat_map
+           (fun s -> List.init s.num_occurrences (fun _ -> s.spins))
+           r.samples)
+      responses
+  in
+  let elapsed = List.fold_left (fun acc r -> acc +. r.elapsed_seconds) 0.0 responses in
+  response_of_reads problem ~elapsed_seconds:elapsed reads
+
+let pp_histogram ?(buckets = 10) fmt response =
+  match response.samples with
+  | [] -> Format.fprintf fmt "(no samples)@."
+  | samples ->
+    let lo = (List.hd samples).energy in
+    let hi =
+      List.fold_left (fun acc s -> Float.max acc s.energy) lo samples
+    in
+    let span = if hi -. lo < 1e-12 then 1.0 else hi -. lo in
+    let counts = Array.make buckets 0 in
+    List.iter
+      (fun s ->
+         let idx =
+           min (buckets - 1)
+             (int_of_float (float_of_int buckets *. (s.energy -. lo) /. span))
+         in
+         counts.(idx) <- counts.(idx) + s.num_occurrences)
+      samples;
+    let peak = Array.fold_left max 1 counts in
+    Format.fprintf fmt "energy histogram (%d reads, %d distinct):@." response.num_reads
+      (List.length samples);
+    Array.iteri
+      (fun i count ->
+         let from = lo +. (span *. float_of_int i /. float_of_int buckets) in
+         let upto = lo +. (span *. float_of_int (i + 1) /. float_of_int buckets) in
+         let bar = String.make (count * 40 / peak) '#' in
+         Format.fprintf fmt "  [%8.2f, %8.2f) %6d %s@." from upto count bar)
+      counts

@@ -1,0 +1,50 @@
+(** Common sampler types: every solver returns a [response], mirroring how
+    qmasm "can run a program arbitrarily many times and report statistics on
+    the results" (section 4.3). *)
+
+type sample = {
+  spins : Qac_ising.Problem.spin array;
+  energy : float;
+  num_occurrences : int;
+}
+
+type response = {
+  samples : sample list;  (** distinct configurations, ascending energy *)
+  num_reads : int;
+  elapsed_seconds : float;
+}
+
+(** Aggregate raw reads: duplicates merge with occurrence counts; samples
+    sort by energy, then configuration. *)
+val response_of_reads :
+  Qac_ising.Problem.t ->
+  ?elapsed_seconds:float ->
+  Qac_ising.Problem.spin array list ->
+  response
+
+val best : response -> sample
+(** Raises [Invalid_argument] on an empty response. *)
+
+val num_distinct : response -> int
+
+val ground_samples : ?tolerance:float -> response -> sample list
+(** Samples within [tolerance] (default 1e-9) of the best energy. *)
+
+val merge : Qac_ising.Problem.t -> response list -> response
+(** Combine responses from several invocations (elapsed times add). *)
+
+val success_probability : response -> target_energy:float -> float
+(** Fraction of reads at or below [target_energy] (+1e-9 tolerance). *)
+
+(** [time_to_solution response ~target_energy ~confidence] — the standard
+    annealing-literature TTS metric: expected wall time to observe at least
+    one read at the target energy with the given confidence (default 0.99),
+    extrapolated from this response's per-read time and success rate.
+    [None] when no read succeeded. *)
+val time_to_solution :
+  ?confidence:float -> response -> target_energy:float -> float option
+
+(** [pp_histogram fmt response] prints an ASCII energy histogram (up to
+    [buckets], default 10) with read counts — the "statistics on the
+    results" view qmasm offers. *)
+val pp_histogram : ?buckets:int -> Format.formatter -> response -> unit

@@ -1,0 +1,59 @@
+(** Annealing schedules: inverse-temperature (beta) ramps.
+
+    The default range is derived from the problem, following the approach of
+    D-Wave's classical neal sampler: the hot beta makes even the stiffest
+    spin flip with probability ~1/2; the cold beta makes the weakest
+    coefficient significant (acceptance ~1%). *)
+
+open Qac_ising
+
+type t = {
+  beta_min : float;
+  beta_max : float;
+  kind : [ `Geometric | `Linear ];
+}
+
+let default_range (p : Problem.t) =
+  let n = p.Problem.num_vars in
+  if n = 0 then (0.1, 1.0)
+  else begin
+    (* Stiffest spin: the largest total field any spin can feel. *)
+    let max_field = ref 0.0 in
+    let min_coeff = ref infinity in
+    for i = 0 to n - 1 do
+      let field =
+        List.fold_left
+          (fun acc (_, j) -> acc +. Float.abs j)
+          (Float.abs p.Problem.h.(i))
+          p.Problem.adj.(i)
+      in
+      max_field := Float.max !max_field field
+    done;
+    Array.iter
+      (fun v -> if v <> 0.0 then min_coeff := Float.min !min_coeff (Float.abs v))
+      p.Problem.h;
+    Array.iter
+      (fun (_, v) -> if v <> 0.0 then min_coeff := Float.min !min_coeff (Float.abs v))
+      p.Problem.couplers;
+    let max_field = if !max_field = 0.0 then 1.0 else !max_field in
+    let min_coeff = if !min_coeff = infinity then 1.0 else !min_coeff in
+    (log 2.0 /. (2.0 *. max_field), log 100.0 /. (2.0 *. min_coeff))
+  end
+
+let create ?(kind = `Geometric) ?beta_min ?beta_max p =
+  let auto_min, auto_max = default_range p in
+  let beta_min = Option.value beta_min ~default:auto_min in
+  let beta_max = Option.value beta_max ~default:auto_max in
+  if beta_min <= 0.0 || beta_max < beta_min then invalid_arg "Schedule.create: bad range";
+  { beta_min; beta_max; kind }
+
+(** [beta schedule ~step ~num_steps] is the inverse temperature at sweep
+    [step] of [num_steps]. *)
+let beta t ~step ~num_steps =
+  if num_steps <= 1 then t.beta_max
+  else begin
+    let fraction = float_of_int step /. float_of_int (num_steps - 1) in
+    match t.kind with
+    | `Linear -> t.beta_min +. (fraction *. (t.beta_max -. t.beta_min))
+    | `Geometric -> t.beta_min *. ((t.beta_max /. t.beta_min) ** fraction)
+  end

@@ -1,0 +1,26 @@
+(** Annealing schedules: inverse-temperature (beta) ramps.
+
+    The default range is derived from the problem, in the manner of D-Wave's
+    classical neal sampler: the hot end makes even the stiffest spin flip
+    with probability ~1/2; the cold end makes the weakest coefficient
+    significant. *)
+
+type t = {
+  beta_min : float;
+  beta_max : float;
+  kind : [ `Geometric | `Linear ];
+}
+
+val default_range : Qac_ising.Problem.t -> float * float
+(** [(beta_min, beta_max)] derived from the problem's field extremes. *)
+
+val create :
+  ?kind:[ `Geometric | `Linear ] ->
+  ?beta_min:float ->
+  ?beta_max:float ->
+  Qac_ising.Problem.t ->
+  t
+(** Defaults: geometric ramp over {!default_range}. *)
+
+val beta : t -> step:int -> num_steps:int -> float
+(** Inverse temperature at sweep [step] of [num_steps]. *)

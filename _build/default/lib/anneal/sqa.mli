@@ -1,0 +1,35 @@
+(** Simulated *quantum* annealing: path-integral Monte Carlo over a
+    transverse-field Ising model.
+
+    Section 2 of the paper lists Hitachi's "simulated quantum annealer" as a
+    classical target for the same compiled Hamiltonians.  This module
+    implements the standard Suzuki–Trotter construction: the quantum system
+    is replicated into [num_slices] coupled classical replicas; the
+    transverse field Gamma ramps down during the anneal, which maps to a
+    growing ferromagnetic coupling [J_perp] between a spin's copies in
+    adjacent slices:
+
+    {v J_perp = -(P T / 2) ln tanh(Gamma / (P T)) v}
+
+    Monte Carlo moves are single-site flips within a slice plus occasional
+    global moves flipping one spin across every slice (a crude analogue of
+    tunneling). *)
+
+type params = {
+  num_reads : int;
+  num_sweeps : int;
+  num_slices : int;  (** Trotter slices P *)
+  gamma_initial : float;  (** transverse field at the start of the ramp *)
+  gamma_final : float;
+  temperature : float;  (** fixed classical temperature T *)
+  global_move_probability : float;
+      (** chance per (sweep, spin) of proposing an all-slice flip *)
+  seed : int;
+}
+
+val default_params : params
+(** 50 reads, 200 sweeps, 20 slices, Gamma 3.0 -> 0.01, T = 0.1. *)
+
+val sample : ?params:params -> Qac_ising.Problem.t -> Sampler.response
+(** Each read contributes its best slice (by classical energy) after the
+    ramp, polished by greedy descent. *)

@@ -1,0 +1,66 @@
+(** Single-flip tabu search, in the style of the solver inside D-Wave's
+    qbsolv (section 3).  Each restart walks from a random configuration,
+    always taking the best non-tabu flip (aspiration: a tabu flip is allowed
+    when it beats the best energy seen). *)
+
+open Qac_ising
+
+type params = {
+  num_restarts : int;
+  max_iterations : int;  (** per restart *)
+  tenure : int option;  (** [None]: min(20, n/4 + 1) *)
+  seed : int;
+}
+
+let default_params = { num_restarts = 10; max_iterations = 500; tenure = None; seed = 7 }
+
+let search_one (p : Problem.t) ~rng ~max_iterations ~tenure =
+  let n = p.Problem.num_vars in
+  let spins = Rng.spins rng n in
+  let energy = ref (Problem.energy p spins) in
+  let best = Array.copy spins in
+  let best_energy = ref !energy in
+  let tabu_until = Array.make n (-1) in
+  for iteration = 0 to max_iterations - 1 do
+    (* Best admissible flip. *)
+    let chosen = ref (-1) in
+    let chosen_delta = ref infinity in
+    for i = 0 to n - 1 do
+      let delta = Problem.energy_delta p spins i in
+      let is_tabu = tabu_until.(i) > iteration in
+      let aspirated = !energy +. delta < !best_energy -. 1e-12 in
+      if ((not is_tabu) || aspirated) && delta < !chosen_delta then begin
+        chosen := i;
+        chosen_delta := delta
+      end
+    done;
+    if !chosen >= 0 then begin
+      spins.(!chosen) <- -spins.(!chosen);
+      energy := !energy +. !chosen_delta;
+      tabu_until.(!chosen) <- iteration + tenure;
+      if !energy < !best_energy then begin
+        best_energy := !energy;
+        Array.blit spins 0 best 0 n
+      end
+    end
+  done;
+  best
+
+let sample ?(params = default_params) (p : Problem.t) =
+  let n = p.Problem.num_vars in
+  if n = 0 then Sampler.response_of_reads p (List.init params.num_restarts (fun _ -> [||]))
+  else begin
+    let tenure =
+      match params.tenure with
+      | Some t -> max 1 t
+      | None -> min 20 ((n / 4) + 1)
+    in
+    let rng = Rng.create params.seed in
+    let start = Unix.gettimeofday () in
+    let reads =
+      List.init params.num_restarts (fun _ ->
+          search_one p ~rng ~max_iterations:params.max_iterations ~tenure)
+    in
+    let elapsed_seconds = Unix.gettimeofday () -. start in
+    Sampler.response_of_reads p ~elapsed_seconds reads
+  end

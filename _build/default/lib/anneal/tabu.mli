@@ -1,0 +1,16 @@
+(** Single-flip tabu search, in the style of the solver inside D-Wave's
+    qbsolv (section 3).  Each restart walks from a random configuration,
+    always taking the best non-tabu flip, with aspiration (a tabu flip is
+    allowed when it beats the best energy seen). *)
+
+type params = {
+  num_restarts : int;
+  max_iterations : int;  (** per restart *)
+  tenure : int option;  (** [None]: min(20, n/4 + 1) *)
+  seed : int;
+}
+
+val default_params : params
+(** 10 restarts x 500 iterations. *)
+
+val sample : ?params:params -> Qac_ising.Problem.t -> Sampler.response

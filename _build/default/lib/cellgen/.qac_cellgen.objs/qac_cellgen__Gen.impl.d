@@ -1,0 +1,1 @@
+lib/cellgen/gen.ml: Array Exact Float List Lp Option Printf Problem Qac_ising Random Scale Truthtab

@@ -1,0 +1,1 @@
+lib/cellgen/gen.mli: Qac_ising Truthtab

@@ -1,0 +1,1 @@
+lib/cellgen/lp.ml: Array Float List

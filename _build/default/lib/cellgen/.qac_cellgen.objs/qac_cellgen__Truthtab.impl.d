@@ -1,0 +1,1 @@
+lib/cellgen/truthtab.ml: Array Format Hashtbl List

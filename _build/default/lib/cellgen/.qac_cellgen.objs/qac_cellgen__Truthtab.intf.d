@@ -1,0 +1,1 @@
+lib/cellgen/truthtab.mli: Format Qac_ising

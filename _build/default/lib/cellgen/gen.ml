@@ -1,0 +1,188 @@
+open Qac_ising
+
+type derived = {
+  table : Truthtab.t;
+  num_ancillas : int;
+  problem : Problem.t;
+  ground_energy : float;
+  gap : float;
+}
+
+let min_gap = 1e-6
+
+(* The LP's variable layout: n linear coefficients, n(n-1)/2 quadratic
+   coefficients in (i, j) lexicographic order, then k (the common ground
+   energy) and g (the gap). *)
+
+let num_pairs n = n * (n - 1) / 2
+
+let pair_index ~num_vars i j =
+  assert (i < j);
+  (* Pairs (0,1) (0,2) ... (0,n-1) (1,2) ... *)
+  let before_i = (i * ((2 * num_vars) - i - 1)) / 2 in
+  before_i + (j - i - 1)
+
+let row_energy_coeffs ~num_vars spins =
+  let coeffs = Array.make (num_vars + num_pairs num_vars) 0.0 in
+  for i = 0 to num_vars - 1 do
+    coeffs.(i) <- float_of_int spins.(i)
+  done;
+  for i = 0 to num_vars - 1 do
+    for j = i + 1 to num_vars - 1 do
+      coeffs.(num_vars + pair_index ~num_vars i j) <- float_of_int (spins.(i) * spins.(j))
+    done
+  done;
+  coeffs
+
+let coeff_names ~num_vars =
+  let names = Array.make (num_vars + num_pairs num_vars) "" in
+  for i = 0 to num_vars - 1 do
+    names.(i) <- Printf.sprintf "h_%d" i
+  done;
+  for i = 0 to num_vars - 1 do
+    for j = i + 1 to num_vars - 1 do
+      names.(num_vars + pair_index ~num_vars i j) <- Printf.sprintf "J_%d,%d" i j
+    done
+  done;
+  names
+
+(* LP solutions carry ~1e-12 numerical noise; snap values that are within
+   tolerance of a multiple of 1/12 (the paper's cells use twelfths) so the
+   emitted coefficients are clean and respect the hardware box exactly. *)
+let snap v =
+  let twelfth = Float.round (v *. 12.0) /. 12.0 in
+  if Float.abs (twelfth -. v) <= 1e-7 then twelfth else v
+
+let problem_of_solution ~num_vars coeffs =
+  let coeffs = Array.map snap coeffs in
+  let h = Array.sub coeffs 0 num_vars in
+  let j = ref [] in
+  for i = 0 to num_vars - 1 do
+    for jj = i + 1 to num_vars - 1 do
+      let v = coeffs.(num_vars + pair_index ~num_vars i jj) in
+      if Float.abs v > 1e-12 then j := ((i, jj), v) :: !j
+    done
+  done;
+  Problem.create ~num_vars ~h ~j:!j ()
+
+let derive_exact ?(range = Scale.dwave_2000q) (table : Truthtab.t) =
+  let n = table.Truthtab.num_vars in
+  let num_coeffs = n + num_pairs n in
+  let k_index = num_coeffs in
+  let g_index = num_coeffs + 1 in
+  let num_lp_vars = num_coeffs + 2 in
+  let extend coeffs ~k ~g =
+    let row = Array.make num_lp_vars 0.0 in
+    Array.blit coeffs 0 row 0 num_coeffs;
+    row.(k_index) <- k;
+    row.(g_index) <- g;
+    row
+  in
+  let constraints =
+    List.map
+      (fun row ->
+         let spins = Truthtab.spins_of_row row in
+         let coeffs = row_energy_coeffs ~num_vars:n spins in
+         if Truthtab.is_valid table row then
+           (* E(row) - k = 0 *)
+           { Lp.coeffs = extend coeffs ~k:(-1.0) ~g:0.0; relation = Lp.Eq; rhs = 0.0 }
+         else
+           (* E(row) - k - g >= 0 *)
+           { Lp.coeffs = extend coeffs ~k:(-1.0) ~g:(-1.0); relation = Lp.Ge; rhs = 0.0 })
+      (Truthtab.all_rows ~num_vars:n)
+  in
+  let bounds =
+    Array.init num_lp_vars (fun v ->
+        if v < n then (range.Scale.h_min, range.Scale.h_max)
+        else if v < num_coeffs then (range.Scale.j_min, range.Scale.j_max)
+        else if v = k_index then (neg_infinity, infinity)
+        else (0.0, 1e6) (* the gap; capped to keep the LP bounded *))
+  in
+  let objective = Array.init num_lp_vars (fun v -> if v = g_index then 1.0 else 0.0) in
+  match Lp.solve Lp.Maximize objective constraints ~bounds with
+  | Lp.Infeasible | Lp.Unbounded -> None
+  | Lp.Optimal { value = gap; solution } ->
+    if gap < min_gap then None
+    else
+      Some
+        { table;
+          num_ancillas = 0;
+          problem = problem_of_solution ~num_vars:n solution;
+          ground_energy = solution.(k_index);
+          gap }
+
+(* Ancilla-column search.  Each candidate assigns [a] ancilla bits to every
+   valid row.  Flipping an ancilla column globally maps solutions to
+   solutions (negate the corresponding h and J signs), so the first valid
+   row's ancillas can be pinned to all-false, halving the space per
+   ancilla. *)
+
+let ancilla_assignments ~num_ancillas ~num_valid ~seed ~budget =
+  let bits = num_ancillas * (num_valid - 1) in
+  let decode code =
+    List.init num_valid (fun row ->
+        Array.init num_ancillas (fun a ->
+            if row = 0 then false
+            else
+              let bit = (num_ancillas * (row - 1)) + a in
+              (code lsr bit) land 1 = 1))
+  in
+  if bits <= 14 then List.init (1 lsl bits) decode
+  else begin
+    (* Too many to enumerate: random sample (dedup not worth the trouble at
+       this scale). *)
+    let state = Random.State.make [| seed |] in
+    List.init budget (fun _ ->
+        List.init num_valid (fun row ->
+            Array.init num_ancillas (fun _ ->
+                if row = 0 then false else Random.State.bool state)))
+  end
+
+let better a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some da, Some db -> if da.gap >= db.gap then Some da else Some db
+
+let derive ?(range = Scale.dwave_2000q) ?(max_ancillas = 2) ?(seed = 0) table =
+  let num_valid = List.length table.Truthtab.valid in
+  let rec try_ancillas a =
+    if a > max_ancillas then None
+    else begin
+      let result =
+        if a = 0 then derive_exact ~range table
+        else begin
+          let candidates = ancilla_assignments ~num_ancillas:a ~num_valid ~seed ~budget:512 in
+          List.fold_left
+            (fun best ancillas ->
+               let augmented = Truthtab.augment table ~ancillas in
+               let d =
+                 Option.map
+                   (fun d -> { d with num_ancillas = a })
+                   (derive_exact ~range augmented)
+               in
+               better best d)
+            None candidates
+        end
+      in
+      match result with
+      | Some _ as r -> r
+      | None -> try_ancillas (a + 1)
+    end
+  in
+  try_ancillas 0
+
+let verify d =
+  let result = Exact.solve d.problem in
+  let expected =
+    List.map Truthtab.spins_of_row d.table.Truthtab.valid
+    |> List.sort compare
+  in
+  let got = List.sort compare result.Exact.ground_states in
+  let states_match = expected = got in
+  let gap_ok =
+    match result.Exact.first_excited_energy with
+    | None -> true
+    | Some second -> second -. result.Exact.ground_energy >= d.gap -. 1e-6
+  in
+  let k_ok = Float.abs (result.Exact.ground_energy -. d.ground_energy) <= 1e-6 in
+  states_match && gap_ok && k_ok

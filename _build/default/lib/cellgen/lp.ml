@@ -1,0 +1,209 @@
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;
+  relation : relation;
+  rhs : float;
+}
+
+type objective = Maximize | Minimize
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Simplex over the standard form min c.x, A x = b, x >= 0, b >= 0.
+
+   The tableau has [m] constraint rows plus one cost row (row m); column
+   [cols - 1] is the right-hand side.  [basis.(r)] names the basic variable
+   of row [r].  Entering/leaving variables are chosen with Bland's rule so
+   the method terminates even on degenerate cell-derivation systems. *)
+
+type tableau = {
+  a : float array array;  (* (m + 1) x cols, last row = reduced costs *)
+  basis : int array;
+  m : int;
+  cols : int;
+}
+
+let pivot t ~row ~col =
+  let pivot_val = t.a.(row).(col) in
+  let r = t.a.(row) in
+  for c = 0 to t.cols - 1 do
+    r.(c) <- r.(c) /. pivot_val
+  done;
+  for i = 0 to t.m do
+    if i <> row then begin
+      let factor = t.a.(i).(col) in
+      if Float.abs factor > 0.0 then begin
+        let ri = t.a.(i) in
+        for c = 0 to t.cols - 1 do
+          ri.(c) <- ri.(c) -. (factor *. r.(c))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Returns [`Optimal] or [`Unbounded]. *)
+let run_simplex t ~num_cols_usable =
+  let rec step () =
+    (* Bland: entering variable = lowest-index column with negative reduced
+       cost. *)
+    let entering =
+      let rec find c =
+        if c >= num_cols_usable then None
+        else if t.a.(t.m).(c) < -.eps then Some c
+        else find (c + 1)
+      in
+      find 0
+    in
+    match entering with
+    | None -> `Optimal
+    | Some col ->
+      (* Ratio test; ties broken by smallest basis variable (Bland). *)
+      let leaving = ref None in
+      for row = 0 to t.m - 1 do
+        let a_rc = t.a.(row).(col) in
+        if a_rc > eps then begin
+          let ratio = t.a.(row).(t.cols - 1) /. a_rc in
+          match !leaving with
+          | None -> leaving := Some (row, ratio)
+          | Some (best_row, best_ratio) ->
+            if
+              ratio < best_ratio -. eps
+              || (Float.abs (ratio -. best_ratio) <= eps
+                  && t.basis.(row) < t.basis.(best_row))
+            then leaving := Some (row, ratio)
+        end
+      done;
+      (match !leaving with
+       | None -> `Unbounded
+       | Some (row, _) ->
+         pivot t ~row ~col;
+         step ())
+  in
+  step ()
+
+let solve objective obj constraints ~bounds =
+  let n = Array.length obj in
+  List.iter
+    (fun c ->
+       if Array.length c.coeffs <> n then invalid_arg "Lp.solve: coefficient length mismatch")
+    constraints;
+  if Array.length bounds <> n then invalid_arg "Lp.solve: bounds length mismatch";
+  (* Fold finite bounds in as ordinary constraints, then treat every
+     variable as free and split it into a positive and a negative part. *)
+  let bound_constraints =
+    let unit_row i = Array.init n (fun k -> if k = i then 1.0 else 0.0) in
+    List.concat
+      (List.init n (fun i ->
+           let lo, hi = bounds.(i) in
+           let lower =
+             if lo > neg_infinity then [ { coeffs = unit_row i; relation = Ge; rhs = lo } ]
+             else []
+           in
+           let upper =
+             if hi < infinity then [ { coeffs = unit_row i; relation = Le; rhs = hi } ]
+             else []
+           in
+           lower @ upper))
+  in
+  let constraints = constraints @ bound_constraints in
+  let m = List.length constraints in
+  (* Columns: 2n split variables, then one slack/surplus per inequality,
+     then one artificial per row, then RHS. *)
+  let num_slacks =
+    List.fold_left (fun acc c -> if c.relation = Eq then acc else acc + 1) 0 constraints
+  in
+  let split = 2 * n in
+  let art0 = split + num_slacks in
+  let cols = art0 + m + 1 in
+  let a = Array.make_matrix (m + 1) cols 0.0 in
+  let basis = Array.make m 0 in
+  let next_slack = ref split in
+  List.iteri
+    (fun row c ->
+       let sign = if c.rhs < 0.0 then -1.0 else 1.0 in
+       for i = 0 to n - 1 do
+         a.(row).(2 * i) <- sign *. c.coeffs.(i);
+         a.(row).((2 * i) + 1) <- -.sign *. c.coeffs.(i)
+       done;
+       a.(row).(cols - 1) <- sign *. c.rhs;
+       (match c.relation with
+        | Eq -> ()
+        | Le ->
+          a.(row).(!next_slack) <- sign *. 1.0;
+          incr next_slack
+        | Ge ->
+          a.(row).(!next_slack) <- sign *. -1.0;
+          incr next_slack);
+       a.(row).(art0 + row) <- 1.0;
+       basis.(row) <- art0 + row)
+    constraints;
+  let t = { a; basis; m; cols } in
+  (* Phase 1: minimize the sum of artificials.  The cost row starts as
+     -(sum of constraint rows) restricted to non-artificial columns so the
+     artificial basis prices out to zero. *)
+  for c = 0 to cols - 1 do
+    let s = ref 0.0 in
+    for row = 0 to m - 1 do
+      s := !s +. a.(row).(c)
+    done;
+    a.(m).(c) <- if c >= art0 && c < cols - 1 then 0.0 else -. !s
+  done;
+  (match run_simplex t ~num_cols_usable:art0 with
+   | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+   | `Optimal -> ());
+  let phase1_value = -.t.a.(m).(cols - 1) in
+  if phase1_value > 1e-7 then Infeasible
+  else begin
+    (* Drive any artificial variables that remain basic (at value 0) out of
+       the basis when a usable pivot exists; rows with no usable pivot are
+       redundant and harmless. *)
+    for row = 0 to m - 1 do
+      if t.basis.(row) >= art0 then begin
+        let col = ref (-1) in
+        for c = 0 to art0 - 1 do
+          if !col < 0 && Float.abs t.a.(row).(c) > eps then col := c
+        done;
+        if !col >= 0 then pivot t ~row ~col:!col
+      end
+    done;
+    (* Phase 2: install the real objective (in min form) and price out the
+       current basis. *)
+    let minimize_obj =
+      match objective with
+      | Minimize -> Array.copy obj
+      | Maximize -> Array.map (fun v -> -.v) obj
+    in
+    for c = 0 to cols - 1 do
+      t.a.(m).(c) <- 0.0
+    done;
+    for i = 0 to n - 1 do
+      t.a.(m).(2 * i) <- minimize_obj.(i);
+      t.a.(m).((2 * i) + 1) <- -.minimize_obj.(i)
+    done;
+    for row = 0 to m - 1 do
+      let b = t.basis.(row) in
+      let cost = t.a.(m).(b) in
+      if Float.abs cost > 0.0 then
+        for c = 0 to cols - 1 do
+          t.a.(m).(c) <- t.a.(m).(c) -. (cost *. t.a.(row).(c))
+        done
+    done;
+    match run_simplex t ~num_cols_usable:art0 with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+      let value_min = -.t.a.(m).(cols - 1) in
+      let raw = Array.make art0 0.0 in
+      for row = 0 to m - 1 do
+        if t.basis.(row) < art0 then raw.(t.basis.(row)) <- t.a.(row).(cols - 1)
+      done;
+      let solution = Array.init n (fun i -> raw.(2 * i) -. raw.((2 * i) + 1)) in
+      let value = match objective with Minimize -> value_min | Maximize -> -.value_min in
+      Optimal { value; solution }
+  end

@@ -1,0 +1,30 @@
+(** A small dense linear-programming solver (two-phase primal simplex with
+    Bland's anti-cycling rule).
+
+    The paper derives each gate's penalty function by solving a system of
+    equalities and inequalities over the h and J coefficients "using, e.g.,
+    MiniZinc" (section 4.3.2).  This module is our from-scratch substitute:
+    the gap-maximization problem is a linear program over a handful of
+    variables, far below the scale where sparse or revised simplex matters. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : float array;  (** one coefficient per variable *)
+  relation : relation;
+  rhs : float;
+}
+
+type objective = Maximize | Minimize
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+(** [solve objective obj_coeffs constraints ~bounds] optimizes
+    [obj_coeffs . x] subject to the constraints and per-variable bounds
+    [(lo, hi)] (use [neg_infinity]/[infinity] for free variables).  All
+    variables are otherwise free. *)
+val solve :
+  objective -> float array -> constr list -> bounds:(float * float) array -> outcome

@@ -1,0 +1,1 @@
+lib/cells/cells.ml: Array Char Exact List Printf Problem Qac_cellgen Qac_ising String

@@ -1,0 +1,1 @@
+lib/cells/cells.mli: Qac_cellgen Qac_ising

@@ -1,0 +1,1 @@
+lib/cells/stdcell.ml: Array Buffer Cells Lazy List Printf Problem Qac_ising String

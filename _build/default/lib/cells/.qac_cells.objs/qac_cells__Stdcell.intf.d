@@ -1,0 +1,1 @@
+lib/cells/stdcell.mli: Cells

@@ -1,0 +1,1 @@
+lib/chimera/chimera.mli: Topology

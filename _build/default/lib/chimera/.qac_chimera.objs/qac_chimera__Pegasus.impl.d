@@ -1,0 +1,1 @@
+lib/chimera/pegasus.ml: Array List Printf Queue Topology

@@ -1,0 +1,1 @@
+lib/chimera/topology.ml: Array List Queue

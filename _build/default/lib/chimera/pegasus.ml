@@ -1,0 +1,138 @@
+type t = Topology.t
+
+type coords = {
+  orientation : int;
+  offset : int;
+  track : int;
+  position : int;
+}
+
+let default_vertical_shifts = [| 2; 2; 2; 2; 10; 10; 10; 10; 6; 6; 6; 6 |]
+let default_horizontal_shifts = [| 6; 6; 6; 6; 2; 2; 2; 2; 10; 10; 10; 10 |]
+
+let qubit_of_coords ~m { orientation; offset; track; position } =
+  if orientation < 0 || orientation > 1 then invalid_arg "Pegasus: bad orientation";
+  if offset < 0 || offset >= m then invalid_arg "Pegasus: bad offset";
+  if track < 0 || track >= 12 then invalid_arg "Pegasus: bad track";
+  if position < 0 || position >= m - 1 then invalid_arg "Pegasus: bad position";
+  ((((orientation * m) + offset) * 12) + track) * (m - 1) + position
+
+let coords_of_qubit ~m q =
+  let per_orientation = m * 12 * (m - 1) in
+  if q < 0 || q >= 2 * per_orientation then invalid_arg "Pegasus: qubit out of range";
+  let position = q mod (m - 1) in
+  let rest = q / (m - 1) in
+  let track = rest mod 12 in
+  let rest = rest / 12 in
+  let offset = rest mod m in
+  let orientation = rest / m in
+  { orientation; offset; track; position }
+
+let create ?(broken = []) ?(vertical_shifts = default_vertical_shifts)
+    ?(horizontal_shifts = default_horizontal_shifts) m =
+  if m < 2 then invalid_arg "Pegasus.create: size must be >= 2";
+  if Array.length vertical_shifts <> 12 || Array.length horizontal_shifts <> 12 then
+    invalid_arg "Pegasus.create: shift lists must have length 12";
+  Array.iter
+    (fun s -> if s < 0 || s >= 12 then invalid_arg "Pegasus.create: shifts must be in [0, 12)")
+    (Array.append vertical_shifts horizontal_shifts);
+  let num_qubits = 2 * m * 12 * (m - 1) in
+  let q c = qubit_of_coords ~m c in
+  let edges = ref [] in
+  (* Geometry: vertical qubit (0,w,k,z) is the segment
+       x = 12w + k,  y in [12z + vshift(k), 12z + vshift(k) + 12)
+     horizontal qubit (1,w,k,z) is
+       y = 12w + k,  x in [12z + hshift(k), 12z + hshift(k) + 12). *)
+  let vx w k = (12 * w) + k in
+  let vy0 k z = (12 * z) + vertical_shifts.(k) in
+  (* horizontal segment: y = 12w + k (used implicitly in the crossing scan) *)
+  let hx0 k z = (12 * z) + horizontal_shifts.(k) in
+  for w = 0 to m - 1 do
+    for k = 0 to 11 do
+      for z = 0 to m - 2 do
+        (* External: consecutive collinear segments. *)
+        if z + 1 <= m - 2 then begin
+          edges :=
+            ( q { orientation = 0; offset = w; track = k; position = z },
+              q { orientation = 0; offset = w; track = k; position = z + 1 } )
+            :: ( q { orientation = 1; offset = w; track = k; position = z },
+                 q { orientation = 1; offset = w; track = k; position = z + 1 } )
+            :: !edges
+        end;
+        (* Odd: the paired track at the same place. *)
+        if k mod 2 = 0 then begin
+          edges :=
+            ( q { orientation = 0; offset = w; track = k; position = z },
+              q { orientation = 0; offset = w; track = k + 1; position = z } )
+            :: ( q { orientation = 1; offset = w; track = k; position = z },
+                 q { orientation = 1; offset = w; track = k + 1; position = z } )
+            :: !edges
+        end
+      done
+    done
+  done;
+  (* Internal: a vertical and a horizontal segment that cross. *)
+  for w = 0 to m - 1 do
+    for k = 0 to 11 do
+      for z = 0 to m - 2 do
+        let x = vx w k and y0 = vy0 k z in
+        (* Horizontal qubits with y = 12w' + k' in [y0, y0 + 12) and
+           x in [hx0, hx0 + 12). *)
+        for yy = y0 to y0 + 11 do
+          let w' = yy / 12 and k' = yy mod 12 in
+          if w' >= 0 && w' < m then begin
+            (* x in [12z' + hshift(k'), ... + 12)  =>  z' = floor((x - hshift)/12) *)
+            let z' = (x - horizontal_shifts.(k')) / 12 in
+            let z' = if x - horizontal_shifts.(k') < 0 then -1 else z' in
+            if z' >= 0 && z' <= m - 2 && x >= hx0 k' z' && x < hx0 k' z' + 12 then
+              edges :=
+                ( q { orientation = 0; offset = w; track = k; position = z },
+                  q { orientation = 1; offset = w'; track = k'; position = z' } )
+                :: !edges
+          end
+        done
+      done
+    done
+  done;
+  (* The idealized 24m(m-1) fabric leaves a few boundary segment pairs that
+     cross nothing; production chips omit them (dwave_networkx's
+     fabric_only).  Mark everything outside the largest connected component
+     broken. *)
+  let full = Topology.create ~name:"tmp" ~params:[] ~num_qubits ~edges:!edges ~broken () in
+  let component = Array.make num_qubits (-1) in
+  let count = ref 0 in
+  for start = 0 to num_qubits - 1 do
+    if component.(start) < 0 then begin
+      let id = !count in
+      incr count;
+      let queue = Queue.create () in
+      component.(start) <- id;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun v ->
+             if component.(v) < 0 then begin
+               component.(v) <- id;
+               Queue.add v queue
+             end)
+          (Topology.neighbors full u)
+      done
+    end
+  done;
+  let sizes = Array.make !count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) component;
+  let largest = ref 0 in
+  Array.iteri (fun c size -> if size > sizes.(!largest) then largest := c) sizes;
+  let off_fabric =
+    List.filteri (fun q _ -> component.(q) <> !largest)
+      (List.init num_qubits (fun q -> q))
+  in
+  Topology.create
+    ~name:(Printf.sprintf "pegasus-%d" m)
+    ~params:[ ("m", m) ]
+    ~num_qubits ~edges:!edges ~broken:(broken @ off_fabric) ()
+
+let size t = Topology.param t "m"
+let qubit t c = qubit_of_coords ~m:(size t) c
+let coords t q = coords_of_qubit ~m:(size t) q

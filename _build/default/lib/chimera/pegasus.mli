@@ -1,0 +1,45 @@
+(** A Pegasus-family hardware graph — the "increased qubit counts, greater
+    connectivity" future generation the paper's conclusion anticipates
+    (D-Wave's Advantage topology; Boothby et al., "Next-Generation Topology
+    of D-Wave Quantum Processors").
+
+    Construction follows the geometric description: qubits are length-12
+    line segments on a grid.  Qubit [(u, w, k, z)] has orientation [u]
+    (0 = vertical), perpendicular offset [w in 0..m-1], track [k in 0..11]
+    and parallel offset [z in 0..m-2].  Couplers:
+
+    - {e internal}: a vertical and a horizontal segment that cross;
+      crossings are controlled by the per-track shift lists (our defaults
+      are the canonical [2,2,2,2,10,10,10,10,6,6,6,6] /
+      [6,6,6,6,2,2,2,2,10,10,10,10]);
+    - {e external}: collinear segments in consecutive [z] positions;
+    - {e odd}: the two segments of a track pair ([2j], [2j+1]) at the same
+      position.
+
+    This yields the idealized [24 m (m-1)]-qubit fabric (P16: 5760 qubits;
+    production chips clip boundary segments to ~5640).  Unlike Chimera,
+    Pegasus contains odd cycles (triangles), so some Table 5 cells embed
+    with shorter chains — measured in the [ext7] benchmark.  Node numbering
+    is ours: [q = ((u*m + w)*12 + k)*(m-1) + z]. *)
+
+type t = Topology.t
+
+type coords = {
+  orientation : int;  (** 0 = vertical, 1 = horizontal *)
+  offset : int;  (** w: 0..m-1 *)
+  track : int;  (** k: 0..11 *)
+  position : int;  (** z: 0..m-2 *)
+}
+
+val create :
+  ?broken:int list ->
+  ?vertical_shifts:int array ->
+  ?horizontal_shifts:int array ->
+  int ->
+  t
+(** [create m] builds a [P_m]-family graph; [m >= 2].  Shift lists must have
+    length 12 with values in [0, 12). *)
+
+val size : t -> int
+val qubit : t -> coords -> int
+val coords : t -> int -> coords

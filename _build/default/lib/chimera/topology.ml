@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  params : (string * int) list;
+  adjacency : int list array;
+  working : bool array;
+}
+
+let create ~name ~params ~num_qubits ~edges ?(broken = []) () =
+  if num_qubits < 0 then invalid_arg "Topology.create: negative qubit count";
+  let working = Array.make num_qubits true in
+  List.iter
+    (fun q ->
+       if q < 0 || q >= num_qubits then
+         invalid_arg "Topology.create: broken qubit out of range";
+       working.(q) <- false)
+    broken;
+  let adjacency = Array.make num_qubits [] in
+  List.iter
+    (fun (a, b) ->
+       if a < 0 || a >= num_qubits || b < 0 || b >= num_qubits then
+         invalid_arg "Topology.create: edge endpoint out of range";
+       if a = b then invalid_arg "Topology.create: self-loop";
+       if working.(a) && working.(b) then begin
+         if not (List.mem b adjacency.(a)) then begin
+           adjacency.(a) <- b :: adjacency.(a);
+           adjacency.(b) <- a :: adjacency.(b)
+         end
+       end)
+    edges;
+  { name; params; adjacency; working }
+
+let num_qubits t = Array.length t.working
+
+let num_working_qubits t =
+  Array.fold_left (fun acc w -> if w then acc + 1 else acc) 0 t.working
+
+let is_working t q = q >= 0 && q < num_qubits t && t.working.(q)
+
+let neighbors t q =
+  if q < 0 || q >= num_qubits t then invalid_arg "Topology.neighbors: out of range";
+  t.adjacency.(q)
+
+let adjacent t a b = List.mem b (neighbors t a)
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun q ns -> List.iter (fun p -> if q < p then acc := (q, p) :: !acc) ns)
+    t.adjacency;
+  List.rev !acc
+
+let num_edges t = List.length (edges t)
+
+let degree t q = List.length (neighbors t q)
+
+let max_degree t =
+  let best = ref 0 in
+  for q = 0 to num_qubits t - 1 do
+    best := max !best (degree t q)
+  done;
+  !best
+
+let param t name = List.assoc name t.params
+
+let is_bipartite t =
+  let color = Array.make (num_qubits t) (-1) in
+  let ok = ref true in
+  for start = 0 to num_qubits t - 1 do
+    if color.(start) < 0 && t.working.(start) then begin
+      color.(start) <- 0;
+      let queue = Queue.create () in
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let q = Queue.pop queue in
+        List.iter
+          (fun n ->
+             if color.(n) < 0 then begin
+               color.(n) <- 1 - color.(q);
+               Queue.add n queue
+             end
+             else if color.(n) = color.(q) then ok := false)
+          t.adjacency.(q)
+      done
+    end
+  done;
+  !ok

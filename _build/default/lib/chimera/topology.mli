@@ -1,0 +1,42 @@
+(** Generic hardware topologies.
+
+    A topology is a fixed undirected graph over qubit indices with a
+    per-qubit working mask.  {!Chimera} (the D-Wave 2000Q layout the paper
+    targets) and {!Pegasus} (the "greater connectivity" future generation
+    the paper's conclusion anticipates) both produce values of this type, so
+    the embedder and the pipeline are topology-agnostic. *)
+
+type t = {
+  name : string;  (** e.g. ["chimera-16x16x4"] *)
+  params : (string * int) list;  (** named structural parameters, e.g. [("m", 16)] *)
+  adjacency : int list array;  (** working neighbors per working qubit *)
+  working : bool array;
+}
+
+(** [create ~name ~params ~num_qubits ~edges ~broken] builds a topology from
+    an edge list; broken qubits lose all their edges. *)
+val create :
+  name:string ->
+  params:(string * int) list ->
+  num_qubits:int ->
+  edges:(int * int) list ->
+  ?broken:int list ->
+  unit ->
+  t
+
+val num_qubits : t -> int
+val num_working_qubits : t -> int
+val is_working : t -> int -> bool
+val neighbors : t -> int -> int list
+val adjacent : t -> int -> int -> bool
+val edges : t -> (int * int) list
+val num_edges : t -> int
+val degree : t -> int -> int
+val max_degree : t -> int
+
+val param : t -> string -> int
+(** Raises [Not_found] for unknown parameters. *)
+
+(** [is_bipartite t] — Chimera graphs are bipartite (no odd cycles,
+    section 4.4); Pegasus is not (its odd couplers create triangles). *)
+val is_bipartite : t -> bool

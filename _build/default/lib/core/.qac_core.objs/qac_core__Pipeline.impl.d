@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Format Hashtbl List Problem Qac_anneal Qac_cells Qac_chimera Qac_edif Qac_edif2qmasm Qac_embed Qac_ising Qac_netlist Qac_qmasm Qac_roofdual Qac_verilog String

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Qac_anneal Qac_chimera Qac_embed Qac_netlist Qac_qmasm Qac_verilog

@@ -1,0 +1,344 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+module N = Qac_netlist.Netlist
+module Sim = Qac_netlist.Sim
+module Passes = Qac_netlist.Passes
+module Vlog = Qac_verilog
+module Qmasm = Qac_qmasm
+module E2Q = Qac_edif2qmasm.Edif2qmasm
+module Anneal = Qac_anneal
+module Chimera = Qac_chimera.Chimera
+module Embedding = Qac_embed.Embedding
+module Cmr = Qac_embed.Cmr
+module Qpbo = Qac_roofdual.Qpbo
+open Qac_ising
+
+type t = {
+  verilog_src : string;
+  elaborated : Vlog.Elab.t;
+  netlist : N.t;
+  ff_names : string array;
+  steps : int option;
+  edif : string;
+  qmasm_src : string;
+  statements : Qmasm.Ast.stmt list;
+  program : Qmasm.Assemble.t;
+}
+
+let default_options =
+  { Qmasm.Assemble.merge_chains = true; chain_strength = None; pin_strength = None }
+
+let compile ?top ?steps ?(optimize = true) ?(options = default_options) verilog_src =
+  try
+    let elaborated = Vlog.Elab.elaborate ?top (Vlog.Parser.parse_design verilog_src) in
+    let { Vlog.Synth.netlist; ff_names } = Vlog.Synth.synthesize ~optimize elaborated in
+    let netlist, steps =
+      if N.is_combinational netlist then (netlist, None)
+      else
+        match steps with
+        | None ->
+          error
+            "module %s is sequential; pass ~steps to unroll it (section 4.3.3)"
+            netlist.N.name
+        | Some s ->
+          let unrolled = Passes.unroll ~ff_names netlist ~steps:s in
+          ((if optimize then Passes.optimize unrolled else unrolled), Some s)
+    in
+    let edif = Qac_edif.Edif.to_string netlist in
+    (* Round-trip through EDIF, as the paper's toolchain does: the QMASM is
+       generated from the parsed EDIF, not from the in-memory netlist. *)
+    let reparsed = Qac_edif.Edif.of_string edif in
+    let qmasm_src = E2Q.convert reparsed in
+    let statements =
+      Qmasm.Macro.expand ~resolve:E2Q.resolve (Qmasm.Parser.parse_string qmasm_src)
+    in
+    let program = Qmasm.Assemble.assemble ~options statements in
+    { verilog_src;
+      elaborated;
+      netlist;
+      ff_names;
+      steps;
+      edif;
+      qmasm_src;
+      statements;
+      program }
+  with
+  | Vlog.Parser.Error msg -> error "verilog parse: %s" msg
+  | Vlog.Lexer.Error msg -> error "verilog lex: %s" msg
+  | Vlog.Elab.Error msg -> error "elaboration: %s" msg
+  | Vlog.Synth.Error msg -> error "synthesis: %s" msg
+  | Qac_edif.Edif.Error msg -> error "edif: %s" msg
+  | Qmasm.Parser.Error msg -> error "qmasm parse: %s" msg
+  | Qmasm.Macro.Error msg -> error "qmasm expand: %s" msg
+  | Qmasm.Assemble.Error msg -> error "qmasm assemble: %s" msg
+
+(* --- Pins ----------------------------------------------------------------- *)
+
+let port_width t name =
+  match N.find_input t.netlist name with
+  | Some nets -> Some (Array.length nets)
+  | None ->
+    (match N.find_output t.netlist name with
+     | Some signals -> Some (Array.length signals)
+     | None -> None)
+
+(* Expand "name := value" into per-bit pins using the port's width. *)
+let pin_statements t pins =
+  List.map
+    (fun (name, value) ->
+       match port_width t name with
+       | Some width ->
+         if value < 0 || (width < 62 && value >= 1 lsl width) then
+           error "pin value %d out of range for %d-bit port %s" value width name;
+         Qmasm.Ast.Pin
+           (List.init width (fun i ->
+                (E2Q.port_symbol ~width name i, (value lsr i) land 1 = 1)))
+       | None ->
+         (* Maybe a bit name like "valid" that is 1-wide, or an explicit
+            bit "C[3]"; fall back to a direct symbol pin. *)
+         if value < 0 || value > 1 then
+           error "pin target %s is not a known multi-bit port; value must be 0/1" name;
+         Qmasm.Ast.Pin [ (name, value = 1) ])
+    pins
+
+(* --- Execution ------------------------------------------------------------ *)
+
+type solver =
+  | Exact_solver
+  | Sa of Anneal.Sa.params
+  | Sqa of Anneal.Sqa.params
+  | Tabu of Anneal.Tabu.params
+  | Qbsolv of Anneal.Qbsolv.params
+
+type target =
+  | Logical
+  | Physical of {
+      graph : Chimera.t;
+      embed_params : Cmr.params option;
+      chain_strength : float option;
+      roof_duality : bool;
+    }
+
+let dwave_target =
+  Physical
+    { graph = Chimera.dwave_2000q;
+      embed_params = None;
+      chain_strength = None;
+      roof_duality = false }
+
+type solution = {
+  ports : (string * int) list;
+  assignment : (string * bool) list;
+  energy : float;
+  num_occurrences : int;
+  valid : bool;
+  assertions_ok : bool;
+  pins_respected : bool;
+  broken_chains : int;
+}
+
+type run_result = {
+  solutions : solution list;
+  num_reads : int;
+  elapsed_seconds : float;
+  num_logical_vars : int;
+  num_physical_qubits : int option;
+  assertion_failures : int;
+}
+
+let dispatch_solver solver problem =
+  match solver with
+  | Exact_solver -> Anneal.Exact_sampler.sample problem
+  | Sa params -> Anneal.Sa.sample ~params problem
+  | Sqa params -> Anneal.Sqa.sample ~params problem
+  | Tabu params -> Anneal.Tabu.sample ~params problem
+  | Qbsolv params -> Anneal.Qbsolv.sample ~params problem
+
+let port_values t assignment =
+  let value_of name width =
+    let v = ref 0 in
+    for i = 0 to width - 1 do
+      match List.assoc_opt (E2Q.port_symbol ~width name i) assignment with
+      | Some true -> v := !v lor (1 lsl i)
+      | Some false | None -> ()
+    done;
+    !v
+  in
+  List.map (fun (name, nets) -> (name, value_of name (Array.length nets))) t.netlist.N.inputs
+  @ List.map
+      (fun (name, signals) -> (name, value_of name (Array.length signals)))
+      t.netlist.N.outputs
+
+let verify_ports t ports =
+  let bit_vector width v = Array.init width (fun i -> (v lsr i) land 1 = 1) in
+  let assignment =
+    List.filter_map
+      (fun (name, v) ->
+         match port_width t name with
+         | Some width -> Some (name, bit_vector width v)
+         | None -> None)
+      ports
+  in
+  Sim.check_relation t.netlist ~assignment
+
+let run ?(pins = []) ?(pin_source = "") ~solver ~target t =
+  (* Re-assemble with the pins appended (the --pin workflow of section
+     4.3.6: program code stays separate from program inputs). *)
+  let options =
+    { Qmasm.Assemble.merge_chains = true; chain_strength = None; pin_strength = None }
+  in
+  let source_pins =
+    if String.trim pin_source = "" then []
+    else
+      try Qmasm.Parser.parse_string pin_source
+      with Qmasm.Parser.Error msg -> error "pin parse: %s" msg
+  in
+  let statements = t.statements @ pin_statements t pins @ source_pins in
+  let program =
+    try Qmasm.Assemble.assemble ~options statements
+    with Qmasm.Assemble.Error msg -> error "qmasm assemble: %s" msg
+  in
+  let logical = program.Qmasm.Assemble.problem in
+  let num_logical_vars = logical.Problem.num_vars in
+  (* Solve, producing logical-level reads plus chain-break counts. *)
+  let reads_logical, num_physical_qubits, num_reads, elapsed =
+    match target with
+    | Logical ->
+      let response = dispatch_solver solver logical in
+      let reads =
+        List.concat_map
+          (fun s ->
+             List.init s.Anneal.Sampler.num_occurrences (fun _ ->
+                 (s.Anneal.Sampler.spins, 0)))
+          response.Anneal.Sampler.samples
+      in
+      (reads, None, response.Anneal.Sampler.num_reads, response.Anneal.Sampler.elapsed_seconds)
+    | Physical { graph; embed_params; chain_strength; roof_duality } ->
+      let simplified =
+        if roof_duality then Qpbo.simplify logical
+        else
+          { Qpbo.reduced = logical;
+            kept = Array.init num_logical_vars (fun i -> i);
+            fixed = [] }
+      in
+      let to_embed = simplified.Qpbo.reduced in
+      let embedding =
+        match Cmr.find ?params:embed_params graph to_embed with
+        | Some e -> e
+        | None ->
+          (* Dense interaction graphs defeat the path-based heuristic; fall
+             back to the deterministic clique template when it applies. *)
+          (match (try Qac_embed.Clique.find graph to_embed with Not_found -> None) with
+           | Some e -> e
+           | None -> error "no minor embedding found (problem too large for the topology?)")
+      in
+      let physical = Embedding.apply ?chain_strength graph to_embed embedding in
+      let compacted, old_of_new = Embedding.compact physical in
+      let response = dispatch_solver solver compacted in
+      let reads =
+        List.concat_map
+          (fun s ->
+             let full = Array.make physical.Problem.num_vars 1 in
+             Array.iteri (fun k old -> full.(old) <- s.Anneal.Sampler.spins.(k)) old_of_new;
+             let u = Embedding.unembed embedding full in
+             let restored =
+               Qpbo.restore ~original_num_vars:num_logical_vars simplified u.Embedding.logical
+             in
+             List.init s.Anneal.Sampler.num_occurrences (fun _ ->
+                 (restored, u.Embedding.broken_chains)))
+          response.Anneal.Sampler.samples
+      in
+      ( reads,
+        Some (Embedding.num_physical_qubits embedding),
+        response.Anneal.Sampler.num_reads,
+        response.Anneal.Sampler.elapsed_seconds )
+  in
+  (* Aggregate logical reads into named solutions. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (spins, broken) ->
+       let key = Array.to_list spins in
+       match Hashtbl.find_opt tbl key with
+       | Some (count, worst_broken) ->
+         Hashtbl.replace tbl key (count + 1, max worst_broken broken)
+       | None -> Hashtbl.replace tbl key (1, broken))
+    reads_logical;
+  let assertion_failures = ref 0 in
+  let solutions =
+    Hashtbl.fold
+      (fun key (count, broken) acc ->
+         let spins = Array.of_list key in
+         let assignment = Qmasm.Assemble.visible_assignment program spins in
+         let full_assignment = Qmasm.Assemble.assignment_of_spins program spins in
+         let lookup name =
+           match List.assoc_opt name full_assignment with
+           | Some v -> v
+           | None -> error "assertion references unknown symbol %s" name
+         in
+         let assertions_ok =
+           List.for_all (fun (_, ok) -> ok) (Qmasm.Assemble.check_assertions program lookup)
+         in
+         if not assertions_ok then incr assertion_failures;
+         let ports = port_values t assignment in
+         let valid = verify_ports t ports in
+         let pins_respected =
+           List.for_all
+             (fun (name, expected) -> lookup name = expected)
+             program.Qmasm.Assemble.pins
+         in
+         { ports;
+           assignment;
+           energy = Problem.energy logical spins;
+           num_occurrences = count;
+           valid;
+           assertions_ok;
+           pins_respected;
+           broken_chains = broken }
+         :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+        match compare a.energy b.energy with
+        | 0 -> compare a.ports b.ports
+        | c -> c)
+  in
+  { solutions;
+    num_reads;
+    elapsed_seconds = elapsed;
+    num_logical_vars;
+    num_physical_qubits;
+    assertion_failures = !assertion_failures }
+
+let valid_solutions result =
+  List.filter (fun s -> s.valid && s.pins_respected) result.solutions
+
+(* --- Section 6.1 metrics --------------------------------------------------- *)
+
+type static_properties = {
+  verilog_lines : int;
+  edif_lines : int;
+  qmasm_lines : int;
+  stdcell_lines : int;
+  logical_vars : int;
+  logical_terms : int;
+}
+
+let count_code_lines src =
+  String.split_on_char '\n' src
+  |> List.filter (fun line ->
+      let line =
+        match Qmasm.Str_split.find_substring line "//" with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      String.trim line <> "")
+  |> List.length
+
+let static_properties t =
+  { verilog_lines = count_code_lines t.verilog_src;
+    edif_lines = Qac_edif.Edif.line_count t.edif;
+    qmasm_lines = Qmasm.Parser.line_count t.qmasm_src;
+    stdcell_lines = Qac_cells.Stdcell.line_count ();
+    logical_vars = t.program.Qmasm.Assemble.problem.Problem.num_vars;
+    logical_terms = Problem.num_terms t.program.Qmasm.Assemble.problem }

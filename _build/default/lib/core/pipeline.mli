@@ -1,0 +1,123 @@
+(** The end-to-end compiler of the paper: classical Verilog code down to a
+    (logical or physical) quadratic pseudo-Boolean function, executed
+    forward or backward on a classical annealing substrate, with results
+    reported in terms of the source program's ports.
+
+    Stages (section 4): Verilog -> elaborated module -> optimized gate
+    netlist (time-unrolled when sequential) -> EDIF -> QMASM -> logical
+    Ising problem -> (optionally) minor-embedded physical Ising problem ->
+    samples -> named, verified solutions. *)
+
+exception Error of string
+
+type t = {
+  verilog_src : string;
+  elaborated : Qac_verilog.Elab.t;
+  netlist : Qac_netlist.Netlist.t;  (** optimized; combinational (post-unroll) *)
+  ff_names : string array;
+  steps : int option;  (** unroll depth used, for sequential sources *)
+  edif : string;
+  qmasm_src : string;
+  statements : Qac_qmasm.Ast.stmt list;  (** flat (macro-expanded) program *)
+  program : Qac_qmasm.Assemble.t;  (** the logical Ising problem + symbols *)
+}
+
+(** [compile ?top ?steps ?optimize ?options src] runs the front half.
+    Sequential sources require [steps] (the unroll depth, section 4.3.3).
+    [options] control QMASM assembly; the default merges chains (qmasm's
+    variable-merging optimization), which is what the paper's section 6.1
+    variable counts reflect. *)
+val compile :
+  ?top:string ->
+  ?steps:int ->
+  ?optimize:bool ->
+  ?options:Qac_qmasm.Assemble.options ->
+  string ->
+  t
+
+val default_options : Qac_qmasm.Assemble.options
+(** merge_chains = true. *)
+
+(** {1 Execution} *)
+
+type solver =
+  | Exact_solver
+  | Sa of Qac_anneal.Sa.params
+  | Sqa of Qac_anneal.Sqa.params  (** path-integral simulated quantum annealing *)
+  | Tabu of Qac_anneal.Tabu.params
+  | Qbsolv of Qac_anneal.Qbsolv.params
+
+type target =
+  | Logical  (** solve the logical problem directly *)
+  | Physical of {
+      graph : Qac_chimera.Chimera.t;
+      embed_params : Qac_embed.Cmr.params option;
+      chain_strength : float option;
+      roof_duality : bool;  (** elide a-priori-determined qubits (section 4.4) *)
+    }
+
+val dwave_target : target
+(** C16 Chimera, default embedder, auto chain strength, roof duality off. *)
+
+type solution = {
+  ports : (string * int) list;  (** every module port, as an integer *)
+  assignment : (string * bool) list;  (** all visible symbols *)
+  energy : float;  (** logical energy *)
+  num_occurrences : int;
+  valid : bool;
+      (** the section 5.1 check: the port values form a consistent
+          input/output relation when the netlist is run forward *)
+  assertions_ok : bool;
+      (** every QMASM [!assert] (cell-level consistency) holds; a sample can
+          be port-valid while an internal cell sits in an excited state *)
+  pins_respected : bool;
+      (** pins are energetic biases, not hard constraints; a sample may
+          satisfy the circuit relation yet drift off a pinned value *)
+  broken_chains : int;  (** 0 for logical runs *)
+}
+
+type run_result = {
+  solutions : solution list;  (** distinct, ascending energy *)
+  num_reads : int;
+  elapsed_seconds : float;
+  num_logical_vars : int;
+  num_physical_qubits : int option;  (** [Some] for physical runs *)
+  assertion_failures : int;  (** solutions violating a QMASM [!assert] *)
+}
+
+(** [run t ~pins ~solver ~target] executes the compiled program.  [pins]
+    fixes ports (or port bits, via ["C[3]"] names) to integer values —
+    forward execution pins inputs, backward execution pins outputs
+    (section 4.3.6).  Solutions are verified against the netlist and
+    reported whether valid or not (the paper: invalid samples are detected
+    in polynomial time and discarded by the caller).
+    [pin_source] is raw QMASM pin text (one ["name := value"] per line,
+    binary strings sized by the bracket range, as on the qmasm command
+    line); [pins] is the programmatic integer form. *)
+val run :
+  ?pins:(string * int) list ->
+  ?pin_source:string ->
+  solver:solver ->
+  target:target ->
+  t ->
+  run_result
+
+val valid_solutions : run_result -> solution list
+(** Solutions that satisfy the circuit relation, every assertion, and every
+    pin — i.e. the answers one would keep after the polynomial-time check of
+    section 5.1. *)
+
+(** {1 Introspection for the section 6.1 metrics} *)
+
+type static_properties = {
+  verilog_lines : int;
+  edif_lines : int;
+  qmasm_lines : int;  (** excluding the standard-cell library *)
+  stdcell_lines : int;
+  logical_vars : int;
+  logical_terms : int;
+}
+
+val static_properties : t -> static_properties
+
+val port_width : t -> string -> int option

@@ -1,0 +1,1 @@
+lib/csp/csp.ml: Array Format List Option Printf Queue Random

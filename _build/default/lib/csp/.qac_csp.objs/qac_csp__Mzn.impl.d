@@ -1,0 +1,1 @@
+lib/csp/mzn.ml: Csp Format Hashtbl List Qac_qmasm String

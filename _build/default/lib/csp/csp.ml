@@ -1,0 +1,206 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type var = int
+
+type relation =
+  | Ne
+  | Eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Custom of string * (int -> int -> bool)
+
+let holds relation a b =
+  match relation with
+  | Ne -> a <> b
+  | Eq -> a = b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Custom (_, f) -> f a b
+
+type binary = {
+  relation : relation;
+  left : var;
+  right : var;
+}
+
+type t = {
+  mutable names : string list;  (* reverse order *)
+  mutable domains : int list list;  (* reverse order *)
+  mutable constraints : binary list;
+}
+
+let create () = { names = []; domains = []; constraints = [] }
+
+let add_var t ?name ~lo ~hi () =
+  if lo > hi then error "empty domain [%d, %d]" lo hi;
+  let id = List.length t.names in
+  let name = Option.value name ~default:(Printf.sprintf "x%d" id) in
+  t.names <- name :: t.names;
+  t.domains <- List.init (hi - lo + 1) (fun k -> lo + k) :: t.domains;
+  id
+
+let var_name t v =
+  match List.nth_opt (List.rev t.names) v with
+  | Some n -> n
+  | None -> error "unknown variable %d" v
+
+let add_constraint t relation left right =
+  if left = right then error "binary constraint needs two distinct variables";
+  t.constraints <- { relation; left; right } :: t.constraints
+
+let add_unary t v pred =
+  let domains = Array.of_list (List.rev t.domains) in
+  if v < 0 || v >= Array.length domains then error "unknown variable %d" v;
+  domains.(v) <- List.filter pred domains.(v);
+  t.domains <- List.rev (Array.to_list domains)
+
+let num_vars t = List.length t.names
+let num_constraints t = List.length t.constraints
+
+type solution = (string * int) list
+
+(* --- Search -------------------------------------------------------------- *)
+
+(* AC-3 style revision over the current domains; [domains] is mutated.
+   Returns false when a domain wipes out. *)
+let revise_all constraints (domains : int list array) =
+  (* Work queue of directed arcs. *)
+  let queue = Queue.create () in
+  List.iter
+    (fun c ->
+       Queue.add (c.left, c.right, c.relation) queue;
+       Queue.add (c.right, c.left, Custom ("flip", fun a b -> holds c.relation b a)) queue)
+    constraints;
+  let arcs_for target =
+    List.concat_map
+      (fun c ->
+         if c.right = target then [ (c.left, c.right, c.relation) ]
+         else if c.left = target then
+           [ (c.right, c.left, Custom ("flip", fun a b -> holds c.relation b a)) ]
+         else [])
+      constraints
+  in
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    let x, y, relation = Queue.pop queue in
+    let before = domains.(x) in
+    let revised =
+      List.filter (fun a -> List.exists (fun b -> holds relation a b) domains.(y)) before
+    in
+    if List.length revised < List.length before then begin
+      domains.(x) <- revised;
+      if revised = [] then ok := false
+      else List.iter (fun arc -> Queue.add arc queue) (arcs_for x)
+    end
+  done;
+  !ok
+
+let iter_solutions_impl ?seed t yield =
+  let n = num_vars t in
+  let domains = Array.of_list (List.rev t.domains) in
+  let constraints = t.constraints in
+  (* Optional value-order shuffling. *)
+  (match seed with
+   | None -> ()
+   | Some s ->
+     let st = Random.State.make [| s |] in
+     Array.iteri
+       (fun i dom ->
+          let arr = Array.of_list dom in
+          for k = Array.length arr - 1 downto 1 do
+            let j = Random.State.int st (k + 1) in
+            let tmp = arr.(k) in
+            arr.(k) <- arr.(j);
+            arr.(j) <- tmp
+          done;
+          domains.(i) <- Array.to_list arr)
+       domains);
+  let stop = ref false in
+  if revise_all constraints domains then begin
+    let names = Array.of_list (List.rev t.names) in
+    let rec search domains =
+      if !stop then ()
+      else begin
+        (* MRV: smallest domain among unassigned (size > 1) variables. *)
+        let pick = ref (-1) in
+        let pick_size = ref max_int in
+        Array.iteri
+          (fun i dom ->
+             let size = List.length dom in
+             if size > 1 && size < !pick_size then begin
+               pick := i;
+               pick_size := size
+             end)
+          domains;
+        if !pick < 0 then begin
+          (* Fully assigned: all domains singletons. *)
+          let solution =
+            Array.to_list (Array.mapi (fun i dom -> (names.(i), List.hd dom)) domains)
+          in
+          match yield solution with
+          | `Continue -> ()
+          | `Stop -> stop := true
+        end
+        else begin
+          let v = !pick in
+          List.iter
+            (fun value ->
+               if not !stop then begin
+                 let trial = Array.copy domains in
+                 trial.(v) <- [ value ];
+                 if revise_all constraints trial then search trial
+               end)
+            domains.(v)
+        end
+      end
+    in
+    (* All-singleton check happens inside search; handle n = 0 too. *)
+    if n = 0 then ignore (yield []) else search domains
+  end
+
+let iter_solutions t yield = iter_solutions_impl t yield
+
+let solve ?seed t =
+  let found = ref None in
+  iter_solutions_impl ?seed t (fun s ->
+      found := Some s;
+      `Stop);
+  !found
+
+let solve_all ?limit t =
+  let acc = ref [] in
+  let count = ref 0 in
+  iter_solutions_impl t (fun s ->
+      acc := s :: !acc;
+      incr count;
+      match limit with
+      | Some l when !count >= l -> `Stop
+      | Some _ | None -> `Continue);
+  List.rev !acc
+
+let count_solutions ?limit t =
+  let count = ref 0 in
+  iter_solutions_impl t (fun _ ->
+      incr count;
+      match limit with
+      | Some l when !count >= l -> `Stop
+      | Some _ | None -> `Continue);
+  !count
+
+let check t solution =
+  let names = Array.of_list (List.rev t.names) in
+  let domains = Array.of_list (List.rev t.domains) in
+  let value v =
+    match List.assoc_opt names.(v) solution with
+    | Some x -> x
+    | None -> error "solution misses variable %s" names.(v)
+  in
+  List.for_all (fun b -> b)
+    (List.mapi (fun i _ -> List.mem (value i) domains.(i)) (Array.to_list names))
+  && List.for_all (fun c -> holds c.relation (value c.left) (value c.right)) t.constraints

@@ -1,0 +1,54 @@
+(** A small finite-domain constraint solver — the classical baseline of
+    section 6.2, standing in for MiniZinc + Chuffed.
+
+    Variables range over integer domains; constraints are binary relations
+    (plus unary domain restrictions).  Solving combines AC-3 arc consistency
+    with backtracking search (minimum-remaining-values variable order).
+    [solve_all]/[iter_solutions] enumerate; [solve] returns the first
+    solution.  This is ample for the paper's workload (four-coloring the map
+    of Australia: 7 variables, domains of 4, binary ≠ constraints). *)
+
+type t
+
+type var
+
+exception Error of string
+
+val create : unit -> t
+
+val add_var : t -> ?name:string -> lo:int -> hi:int -> unit -> var
+(** Inclusive integer range domain. *)
+
+val var_name : t -> var -> string
+
+type relation =
+  | Ne
+  | Eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Custom of string * (int -> int -> bool)  (** label, predicate *)
+
+val add_constraint : t -> relation -> var -> var -> unit
+
+val add_unary : t -> var -> (int -> bool) -> unit
+
+val num_vars : t -> int
+val num_constraints : t -> int
+
+type solution = (string * int) list
+
+val solve : ?seed:int -> t -> solution option
+(** First solution found, or [None] when unsatisfiable.  [seed] randomizes
+    value ordering (the annealer samples solutions; giving the classical
+    baseline the same ability keeps section 6.2's comparison fair). *)
+
+val solve_all : ?limit:int -> t -> solution list
+
+val iter_solutions : t -> (solution -> [ `Continue | `Stop ]) -> unit
+
+val count_solutions : ?limit:int -> t -> int
+
+val check : t -> solution -> bool
+(** Does an assignment satisfy every constraint (and cover every variable)? *)

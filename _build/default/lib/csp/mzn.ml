@@ -1,0 +1,123 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let strip_comment line =
+  match String.index_opt line '%' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* Split the source into ';'-terminated items. *)
+let items src =
+  String.split_on_char '\n' src
+  |> List.map strip_comment
+  |> String.concat " "
+  |> String.split_on_char ';'
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let parse_var_decl t item vars =
+  (* var <lo>..<hi>: NAME *)
+  let body = String.trim (String.sub item 3 (String.length item - 3)) in
+  match String.index_opt body ':' with
+  | None -> error "bad var declaration: %s" item
+  | Some colon ->
+    let range = String.trim (String.sub body 0 colon) in
+    let name = String.trim (String.sub body (colon + 1) (String.length body - colon - 1)) in
+    (match Qac_qmasm.Str_split.find_substring range ".." with
+     | None -> error "only integer range domains are supported: %s" item
+     | Some dots ->
+       let lo = String.trim (String.sub range 0 dots) in
+       let hi = String.trim (String.sub range (dots + 2) (String.length range - dots - 2)) in
+       (match int_of_string_opt lo, int_of_string_opt hi with
+        | Some lo, Some hi ->
+          let v = Csp.add_var t ~name ~lo ~hi () in
+          Hashtbl.replace vars name v
+        | _ -> error "bad domain bounds in %s" item))
+
+let relation_table =
+  (* Longest operators first so "!=" is not read as "!" "=". *)
+  [ ("!=", Csp.Ne); ("<=", Csp.Le); (">=", Csp.Ge); ("==", Csp.Eq); ("<", Csp.Lt);
+    (">", Csp.Gt); ("=", Csp.Eq) ]
+
+let parse_atomic_constraint t vars text =
+  let text = String.trim text in
+  let found =
+    List.find_map
+      (fun (op, rel) ->
+         match Qac_qmasm.Str_split.find_substring text op with
+         | Some i -> Some (op, rel, i)
+         | None -> None)
+      relation_table
+  in
+  match found with
+  | None -> error "unsupported constraint: %s" text
+  | Some (op, rel, i) ->
+    let left = String.trim (String.sub text 0 i) in
+    let right =
+      String.trim (String.sub text (i + String.length op) (String.length text - i - String.length op))
+    in
+    let resolve name =
+      match Hashtbl.find_opt vars name with
+      | Some v -> `Var v
+      | None ->
+        (match int_of_string_opt name with
+         | Some c -> `Const c
+         | None -> error "unknown identifier %s" name)
+    in
+    (match resolve left, resolve right with
+     | `Var a, `Var b -> Csp.add_constraint t rel a b
+     | `Var a, `Const c ->
+       Csp.add_unary t a (fun x ->
+           match rel with
+           | Csp.Ne -> x <> c
+           | Csp.Eq -> x = c
+           | Csp.Lt -> x < c
+           | Csp.Le -> x <= c
+           | Csp.Gt -> x > c
+           | Csp.Ge -> x >= c
+           | Csp.Custom _ -> assert false)
+     | `Const c, `Var b ->
+       Csp.add_unary t b (fun x ->
+           match rel with
+           | Csp.Ne -> c <> x
+           | Csp.Eq -> c = x
+           | Csp.Lt -> c < x
+           | Csp.Le -> c <= x
+           | Csp.Gt -> c > x
+           | Csp.Ge -> c >= x
+           | Csp.Custom _ -> assert false)
+     | `Const _, `Const _ -> error "constraint between constants: %s" text)
+
+let split_conjuncts text =
+  (* Split on /\ *)
+  let rec go acc rest =
+    match Qac_qmasm.Str_split.find_substring rest "/\\" with
+    | None -> List.rev (rest :: acc)
+    | Some i ->
+      let head = String.sub rest 0 i in
+      let tail = String.sub rest (i + 2) (String.length rest - i - 2) in
+      go (head :: acc) tail
+  in
+  go [] text
+
+let parse src =
+  let t = Csp.create () in
+  let vars = Hashtbl.create 16 in
+  let saw_solve = ref false in
+  List.iter
+    (fun item ->
+       if starts_with "var " item then parse_var_decl t item vars
+       else if starts_with "constraint" item then begin
+         let body = String.trim (String.sub item 10 (String.length item - 10)) in
+         List.iter (parse_atomic_constraint t vars) (split_conjuncts body)
+       end
+       else if starts_with "solve" item then saw_solve := true
+       else if starts_with "output" item then ()
+       else error "unsupported item: %s" item)
+    (items src);
+  if not !saw_solve then error "missing 'solve satisfy;'";
+  t

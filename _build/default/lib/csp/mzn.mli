@@ -1,0 +1,16 @@
+(** Parser for the MiniZinc subset the paper's Listing 8 uses:
+
+    {v
+    var 1..4: NSW;
+    constraint WA != NT;
+    solve satisfy;
+    v}
+
+    Supported: integer range variable declarations, binary comparison
+    constraints (optionally conjoined with [/\]), [solve satisfy], [%]
+    comments, and [output] items (ignored). *)
+
+exception Error of string
+
+val parse : string -> Csp.t
+(** Builds the CSP; raises [Error] on anything outside the subset. *)

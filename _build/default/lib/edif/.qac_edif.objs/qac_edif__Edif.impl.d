@@ -1,0 +1,1 @@
+lib/edif/edif.ml: Array Buffer Format Hashtbl List Option Printf Qac_netlist Qac_sexp String

@@ -1,0 +1,1 @@
+lib/edif/edif.mli: Qac_netlist Qac_sexp

@@ -1,0 +1,611 @@
+module S = Qac_sexp.Sexp
+module N = Qac_netlist.Netlist
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* --- Naming ------------------------------------------------------------- *)
+
+let is_plain_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+(* EDIF names must be simple identifiers; anything else goes through
+   (rename <sanitized> "<original>"). *)
+let name_sexp original =
+  if is_plain_ident original then S.atom original
+  else begin
+    let buf = Buffer.create (String.length original + 4) in
+    if original = "" || not (match original.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+    then Buffer.add_string buf "n_";
+    String.iter
+      (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char buf c
+         | _ -> Buffer.add_char buf '_')
+      original;
+    S.list [ S.atom "rename"; S.atom (Buffer.contents buf); S.atom original ]
+  end
+
+let original_of_name_sexp = function
+  | S.Atom s -> s
+  | S.List [ S.Atom "rename"; _; S.Atom original ] -> original
+  | s -> error "malformed EDIF name: %s" (S.to_string_compact s)
+
+(* Port-bit naming: bit [i] of multi-bit port [p] is "p[i]"; single-bit
+   ports keep their name. *)
+let port_bit_name name width i = if width = 1 then name else Printf.sprintf "%s[%d]" name i
+
+let parse_port_bit name =
+  match String.index_opt name '[' with
+  | None -> (name, None)
+  | Some open_idx ->
+    if String.length name = 0 || name.[String.length name - 1] <> ']' then (name, None)
+    else begin
+      let base = String.sub name 0 open_idx in
+      let digits = String.sub name (open_idx + 1) (String.length name - open_idx - 2) in
+      match int_of_string_opt digits with
+      | Some bit -> (base, Some bit)
+      | None -> (name, None)
+    end
+
+(* --- Cell library ------------------------------------------------------- *)
+
+let cell_ports kind =
+  match kind with
+  | N.Not -> ([ "A" ], "Y")
+  | N.And | N.Or | N.Nand | N.Nor | N.Xor | N.Xnor -> ([ "A"; "B" ], "Y")
+  | N.Mux -> ([ "A"; "B"; "S" ], "Y")
+  | N.Aoi3 | N.Oai3 -> ([ "A"; "B"; "C" ], "Y")
+  | N.Aoi4 | N.Oai4 -> ([ "A"; "B"; "C"; "D" ], "Y")
+  | N.Dff_p | N.Dff_n -> ([ "D" ], "Q")
+
+
+let cell_decl ~name ~inputs ~output =
+  S.list
+    [ S.atom "cell";
+      S.atom name;
+      S.list [ S.atom "cellType"; S.atom "GENERIC" ];
+      S.list
+        ([ S.atom "view";
+           S.atom "netlist";
+           S.list [ S.atom "viewType"; S.atom "NETLIST" ];
+           S.list
+             (S.atom "interface"
+              :: (List.map
+                    (fun p ->
+                       S.list
+                         [ S.atom "port";
+                           S.atom p;
+                           S.list [ S.atom "direction"; S.atom "INPUT" ] ])
+                    inputs
+                  @ [ S.list
+                        [ S.atom "port";
+                          S.atom output;
+                          S.list [ S.atom "direction"; S.atom "OUTPUT" ] ] ])) ]) ]
+
+(* --- Emission ------------------------------------------------------------ *)
+
+let instance_name idx = Printf.sprintf "id%05d" (idx + 1)
+
+let to_sexp (t : N.t) =
+  let used_kinds = List.map fst (N.cells_by_kind t) in
+  let fanout = N.fanout_counts t in
+  let uses_const value =
+    let check = function
+      | N.Zero -> value = false
+      | N.One -> value = true
+      | N.Net _ -> false
+    in
+    Array.exists (fun (c : N.cell) -> Array.exists check c.N.inputs) t.N.cells
+    || List.exists (fun (_, signals) -> Array.exists check signals) t.N.outputs
+  in
+  let uses_gnd = uses_const false and uses_vcc = uses_const true in
+  (* Library of used cells. *)
+  let cells_library =
+    let decls =
+      List.map
+        (fun kind ->
+           let inputs, output = cell_ports kind in
+           cell_decl ~name:(N.kind_name kind) ~inputs ~output)
+        used_kinds
+      @ (if uses_gnd then [ cell_decl ~name:"GND" ~inputs:[] ~output:"Y" ] else [])
+      @ if uses_vcc then [ cell_decl ~name:"VCC" ~inputs:[] ~output:"Y" ] else []
+    in
+    S.list
+      (S.atom "library" :: S.atom "cells"
+       :: S.list [ S.atom "edifLevel"; S.atom "0" ]
+       :: S.list [ S.atom "technology"; S.list [ S.atom "numberDefinition" ] ]
+       :: decls)
+  in
+  (* Interface: one scalar port per bit. *)
+  let interface =
+    let ports =
+      List.concat_map
+        (fun (name, nets) ->
+           let width = Array.length nets in
+           List.init width (fun i ->
+               S.list
+                 [ S.atom "port";
+                   name_sexp (port_bit_name name width i);
+                   S.list [ S.atom "direction"; S.atom "INPUT" ] ]))
+        t.N.inputs
+      @ List.concat_map
+          (fun (name, signals) ->
+             let width = Array.length signals in
+             List.init width (fun i ->
+                 S.list
+                   [ S.atom "port";
+                     name_sexp (port_bit_name name width i);
+                     S.list [ S.atom "direction"; S.atom "OUTPUT" ] ]))
+          t.N.outputs
+    in
+    S.list (S.atom "interface" :: ports)
+  in
+  (* Instances. *)
+  let instances =
+    List.mapi
+      (fun idx (c : N.cell) ->
+         S.list
+           [ S.atom "instance";
+             S.atom (instance_name idx);
+             S.list
+               [ S.atom "viewRef";
+                 S.atom "netlist";
+                 S.list
+                   [ S.atom "cellRef";
+                     S.atom (N.kind_name c.N.kind);
+                     S.list [ S.atom "libraryRef"; S.atom "cells" ] ] ] ])
+      (Array.to_list t.N.cells)
+  in
+  let gnd_instance = "const_gnd" and vcc_instance = "const_vcc" in
+  let const_instances =
+    (if uses_gnd then
+       [ S.list
+           [ S.atom "instance";
+             S.atom gnd_instance;
+             S.list
+               [ S.atom "viewRef";
+                 S.atom "netlist";
+                 S.list
+                   [ S.atom "cellRef";
+                     S.atom "GND";
+                     S.list [ S.atom "libraryRef"; S.atom "cells" ] ] ] ] ]
+     else [])
+    @
+    if uses_vcc then
+      [ S.list
+          [ S.atom "instance";
+            S.atom vcc_instance;
+            S.list
+              [ S.atom "viewRef";
+                S.atom "netlist";
+                S.list
+                  [ S.atom "cellRef";
+                    S.atom "VCC";
+                    S.list [ S.atom "libraryRef"; S.atom "cells" ] ] ] ] ]
+    else []
+  in
+  (* Nets: for every netlist net, one EDIF net joining its driver port to
+     every sink port.  Signals Zero/One join the GND/VCC nets. *)
+  let portref port = S.list [ S.atom "portRef"; name_sexp port ] in
+  let portref_on port inst =
+    S.list
+      [ S.atom "portRef";
+        S.atom port;
+        S.list [ S.atom "instanceRef"; S.atom inst ] ]
+  in
+  (* connection points per net id, and for the two constants *)
+  let net_points : (int, S.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let gnd_points = ref [] and vcc_points = ref [] in
+  let add_point signal point =
+    match signal with
+    | N.Zero -> gnd_points := point :: !gnd_points
+    | N.One -> vcc_points := point :: !vcc_points
+    | N.Net n ->
+      let cell =
+        match Hashtbl.find_opt net_points n with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace net_points n r;
+          r
+      in
+      cell := point :: !cell
+  in
+  (* Drivers. *)
+  List.iter
+    (fun (name, nets) ->
+       let width = Array.length nets in
+       Array.iteri
+         (fun i n -> add_point (N.Net n) (portref (port_bit_name name width i)))
+         nets)
+    t.N.inputs;
+  List.iteri
+    (fun idx (c : N.cell) ->
+       let _, output = cell_ports c.N.kind in
+       add_point (N.Net c.N.out) (portref_on output (instance_name idx)))
+    (Array.to_list t.N.cells);
+  if uses_gnd then gnd_points := portref_on "Y" gnd_instance :: !gnd_points;
+  if uses_vcc then vcc_points := portref_on "Y" vcc_instance :: !vcc_points;
+  (* Sinks. *)
+  List.iteri
+    (fun idx (c : N.cell) ->
+       let inputs, _ = cell_ports c.N.kind in
+       List.iteri
+         (fun k port -> add_point c.N.inputs.(k) (portref_on port (instance_name idx)))
+         inputs)
+    (Array.to_list t.N.cells);
+  List.iter
+    (fun (name, signals) ->
+       let width = Array.length signals in
+       Array.iteri
+         (fun i s -> add_point s (portref (port_bit_name name width i)))
+         signals)
+    t.N.outputs;
+  let net_name n = Printf.sprintf "$%d" n in
+  let nets =
+    (Hashtbl.fold (fun n points acc -> (n, points) :: acc) net_points []
+     |> List.sort compare
+     |> List.filter_map (fun (n, points) ->
+         if List.length !points < 2 && fanout.(n) = 0 then None
+         else
+           Some
+             (S.list
+                [ S.atom "net";
+                  name_sexp (net_name n);
+                  S.list (S.atom "joined" :: List.rev !points) ])))
+    @ (if !gnd_points = [] then []
+       else
+         [ S.list
+             [ S.atom "net";
+               name_sexp "$gnd";
+               S.list (S.atom "joined" :: List.rev !gnd_points) ] ])
+    @
+    if !vcc_points = [] then []
+    else
+      [ S.list
+          [ S.atom "net";
+            name_sexp "$vcc";
+            S.list (S.atom "joined" :: List.rev !vcc_points) ] ]
+  in
+  let contents = S.list ((S.atom "contents" :: instances) @ const_instances @ nets) in
+  let design_cell =
+    S.list
+      [ S.atom "cell";
+        name_sexp t.N.name;
+        S.list [ S.atom "cellType"; S.atom "GENERIC" ];
+        S.list
+          [ S.atom "view";
+            S.atom "netlist";
+            S.list [ S.atom "viewType"; S.atom "NETLIST" ];
+            interface;
+            contents ] ]
+  in
+  let design_library =
+    S.list
+      [ S.atom "library";
+        S.atom "DESIGN";
+        S.list [ S.atom "edifLevel"; S.atom "0" ];
+        S.list [ S.atom "technology"; S.list [ S.atom "numberDefinition" ] ];
+        design_cell ]
+  in
+  S.list
+    [ S.atom "edif";
+      name_sexp t.N.name;
+      S.list [ S.atom "edifVersion"; S.atom "2"; S.atom "0"; S.atom "0" ];
+      S.list [ S.atom "edifLevel"; S.atom "0" ];
+      S.list [ S.atom "keywordMap"; S.list [ S.atom "keywordLevel"; S.atom "0" ] ];
+      cells_library;
+      design_library;
+      S.list
+        [ S.atom "design";
+          name_sexp t.N.name;
+          S.list
+            [ S.atom "cellRef";
+              name_sexp t.N.name;
+              S.list [ S.atom "libraryRef"; S.atom "DESIGN" ] ] ] ]
+
+let to_string t = S.to_string (to_sexp t)
+
+(* --- Parsing ------------------------------------------------------------- *)
+
+type parsed_instance = {
+  kind : string;  (* cell name: a gate, GND or VCC *)
+}
+
+let find1 ~tag sexp what =
+  match S.find ~tag sexp with
+  | Some s -> s
+  | None -> error "missing (%s ...) in %s" tag what
+
+let of_sexp sexp =
+  (match S.tag sexp with
+   | Some tag when String.lowercase_ascii tag = "edif" -> ()
+   | _ -> error "not an EDIF file");
+  (* Find the design cell: prefer the library named DESIGN, else the last
+     library's last cell. *)
+  let libraries = S.find_all ~tag:"library" sexp in
+  if libraries = [] then error "no libraries";
+  let design_lib =
+    match
+      List.find_opt
+        (fun lib ->
+           match lib with
+           | S.List (_ :: name :: _) ->
+             String.uppercase_ascii (original_of_name_sexp name) = "DESIGN"
+           | _ -> false)
+        libraries
+    with
+    | Some lib -> lib
+    | None -> List.nth libraries (List.length libraries - 1)
+  in
+  let design_cells = S.find_all ~tag:"cell" design_lib in
+  if design_cells = [] then error "design library has no cells";
+  let cell = List.nth design_cells (List.length design_cells - 1) in
+  let module_name =
+    match cell with
+    | S.List (_ :: name :: _) -> original_of_name_sexp name
+    | _ -> error "malformed design cell"
+  in
+  let view = find1 ~tag:"view" cell "design cell" in
+  let interface = find1 ~tag:"interface" view "view" in
+  let contents = find1 ~tag:"contents" view "view" in
+  (* Ports: gather per-base-name bit sets. *)
+  let port_dir = Hashtbl.create 16 in
+  let port_bits : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let port_order = ref [] in
+  List.iter
+    (fun port ->
+       match port with
+       | S.List (_ :: name :: rest) ->
+         let original = original_of_name_sexp name in
+         let dir =
+           match
+             List.find_map
+               (fun item ->
+                  match item with
+                  | S.List [ S.Atom d; S.Atom v ]
+                    when String.lowercase_ascii d = "direction" ->
+                    Some (String.uppercase_ascii v)
+                  | _ -> None)
+               rest
+           with
+           | Some d -> d
+           | None -> error "port %s has no direction" original
+         in
+         let base, bit = parse_port_bit original in
+         if not (Hashtbl.mem port_bits base) then begin
+           Hashtbl.replace port_bits base (ref []);
+           port_order := base :: !port_order
+         end;
+         let bits = Hashtbl.find port_bits base in
+         bits := Option.value bit ~default:0 :: !bits;
+         Hashtbl.replace port_dir base dir
+       | _ -> error "malformed port")
+    (S.find_all ~tag:"port" interface);
+  let port_order = List.rev !port_order in
+  (* Instances. *)
+  let instances : (string, parsed_instance) Hashtbl.t = Hashtbl.create 64 in
+  let instance_order = ref [] in
+  List.iter
+    (fun inst ->
+       match inst with
+       | S.List (_ :: name :: rest) ->
+         let iname = original_of_name_sexp name in
+         let view_ref =
+           match
+             List.find_opt
+               (fun item ->
+                  match S.tag item with
+                  | Some t -> String.lowercase_ascii t = "viewref"
+                  | None -> false)
+               rest
+           with
+           | Some vr -> vr
+           | None -> error "instance %s has no viewRef" iname
+         in
+         let cell_ref = find1 ~tag:"cellRef" view_ref "viewRef" in
+         let kind =
+           match cell_ref with
+           | S.List (_ :: kname :: _) -> original_of_name_sexp kname
+           | _ -> error "malformed cellRef"
+         in
+         Hashtbl.replace instances iname { kind };
+         instance_order := iname :: !instance_order
+       | _ -> error "malformed instance")
+    (S.find_all ~tag:"instance" contents);
+  let instance_order = List.rev !instance_order in
+  (* Nets: (port, instance option) connection points. *)
+  let nets =
+    List.map
+      (fun net ->
+         match net with
+         | S.List (_ :: name :: rest) ->
+           let nname = original_of_name_sexp name in
+           let joined =
+             match
+               List.find_opt
+                 (fun item ->
+                    match S.tag item with
+                    | Some t -> String.lowercase_ascii t = "joined"
+                    | None -> false)
+                 rest
+             with
+             | Some j -> j
+             | None -> error "net %s has no joined" nname
+           in
+           let points =
+             List.map
+               (fun pr ->
+                  match pr with
+                  | S.List (S.Atom _ :: pname :: rest') ->
+                    let port = original_of_name_sexp pname in
+                    let inst =
+                      List.find_map
+                        (fun item ->
+                           match item with
+                           | S.List [ S.Atom t; iname ]
+                             when String.lowercase_ascii t = "instanceref" ->
+                             Some (original_of_name_sexp iname)
+                           | _ -> None)
+                        rest'
+                    in
+                    (port, inst)
+                  | _ -> error "malformed portRef in net %s" nname)
+               (S.find_all ~tag:"portRef" joined)
+           in
+           (nname, points)
+         | _ -> error "malformed net")
+      (S.find_all ~tag:"net" contents)
+  in
+  (* Build the netlist. *)
+  let b = N.Builder.create module_name in
+  (* Input ports (in interface order). *)
+  let input_bits : (string * int, N.signal) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun base ->
+       if Hashtbl.find port_dir base = "INPUT" then begin
+         let bits = !(Hashtbl.find port_bits base) in
+         let width = List.fold_left max 0 bits + 1 in
+         let signals = N.Builder.add_input b base width in
+         Array.iteri (fun i s -> Hashtbl.replace input_bits (base, i) s) signals
+       end)
+    port_order;
+  (* Map each net to its driving source. *)
+  let driver_of_net points =
+    List.find_map
+      (fun (port, inst) ->
+         match inst with
+         | None ->
+           (* A module port: drivers are input ports. *)
+           let base, bit = parse_port_bit port in
+           if Hashtbl.find_opt port_dir base = Some "INPUT" then
+             Some (`Input (base, Option.value bit ~default:0))
+           else None
+         | Some iname ->
+           let { kind } = try Hashtbl.find instances iname with Not_found ->
+             error "portRef to unknown instance %s" iname
+           in
+           if kind = "GND" && port = "Y" then Some `Gnd
+           else if kind = "VCC" && port = "Y" then Some `Vcc
+           else
+             (match N.kind_of_name kind with
+              | Some k ->
+                let _, output = cell_ports k in
+                if port = output then Some (`Cell iname) else None
+              | None -> error "unknown cell kind %s" kind))
+      points
+  in
+  (* instance -> (input port -> net index); net list indexed *)
+  let nets = Array.of_list nets in
+  let net_of_sink : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let output_port_net : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun net_idx (_, points) ->
+       List.iter
+         (fun (port, inst) ->
+            match inst with
+            | Some iname -> Hashtbl.replace net_of_sink (iname, port) net_idx
+            | None ->
+              let base, _ = parse_port_bit port in
+              if Hashtbl.find_opt port_dir base = Some "OUTPUT" then
+                Hashtbl.replace output_port_net port net_idx)
+         points)
+    nets;
+  (* Demand-driven construction. *)
+  let signal_memo : (int, N.signal) Hashtbl.t = Hashtbl.create 64 in
+  let instance_out : (string, N.signal) Hashtbl.t = Hashtbl.create 64 in
+  let busy : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Flip-flops first, as placeholders. *)
+  List.iter
+    (fun iname ->
+       let { kind } = Hashtbl.find instances iname in
+       match N.kind_of_name kind with
+       | Some N.Dff_p -> Hashtbl.replace instance_out iname (N.Builder.dff_placeholder b ~edge:`Pos)
+       | Some N.Dff_n -> Hashtbl.replace instance_out iname (N.Builder.dff_placeholder b ~edge:`Neg)
+       | _ -> ())
+    instance_order;
+  let rec signal_of_net net_idx =
+    match Hashtbl.find_opt signal_memo net_idx with
+    | Some s -> s
+    | None ->
+      let nname, points = nets.(net_idx) in
+      let s =
+        match driver_of_net points with
+        | Some (`Input (base, bit)) ->
+          (try Hashtbl.find input_bits (base, bit) with Not_found ->
+            error "net %s driven by unknown input %s[%d]" nname base bit)
+        | Some `Gnd -> N.Zero
+        | Some `Vcc -> N.One
+        | Some (`Cell iname) -> instance_signal iname
+        | None -> error "net %s has no driver" nname
+      in
+      Hashtbl.replace signal_memo net_idx s;
+      s
+  and instance_signal iname =
+    match Hashtbl.find_opt instance_out iname with
+    | Some s -> s
+    | None ->
+      if Hashtbl.mem busy iname then error "combinational cycle through %s" iname;
+      Hashtbl.replace busy iname ();
+      let { kind } = Hashtbl.find instances iname in
+      let k =
+        match N.kind_of_name kind with
+        | Some k -> k
+        | None -> error "unknown cell kind %s" kind
+      in
+      let inputs, _ = cell_ports k in
+      let input_signals =
+        List.map
+          (fun port ->
+             match Hashtbl.find_opt net_of_sink (iname, port) with
+             | Some net_idx -> signal_of_net net_idx
+             | None -> error "instance %s input %s unconnected" iname port)
+          inputs
+      in
+      let s = N.Builder.raw_cell b k (Array.of_list input_signals) in
+      Hashtbl.remove busy iname;
+      Hashtbl.replace instance_out iname s;
+      s
+  in
+  (* Connect flip-flop D inputs. *)
+  List.iter
+    (fun iname ->
+       let { kind } = Hashtbl.find instances iname in
+       match N.kind_of_name kind with
+       | Some (N.Dff_p | N.Dff_n) ->
+         let d =
+           match Hashtbl.find_opt net_of_sink (iname, "D") with
+           | Some net_idx -> signal_of_net net_idx
+           | None -> error "flip-flop %s has unconnected D" iname
+         in
+         N.Builder.connect_dff b ~q:(Hashtbl.find instance_out iname) ~d
+       | _ -> ())
+    instance_order;
+  (* Output ports. *)
+  List.iter
+    (fun base ->
+       if Hashtbl.find port_dir base = "OUTPUT" then begin
+         let bits = !(Hashtbl.find port_bits base) in
+         let width = List.fold_left max 0 bits + 1 in
+         let signals =
+           Array.init width (fun i ->
+               match Hashtbl.find_opt output_port_net (port_bit_name base width i) with
+               | Some net_idx -> signal_of_net net_idx
+               | None -> N.Zero)
+         in
+         N.Builder.set_output b base signals
+       end)
+    port_order;
+  N.Builder.build b
+
+let of_string src = of_sexp (S.parse_string src)
+
+let line_count src =
+  List.length (String.split_on_char '\n' src)
+  - (if String.length src > 0 && src.[String.length src - 1] = '\n' then 1 else 0)

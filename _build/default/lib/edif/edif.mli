@@ -1,0 +1,27 @@
+(** EDIF 2 0 0 netlist interchange (section 4.2).
+
+    The paper's pipeline passes netlists from Yosys to edif2qmasm as EDIF —
+    "a single, large s-expression, which makes it easy to parse
+    mechanically".  This module serializes a [Qac_netlist.Netlist.t] to EDIF
+    text and parses such text back, enabling the textual
+    Verilog -> EDIF -> QMASM pipeline (and its section 6.1 line-count
+    metrics) to be reproduced faithfully.
+
+    Conventions (matching Yosys output closely enough for our purposes):
+    - one [cells] library declares every gate used, one [DESIGN] library
+      holds the module;
+    - multi-bit ports emit one scalar port per bit via
+      [(rename out_3_ "out[3]")];
+    - constant drivers appear as [GND]/[VCC] instances;
+    - instances are named [id00001], [id00002], ... in cell order. *)
+
+exception Error of string
+
+val to_sexp : Qac_netlist.Netlist.t -> Qac_sexp.Sexp.t
+val to_string : Qac_netlist.Netlist.t -> string
+
+val of_sexp : Qac_sexp.Sexp.t -> Qac_netlist.Netlist.t
+val of_string : string -> Qac_netlist.Netlist.t
+
+val line_count : string -> int
+(** Lines in a rendered EDIF file — the section 6.1 size metric. *)

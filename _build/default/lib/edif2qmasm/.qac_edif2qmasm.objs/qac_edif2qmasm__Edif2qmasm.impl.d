@@ -1,0 +1,1 @@
+lib/edif2qmasm/edif2qmasm.ml: Array Buffer Hashtbl List Printf Qac_cells Qac_netlist Qac_qmasm

@@ -1,0 +1,1 @@
+lib/edif2qmasm/edif2qmasm.mli: Qac_netlist Qac_qmasm

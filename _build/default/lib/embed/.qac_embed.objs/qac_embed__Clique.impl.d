@@ -1,0 +1,1 @@
+lib/embed/clique.ml: Array Embedding List Qac_chimera Qac_ising

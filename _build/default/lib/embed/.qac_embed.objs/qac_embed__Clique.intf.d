@@ -1,0 +1,1 @@
+lib/embed/clique.mli: Embedding Qac_chimera Qac_ising

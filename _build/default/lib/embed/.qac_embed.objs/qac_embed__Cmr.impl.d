@@ -1,0 +1,1 @@
+lib/embed/cmr.ml: Array Embedding Float Hashtbl Heap List Option Problem Qac_anneal Qac_chimera Qac_ising

@@ -1,0 +1,1 @@
+lib/embed/cmr.mli: Embedding Qac_chimera Qac_ising

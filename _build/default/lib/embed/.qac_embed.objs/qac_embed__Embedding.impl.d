@@ -1,0 +1,1 @@
+lib/embed/embedding.ml: Array Float Hashtbl List Printf Problem Qac_chimera Qac_ising Result

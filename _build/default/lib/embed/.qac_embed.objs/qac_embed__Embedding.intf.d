@@ -1,0 +1,1 @@
+lib/embed/embedding.mli: Qac_chimera Qac_ising

@@ -1,0 +1,1 @@
+lib/embed/heap.ml: Array Obj

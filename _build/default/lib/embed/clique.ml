@@ -1,0 +1,31 @@
+module Chimera = Qac_chimera.Chimera
+
+let embed graph ~n =
+  let m = Chimera.size graph in
+  let t = Chimera.shore graph in
+  if n < 1 || n > t * m then None
+  else begin
+    let blocks = (n + t - 1) / t in
+    let chains =
+      Array.init n (fun v ->
+          let b = v / t and k = v mod t in
+          (* Vertical run: partition-0 track k of column b, rows 0..b. *)
+          let vertical =
+            List.init (b + 1) (fun row ->
+                Chimera.qubit graph { Chimera.row; col = b; partition = 0; index = k })
+          in
+          (* Horizontal run: partition-1 track k of row b, columns b..blocks-1. *)
+          let horizontal =
+            List.init (blocks - b) (fun i ->
+                Chimera.qubit graph
+                  { Chimera.row = b; col = b + i; partition = 1; index = k })
+          in
+          Array.of_list (vertical @ horizontal))
+    in
+    let all_working =
+      Array.for_all (Array.for_all (fun q -> Chimera.is_working graph q)) chains
+    in
+    if all_working then Some { Embedding.chains } else None
+  end
+
+let find graph (p : Qac_ising.Problem.t) = embed graph ~n:p.Qac_ising.Problem.num_vars

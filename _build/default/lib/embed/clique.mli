@@ -1,0 +1,20 @@
+(** Deterministic clique embeddings for Chimera graphs (the TRIAD / native
+    clique template of Choi and of D-Wave's clique embedder).
+
+    Path-based heuristics like {!Cmr} struggle on dense interaction graphs;
+    the template embeds [K_n] ([n <= shore * m]) with L-shaped chains along
+    the grid diagonal: variable [v = b*t + k] occupies the partition-0 track
+    [k] of column [b] (rows [0..b]) plus the partition-1 track [k] of row
+    [b] (columns [b..B-1], where [B = ceil(n/t)] blocks are in use).  Any
+    two chains meet in exactly one unit cell, where the K_{t,t} intra-cell
+    couplers realize the logical edge.  Chains have length at most
+    [b + 1 + (B - b)]. *)
+
+(** [embed graph ~n] returns the K_n template embedding, or [None] when
+    [n > shore * size] or a needed qubit is broken. *)
+val embed : Qac_chimera.Chimera.t -> n:int -> Embedding.t option
+
+(** [find graph problem] embeds [problem]'s interaction graph using the
+    clique template sized to its variable count — valid for any problem,
+    dense or not, at the cost of clique-sized chains. *)
+val find : Qac_chimera.Chimera.t -> Qac_ising.Problem.t -> Embedding.t option

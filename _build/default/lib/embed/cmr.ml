@@ -1,0 +1,276 @@
+module Chimera = Qac_chimera.Chimera
+module Rng = Qac_anneal.Rng
+open Qac_ising
+
+type params = {
+  tries : int;
+  max_passes : int;
+  alpha : float;
+  seed : int;
+}
+
+let default_params = { tries = 8; max_passes = 24; alpha = 4.0; seed = 0 }
+
+exception Route_failed
+(* A variable could not reach every embedded neighbor chain (disconnected
+   region, or every path blocked); the current try is abandoned. *)
+
+type state = {
+  graph : Chimera.t;
+  num_qubits : int;
+  logical_neighbors : int list array;
+  chains : int list array;  (* physical qubits per logical variable *)
+  usage : int array;  (* how many chains cover each qubit *)
+  mutable alpha : float;
+      (* overuse penalty base; escalated every refinement pass so stable
+         overlap deadlocks (cheap shared qubit vs. many detours) eventually
+         break *)
+}
+
+(* Cost of stepping on [q]: ~1 for a free qubit, alpha^usage otherwise, with
+   per-route jitter to diversify tie-breaking. *)
+let qubit_cost st ~jitter q =
+  (st.alpha ** float_of_int (min st.usage.(q) 8)) *. jitter.(q)
+
+(* Multi-source Dijkstra from the chain of [u].  [dist.(q)] is the cheapest
+   cost of the *intermediate* qubits on a path from the chain to [q]
+   (excluding both the chain's qubits and [q] itself), so a candidate root's
+   own weight can be counted exactly once by the caller.  [parent] allows
+   path reconstruction; [is_source] marks the chain's own qubits. *)
+let distances_from_chain st ~jitter u =
+  let dist = Array.make st.num_qubits infinity in
+  let parent = Array.make st.num_qubits (-1) in
+  let is_source = Array.make st.num_qubits false in
+  let heap = Heap.create () in
+  List.iter
+    (fun q ->
+       dist.(q) <- 0.0;
+       is_source.(q) <- true;
+       Heap.push heap 0.0 q)
+    st.chains.(u);
+  let rec run () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, q) ->
+      if d <= dist.(q) then begin
+        (* Stepping past [q] costs its weight, unless [q] is in the source
+           chain (whose qubits are already paid for). *)
+        let step = if is_source.(q) then 0.0 else qubit_cost st ~jitter q in
+        List.iter
+          (fun n ->
+             let nd = d +. step in
+             if nd < dist.(n) -. 1e-12 && not is_source.(n) then begin
+               dist.(n) <- nd;
+               parent.(n) <- q;
+               Heap.push heap nd n
+             end)
+          (Chimera.neighbors st.graph q)
+      end;
+      run ()
+  in
+  run ();
+  (dist, parent, is_source)
+
+(* Rebuild the chain of [v] from scratch. *)
+let route_chain st rng v =
+  let jitter = Array.init st.num_qubits (fun _ -> 1.0 +. (0.5 *. Rng.float rng)) in
+  (* Rip the old chain. *)
+  List.iter (fun q -> st.usage.(q) <- st.usage.(q) - 1) st.chains.(v);
+  st.chains.(v) <- [];
+  let embedded_neighbors = List.filter (fun u -> st.chains.(u) <> []) st.logical_neighbors.(v) in
+  if embedded_neighbors = [] then begin
+    (* No constraints yet: claim a random least-used working qubit. *)
+    let candidates = ref [] in
+    let best_usage = ref max_int in
+    for q = 0 to st.num_qubits - 1 do
+      if Chimera.is_working st.graph q then begin
+        if st.usage.(q) < !best_usage then begin
+          best_usage := st.usage.(q);
+          candidates := [ q ]
+        end
+        else if st.usage.(q) = !best_usage then candidates := q :: !candidates
+      end
+    done;
+    let pick = List.nth !candidates (Rng.int rng (List.length !candidates)) in
+    st.chains.(v) <- [ pick ];
+    st.usage.(pick) <- st.usage.(pick) + 1
+  end
+  else begin
+    let results = List.map (fun u -> (u, distances_from_chain st ~jitter u)) embedded_neighbors in
+    (* Root choice: the chain rooted at [q] costs q's own weight once plus
+       the intermediate-qubit cost of each path to a neighbor chain. *)
+    let best_root = ref (-1) in
+    let best_score = ref infinity in
+    for q = 0 to st.num_qubits - 1 do
+      if Chimera.is_working st.graph q then begin
+        let total =
+          List.fold_left (fun acc (_, (dist, _, _)) -> acc +. dist.(q)) 0.0 results
+        in
+        if total < infinity then begin
+          let score = total +. qubit_cost st ~jitter q in
+          if score < !best_score then begin
+            best_score := score;
+            best_root := q
+          end
+        end
+      end
+    done;
+    if !best_root < 0 then raise Route_failed;
+    let chain = Hashtbl.create 16 in
+    Hashtbl.replace chain !best_root ();
+    (* Walk parents back from the root toward each neighbor chain, adding the
+       intermediate qubits (sources themselves stay with their owner). *)
+    List.iter
+      (fun (_, (_, parent, is_source)) ->
+         let rec walk q =
+           if not is_source.(q) then begin
+             Hashtbl.replace chain q ();
+             let p = parent.(q) in
+             if p >= 0 then walk p
+           end
+         in
+         walk !best_root)
+      results;
+    let members = Hashtbl.fold (fun q () acc -> q :: acc) chain [] in
+    st.chains.(v) <- members;
+    List.iter (fun q -> st.usage.(q) <- st.usage.(q) + 1) members
+  end
+
+
+(* Remove redundant qubits from a freshly routed chain: a member can go if
+   the chain stays connected and every embedded logical neighbor is still
+   reachable through some physical edge.  Union-of-shortest-paths routing
+   leaves such slack whenever paths to different neighbors diverge. *)
+let trim_chain st v =
+  let members = Hashtbl.create 16 in
+  List.iter (fun q -> Hashtbl.replace members q ()) st.chains.(v);
+  let embedded_neighbors =
+    List.filter (fun u -> u <> v && st.chains.(u) <> []) st.logical_neighbors.(v)
+  in
+  let still_valid () =
+    let member_list = Hashtbl.fold (fun q () acc -> q :: acc) members [] in
+    match member_list with
+    | [] -> false
+    | first :: _ ->
+      (* Connectivity. *)
+      let visited = Hashtbl.create 16 in
+      let rec dfs q =
+        if not (Hashtbl.mem visited q) then begin
+          Hashtbl.replace visited q ();
+          List.iter (fun n -> if Hashtbl.mem members n then dfs n) (Chimera.neighbors st.graph q)
+        end
+      in
+      dfs first;
+      Hashtbl.length visited = Hashtbl.length members
+      (* Adjacency to each embedded neighbor chain. *)
+      && List.for_all
+           (fun u ->
+              List.exists
+                (fun qu ->
+                   List.exists (fun n -> Hashtbl.mem members n) (Chimera.neighbors st.graph qu))
+                st.chains.(u))
+           embedded_neighbors
+  in
+  let removed_any = ref true in
+  while !removed_any do
+    removed_any := false;
+    let candidates = Hashtbl.fold (fun q () acc -> q :: acc) members [] in
+    (* Prefer dropping overused qubits, then high-cost ones. *)
+    let candidates =
+      List.sort
+        (fun a b -> compare (st.usage.(b), b) (st.usage.(a), a))
+        candidates
+    in
+    List.iter
+      (fun q ->
+         if Hashtbl.length members > 1 then begin
+           Hashtbl.remove members q;
+           if still_valid () then begin
+             st.usage.(q) <- st.usage.(q) - 1;
+             removed_any := true
+           end
+           else Hashtbl.replace members q ()
+         end)
+      candidates
+  done;
+  st.chains.(v) <- Hashtbl.fold (fun q () acc -> q :: acc) members []
+
+let route_and_trim st rng v =
+  route_chain st rng v;
+  trim_chain st v
+
+let overfull st =
+  let count = ref 0 in
+  Array.iter (fun u -> if u > 1 then incr count) st.usage;
+  !count
+
+let total_chain_length st =
+  Array.fold_left (fun acc chain -> acc + List.length chain) 0 st.chains
+
+let find ?(params = default_params) graph (p : Problem.t) =
+  let n = p.Problem.num_vars in
+  if n = 0 then Some { Embedding.chains = [||] }
+  else begin
+    let logical_neighbors = Array.make n [] in
+    Array.iter
+      (fun ((u, v), _) ->
+         logical_neighbors.(u) <- v :: logical_neighbors.(u);
+         logical_neighbors.(v) <- u :: logical_neighbors.(v))
+      p.Problem.couplers;
+    let rng = Rng.create params.seed in
+    let best = ref None in
+    let consider st =
+      if overfull st = 0 then begin
+        let length = total_chain_length st in
+        match !best with
+        | Some (best_length, _) when best_length <= length -> ()
+        | _ ->
+          best :=
+            Some
+              ( length,
+                { Embedding.chains =
+                    Array.map (fun chain -> Array.of_list (List.sort compare chain)) st.chains
+                } )
+      end
+    in
+    for _try = 1 to params.tries do
+      let try_rng = Rng.split rng in
+      let st =
+        { graph;
+          num_qubits = Chimera.num_qubits graph;
+          logical_neighbors;
+          chains = Array.make n [];
+          usage = Array.make (Chimera.num_qubits graph) 0;
+          alpha = params.alpha }
+      in
+      let order = Array.init n (fun i -> i) in
+      Rng.shuffle try_rng order;
+      (* Initial placement. *)
+      (try
+         Array.iter (fun v -> route_and_trim st try_rng v) order;
+         (* Refinement passes, escalating the overuse penalty so stable
+            overlap deadlocks eventually break. *)
+         for pass = 1 to params.max_passes do
+           st.alpha <- Float.min 1e6 (params.alpha *. (2.0 ** float_of_int pass));
+           Rng.shuffle try_rng order;
+           Array.iter (fun v -> route_and_trim st try_rng v) order;
+           if overfull st = 0 then begin
+             consider st;
+             (* Shortening passes: keep rerouting with overlap effectively
+                forbidden, keeping the best (shortest) valid embedding. *)
+             st.alpha <- 1e6;
+             for _shorten = 1 to 3 do
+               Rng.shuffle try_rng order;
+               Array.iter (fun v -> route_and_trim st try_rng v) order;
+               if overfull st = 0 then consider st
+             done;
+             raise Exit
+           end
+         done
+       with
+       | Exit -> ()
+       | Route_failed -> ());
+      consider st
+    done;
+    Option.map snd !best
+  end

@@ -1,0 +1,29 @@
+(** Randomized minor-embedding heuristic in the style of Cai, Macready and
+    Roy (the algorithm behind D-Wave's SAPI embedder the paper uses,
+    section 4.4).
+
+    Each logical variable grows a chain of physical qubits.  Chains are
+    (re)routed one variable at a time: the candidate root qubit minimizing
+    the total weighted shortest-path distance to every embedded neighbor's
+    chain is chosen, and the paths themselves become the chain.  Qubit
+    weights grow exponentially with how many chains already use them, so
+    refinement passes drive overlaps to zero.  The process is randomized;
+    repeated calls with different seeds yield different qubit counts
+    (section 6.1 reports 369 +/- 26 qubits over 25 runs). *)
+
+type params = {
+  tries : int;  (** independent restarts with different orderings *)
+  max_passes : int;  (** improvement passes per try *)
+  alpha : float;  (** overuse penalty base (default 16) *)
+  seed : int;
+}
+
+val default_params : params
+
+(** [find ?params graph problem] searches for an embedding of [problem]'s
+    interaction graph into [graph].  Returns [None] when every try fails. *)
+val find :
+  ?params:params ->
+  Qac_chimera.Chimera.t ->
+  Qac_ising.Problem.t ->
+  Embedding.t option

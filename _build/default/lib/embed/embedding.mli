@@ -1,0 +1,48 @@
+(** Minor embeddings: each logical variable occupies a *chain* of physical
+    qubits held together by strong ferromagnetic couplers (section 4.4).
+
+    [apply] produces the physical Hamiltonian: linear coefficients are split
+    evenly across a chain's qubits, each logical coupler is split across the
+    physical edges joining the two chains, and every intra-chain edge gets
+    [-chain_strength].  [unembed] maps physical samples back by majority
+    vote over each chain. *)
+
+type t = { chains : int array array }
+(** [chains.(v)] lists the physical qubits of logical variable [v]. *)
+
+val num_physical_qubits : t -> int
+(** Total qubits used (the section 6.1 metric). *)
+
+val max_chain_length : t -> int
+
+(** [verify graph problem embedding] checks the embedding is a valid minor:
+    chains are nonempty, disjoint, connected in [graph], within range, and
+    every logical coupler has at least one physical edge between its
+    endpoint chains. *)
+val verify :
+  Qac_chimera.Chimera.t -> Qac_ising.Problem.t -> t -> (unit, string) result
+
+val default_chain_strength : Qac_ising.Problem.t -> float
+(** Twice the largest coefficient magnitude of the logical problem. *)
+
+(** [apply graph problem embedding] builds the physical Ising problem over
+    the graph's qubit index space.  Raises [Invalid_argument] on embeddings
+    that fail {!verify}. *)
+val apply :
+  ?chain_strength:float ->
+  Qac_chimera.Chimera.t ->
+  Qac_ising.Problem.t ->
+  t ->
+  Qac_ising.Problem.t
+
+type unembedded = {
+  logical : Qac_ising.Problem.spin array;
+  broken_chains : int;  (** chains whose qubits disagreed *)
+}
+
+val unembed : t -> Qac_ising.Problem.spin array -> unembedded
+
+(** [compact p] drops variables with no coefficients, returning the smaller
+    problem and the map from new to old indices.  Useful before running a
+    sampler on a physical problem that occupies a fraction of the chip. *)
+val compact : Qac_ising.Problem.t -> Qac_ising.Problem.t * int array

@@ -1,0 +1,58 @@
+(** Binary min-heap of (priority, payload) pairs, for Dijkstra inside the
+    minor embedder. *)
+
+type 'a t = {
+  mutable items : (float * 'a) array;
+  mutable size : int;
+}
+
+let create () = { items = Array.make 16 (0.0, Obj.magic 0); size = 0 }
+
+let is_empty h = h.size = 0
+
+let swap h i j =
+  let tmp = h.items.(i) in
+  h.items.(i) <- h.items.(j);
+  h.items.(j) <- tmp
+
+let push h priority payload =
+  if h.size = Array.length h.items then begin
+    let bigger = Array.make (2 * h.size) h.items.(0) in
+    Array.blit h.items 0 bigger 0 h.size;
+    h.items <- bigger
+  end;
+  h.items.(h.size) <- (priority, payload);
+  h.size <- h.size + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if fst h.items.(i) < fst h.items.(parent) then begin
+        swap h i parent;
+        up parent
+      end
+    end
+  in
+  up (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.items.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.items.(0) <- h.items.(h.size);
+      let rec down i =
+        let left = (2 * i) + 1 and right = (2 * i) + 2 in
+        let smallest = ref i in
+        if left < h.size && fst h.items.(left) < fst h.items.(!smallest) then smallest := left;
+        if right < h.size && fst h.items.(right) < fst h.items.(!smallest) then
+          smallest := right;
+        if !smallest <> i then begin
+          swap h i !smallest;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some top
+  end

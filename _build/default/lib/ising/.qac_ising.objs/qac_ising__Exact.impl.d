@@ -1,0 +1,1 @@
+lib/ising/exact.ml: Array Float Hashtbl List Option Problem

@@ -1,0 +1,1 @@
+lib/ising/exact.mli: Problem

@@ -1,0 +1,1 @@
+lib/ising/problem.ml: Array Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/ising/problem.mli: Format

@@ -1,0 +1,1 @@
+lib/ising/qubo.ml: Array Hashtbl List Problem

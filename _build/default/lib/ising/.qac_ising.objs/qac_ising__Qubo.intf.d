@@ -1,0 +1,1 @@
+lib/ising/qubo.mli: Problem

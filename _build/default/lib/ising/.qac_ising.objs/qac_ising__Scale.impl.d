@@ -1,0 +1,1 @@
+lib/ising/scale.ml: Array Float Problem

@@ -1,0 +1,89 @@
+let max_vars = 30
+
+type result = {
+  ground_energy : float;
+  ground_states : Problem.spin array list;
+  first_excited_energy : float option;
+}
+
+let epsilon = 1e-9
+
+(* Visit all 2^n configurations in Gray-code order, calling [f sigma energy]
+   on each.  Between consecutive configurations exactly one spin flips (the
+   lowest set bit of the step counter), so the energy update is O(degree). *)
+let iter_configurations p f =
+  let n = p.Problem.num_vars in
+  if n > max_vars then invalid_arg "Exact: problem too large for enumeration";
+  let sigma = Array.make n (-1) in
+  let e = ref (Problem.energy p sigma) in
+  f sigma !e;
+  if n > 0 then begin
+    let steps = 1 lsl n in
+    for step = 1 to steps - 1 do
+      (* Index of the lowest set bit of [step]: the Gray-code flip position. *)
+      let bit =
+        let rec find i v = if v land 1 = 1 then i else find (i + 1) (v lsr 1) in
+        find 0 step
+      in
+      e := !e +. Problem.energy_delta p sigma bit;
+      sigma.(bit) <- -sigma.(bit);
+      f sigma !e
+    done
+  end
+
+let solve ?limit p =
+  let best = ref infinity in
+  let states = ref [] in
+  let count = ref 0 in
+  let second = ref infinity in
+  let keep sigma =
+    match limit with
+    | Some l when !count > l -> ()
+    | Some _ | None -> states := Array.copy sigma :: !states
+  in
+  iter_configurations p (fun sigma e ->
+      if e < !best -. epsilon then begin
+        (* Old ground level becomes a candidate for first-excited. *)
+        if !best < !second then second := !best;
+        best := e;
+        states := [];
+        count := 1;
+        keep sigma
+      end
+      else if Float.abs (e -. !best) <= epsilon then begin
+        incr count;
+        keep sigma
+      end
+      else if e < !second then second := e);
+  { ground_energy = !best;
+    ground_states = List.rev !states;
+    first_excited_energy = (if !second = infinity then None else Some !second) }
+
+let num_ground_states p =
+  let best = ref infinity in
+  let count = ref 0 in
+  iter_configurations p (fun _ e ->
+      if e < !best -. epsilon then begin
+        best := e;
+        count := 1
+      end
+      else if Float.abs (e -. !best) <= epsilon then incr count);
+  !count
+
+let gap p =
+  let r = solve ~limit:0 p in
+  Option.map (fun second -> second -. r.ground_energy) r.first_excited_energy
+
+let is_ground_state p sigma =
+  let r = solve ~limit:0 p in
+  Float.abs (Problem.energy p sigma -. r.ground_energy) <= epsilon
+
+let brute_energy_histogram p =
+  let tbl = Hashtbl.create 64 in
+  iter_configurations p (fun _ e ->
+      (* Bucket by rounded energy to merge float-identical levels. *)
+      let key = Float.round (e /. epsilon) in
+      let prev_e, prev_n = try Hashtbl.find tbl key with Not_found -> (e, 0) in
+      Hashtbl.replace tbl key (prev_e, prev_n + 1));
+  Hashtbl.fold (fun _ (e, n) acc -> (e, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,33 @@
+(** Exhaustive minimization of small Ising problems.
+
+    Enumerates all [2^n] spin configurations in Gray-code order so each step
+    costs only the flipped spin's degree.  Used to validate penalty functions
+    (is the ground-state set exactly the gate's truth table?), to solve small
+    compiled programs exactly, and as the ground truth in solver tests. *)
+
+val max_vars : int
+(** Enumeration guard; [solve] refuses problems larger than this (30). *)
+
+type result = {
+  ground_energy : float;
+  ground_states : Problem.spin array list;  (** every optimal configuration *)
+  first_excited_energy : float option;
+      (** the lowest energy strictly above ground, when any state has one *)
+}
+
+val solve : ?limit:int -> Problem.t -> result
+(** [limit] caps how many ground states are retained (default: unlimited).
+    The count of ground states is always exact even when truncated — check
+    [List.length] against [num_ground_states]. *)
+
+val num_ground_states : Problem.t -> int
+
+val gap : Problem.t -> float option
+(** [first_excited_energy - ground_energy], the robustness margin the paper
+    maximizes when choosing cell Hamiltonians (section 4.3.2). *)
+
+val is_ground_state : Problem.t -> Problem.spin array -> bool
+
+val brute_energy_histogram : Problem.t -> (float * int) list
+(** All distinct energies with multiplicities, ascending.  Only for tiny
+    problems (tests and table regeneration). *)

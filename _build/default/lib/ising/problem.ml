@@ -1,0 +1,193 @@
+type spin = int
+
+let spin_of_bool b = if b then 1 else -1
+let bool_of_spin s = s > 0
+
+type t = {
+  num_vars : int;
+  offset : float;
+  h : float array;
+  couplers : ((int * int) * float) array;
+  adj : (int * float) list array;
+}
+
+let adjacency_of_couplers num_vars couplers =
+  let adj = Array.make num_vars [] in
+  Array.iter
+    (fun ((i, j), v) ->
+       adj.(i) <- (j, v) :: adj.(i);
+       adj.(j) <- (i, v) :: adj.(j))
+    couplers;
+  adj
+
+let normalize_couplers pairs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ((i, j), v) ->
+       if i = j then invalid_arg "Problem: self-coupler";
+       if i < 0 || j < 0 then invalid_arg "Problem: negative variable index";
+       let key = if i < j then (i, j) else (j, i) in
+       let prev = try Hashtbl.find tbl key with Not_found -> 0.0 in
+       Hashtbl.replace tbl key (prev +. v))
+    pairs;
+  let items = Hashtbl.fold (fun key v acc -> if v = 0.0 then acc else (key, v) :: acc) tbl [] in
+  let arr = Array.of_list items in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  arr
+
+let create ~num_vars ~h ~j ?(offset = 0.0) () =
+  if Array.length h <> num_vars then invalid_arg "Problem.create: h length mismatch";
+  let couplers = normalize_couplers j in
+  Array.iter
+    (fun ((i, jj), _) ->
+       if jj >= num_vars then invalid_arg "Problem.create: coupler index out of range";
+       ignore i)
+    couplers;
+  { num_vars; offset; h = Array.copy h; couplers; adj = adjacency_of_couplers num_vars couplers }
+
+let empty = { num_vars = 0; offset = 0.0; h = [||]; couplers = [||]; adj = [||] }
+
+module Builder = struct
+  type problem = t
+
+  type t = {
+    mutable n : int;
+    mutable off : float;
+    lin : (int, float) Hashtbl.t;
+    quad : (int * int, float) Hashtbl.t;
+  }
+
+  let create ?(num_vars = 0) () =
+    { n = num_vars; off = 0.0; lin = Hashtbl.create 64; quad = Hashtbl.create 64 }
+
+  let grow b i = if i >= b.n then b.n <- i + 1
+
+  let add_offset b v = b.off <- b.off +. v
+
+  let add_h b i v =
+    if i < 0 then invalid_arg "Builder.add_h: negative index";
+    grow b i;
+    let prev = try Hashtbl.find b.lin i with Not_found -> 0.0 in
+    Hashtbl.replace b.lin i (prev +. v)
+
+  let add_j b i j v =
+    if i = j then invalid_arg "Builder.add_j: self-coupler";
+    if i < 0 || j < 0 then invalid_arg "Builder.add_j: negative index";
+    grow b i;
+    grow b j;
+    let key = if i < j then (i, j) else (j, i) in
+    let prev = try Hashtbl.find b.quad key with Not_found -> 0.0 in
+    Hashtbl.replace b.quad key (prev +. v)
+
+  let add_problem b (p : problem) ~var_map =
+    if Array.length var_map < p.num_vars then invalid_arg "Builder.add_problem: var_map too short";
+    add_offset b p.offset;
+    Array.iteri (fun i hv -> if hv <> 0.0 then add_h b var_map.(i) hv) p.h;
+    Array.iter (fun ((i, j), v) -> add_j b var_map.(i) var_map.(j) v) p.couplers
+
+  let build b =
+    let h = Array.make b.n 0.0 in
+    Hashtbl.iter (fun i v -> h.(i) <- h.(i) +. v) b.lin;
+    let couplers =
+      normalize_couplers (Hashtbl.fold (fun key v acc -> (key, v) :: acc) b.quad [])
+    in
+    { num_vars = b.n;
+      offset = b.off;
+      h;
+      couplers;
+      adj = adjacency_of_couplers b.n couplers }
+end
+
+let check_spins p sigma =
+  if Array.length sigma <> p.num_vars then invalid_arg "Problem: spin vector length mismatch";
+  Array.iter (fun s -> if s <> 1 && s <> -1 then invalid_arg "Problem: spin not +-1") sigma
+
+let energy p sigma =
+  check_spins p sigma;
+  let e = ref p.offset in
+  for i = 0 to p.num_vars - 1 do
+    e := !e +. (p.h.(i) *. float_of_int sigma.(i))
+  done;
+  Array.iter
+    (fun ((i, j), v) -> e := !e +. (v *. float_of_int (sigma.(i) * sigma.(j))))
+    p.couplers;
+  !e
+
+let local_field p sigma i =
+  List.fold_left
+    (fun acc (j, v) -> acc +. (v *. float_of_int sigma.(j)))
+    p.h.(i) p.adj.(i)
+
+let energy_delta p sigma i = -2.0 *. float_of_int sigma.(i) *. local_field p sigma i
+
+let add a b =
+  let builder = Builder.create ~num_vars:(max a.num_vars b.num_vars) () in
+  let identity n = Array.init n (fun i -> i) in
+  Builder.add_problem builder a ~var_map:(identity a.num_vars);
+  Builder.add_problem builder b ~var_map:(identity b.num_vars);
+  Builder.build builder
+
+let scale p factor =
+  if factor <= 0.0 then invalid_arg "Problem.scale: factor must be positive";
+  let couplers = Array.map (fun (key, v) -> (key, v *. factor)) p.couplers in
+  { p with
+    offset = p.offset *. factor;
+    h = Array.map (fun v -> v *. factor) p.h;
+    couplers;
+    adj = adjacency_of_couplers p.num_vars couplers }
+
+let relabel p map ~num_vars =
+  if Array.length map < p.num_vars then invalid_arg "Problem.relabel: map too short";
+  let b = Builder.create ~num_vars () in
+  Builder.add_problem b p ~var_map:map;
+  let result = Builder.build b in
+  if result.num_vars > num_vars then invalid_arg "Problem.relabel: map exceeds num_vars";
+  (* Builder only grows to the largest touched index; pad back out. *)
+  if result.num_vars = num_vars then result
+  else
+    { result with
+      num_vars;
+      h = Array.init num_vars (fun i -> if i < result.num_vars then result.h.(i) else 0.0);
+      adj =
+        Array.init num_vars (fun i ->
+            if i < Array.length result.adj then result.adj.(i) else []) }
+
+let num_interactions p = Array.length p.couplers
+
+let num_terms p =
+  let lin = Array.fold_left (fun acc v -> if v <> 0.0 then acc + 1 else acc) 0 p.h in
+  lin + Array.length p.couplers
+
+let max_abs_h p = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 p.h
+
+let max_j p = Array.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 p.couplers
+let min_j p = Array.fold_left (fun acc (_, v) -> Float.min acc v) 0.0 p.couplers
+
+let get_j p i j =
+  if i = j then invalid_arg "Problem.get_j: same variable";
+  let key = if i < j then (i, j) else (j, i) in
+  let rec binary lo hi =
+    if lo >= hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      let mid_key, v = p.couplers.(mid) in
+      if mid_key = key then v
+      else if mid_key < key then binary (mid + 1) hi
+      else binary lo mid
+  in
+  binary 0 (Array.length p.couplers)
+
+let equal a b =
+  a.num_vars = b.num_vars
+  && a.offset = b.offset
+  && a.h = b.h
+  && a.couplers = b.couplers
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>ising problem: %d vars, %d couplers, offset %g@," p.num_vars
+    (Array.length p.couplers) p.offset;
+  Array.iteri (fun i v -> if v <> 0.0 then Format.fprintf fmt "  h[%d] = %g@," i v) p.h;
+  Array.iter (fun ((i, j), v) -> Format.fprintf fmt "  J[%d,%d] = %g@," i j v) p.couplers;
+  Format.fprintf fmt "@]"
+
+let to_string p = Format.asprintf "%a" pp p

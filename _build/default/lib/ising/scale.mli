@@ -1,0 +1,34 @@
+(** Hardware coefficient ranges and range scaling (paper, section 2).
+
+    A D-Wave 2000Q accepts h in [-2, 2] and J in [-2, 1]; the J asymmetry
+    comes from the rf-SQUID coupler physics.  Multiplying a Hamiltonian by a
+    positive constant preserves its argmin, so out-of-range problems are
+    brought into range by uniform downscaling. *)
+
+type range = {
+  h_min : float;
+  h_max : float;
+  j_min : float;
+  j_max : float;
+}
+
+val dwave_2000q : range
+(** h in [-2, 2], J in [-2, 1]. *)
+
+val unconstrained : range
+(** Infinite ranges, used for the logical (pre-embedding) problem. *)
+
+val fits : range -> Problem.t -> bool
+
+(** [factor range p] is the largest positive multiplier that brings [p] into
+    [range] (at most 1.0: problems already in range are left alone). *)
+val factor : range -> Problem.t -> float
+
+val apply : range -> Problem.t -> Problem.t
+(** [apply range p] rescales [p] to fit [range]; [fits range (apply range p)]
+    always holds. *)
+
+(** [quantize ~bits p] rounds each coefficient to one of [2^bits] evenly
+    spaced levels over its current extent, modelling the limited analog
+    precision the paper notes.  Used in noise-sensitivity experiments. *)
+val quantize : bits:int -> Problem.t -> Problem.t

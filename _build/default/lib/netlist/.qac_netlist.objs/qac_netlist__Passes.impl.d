@@ -1,0 +1,1 @@
+lib/netlist/passes.ml: Array Builder Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/passes.mli: Netlist

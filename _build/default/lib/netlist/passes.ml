@@ -1,0 +1,216 @@
+open Netlist
+
+let is_ff = function
+  | Dff_p | Dff_n -> true
+  | Not | And | Or | Nand | Nor | Xor | Xnor | Mux | Aoi3 | Oai3 | Aoi4 | Oai4 -> false
+
+(* net -> index of the cell driving it, or -1 for input/unconnected nets. *)
+let driver_table (t : Netlist.t) =
+  let driver = Array.make t.num_nets (-1) in
+  Array.iteri (fun idx c -> driver.(c.out) <- idx) t.cells;
+  driver
+
+let live_cells (t : Netlist.t) =
+  let driver = driver_table t in
+  let live_net = Array.make t.num_nets false in
+  let live_cell = Array.make (Array.length t.cells) false in
+  let rec mark = function
+    | Zero | One -> ()
+    | Net n ->
+      if not live_net.(n) then begin
+        live_net.(n) <- true;
+        let d = driver.(n) in
+        if d >= 0 && not live_cell.(d) then begin
+          live_cell.(d) <- true;
+          Array.iter mark t.cells.(d).inputs
+        end
+      end
+  in
+  List.iter (fun (_, signals) -> Array.iter mark signals) t.outputs;
+  live_cell
+
+let dce (t : Netlist.t) =
+  let live = live_cells t in
+  let b = Builder.create t.name in
+  (* Map old nets to new signals.  Input ports first, then live cells in
+     their original (topological) order. *)
+  let map = Hashtbl.create t.num_nets in
+  List.iter
+    (fun (name, nets) ->
+       let signals = Builder.add_input b name (Array.length nets) in
+       Array.iteri (fun i n -> Hashtbl.replace map n signals.(i)) nets)
+    t.inputs;
+  let map_signal = function
+    | Zero -> Zero
+    | One -> One
+    | Net n ->
+      (match Hashtbl.find_opt map n with
+       | Some s -> s
+       | None -> invalid_arg "dce: use before definition")
+  in
+  (* Flip-flop outputs must exist before any user; allocate placeholders. *)
+  Array.iteri
+    (fun idx (c : cell) ->
+       if live.(idx) && is_ff c.kind then begin
+         let edge = if c.kind = Dff_p then `Pos else `Neg in
+         Hashtbl.replace map c.out (Builder.dff_placeholder b ~edge)
+       end)
+    t.cells;
+  Array.iteri
+    (fun idx (c : cell) ->
+       if live.(idx) && not (is_ff c.kind) then
+         Hashtbl.replace map c.out (Builder.raw_cell b c.kind (Array.map map_signal c.inputs)))
+    t.cells;
+  Array.iteri
+    (fun idx (c : cell) ->
+       if live.(idx) && is_ff c.kind then
+         Builder.connect_dff b ~q:(Hashtbl.find map c.out) ~d:(map_signal c.inputs.(0)))
+    t.cells;
+  List.iter (fun (name, signals) -> Builder.set_output b name (Array.map map_signal signals)) t.outputs;
+  Builder.build b
+
+(* --- Tech mapping ------------------------------------------------------ *)
+
+(* A Not over a single-fanout cone of ANDs/ORs is rewritten bottom-up into
+   the inverting Table 5 cells.  Matching happens on the old netlist; the
+   replacement is emitted into a fresh builder. *)
+
+type shape =
+  | Sand of signal * signal
+  | Sor of signal * signal
+  | Sxor of signal * signal
+  | Sopaque
+
+let techmap (t : Netlist.t) =
+  let driver = driver_table t in
+  let fanout = fanout_counts t in
+  let b = Builder.create t.name in
+  let map = Hashtbl.create t.num_nets in
+  List.iter
+    (fun (name, nets) ->
+       let signals = Builder.add_input b name (Array.length nets) in
+       Array.iteri (fun i n -> Hashtbl.replace map n signals.(i)) nets)
+    t.inputs;
+  Array.iter
+    (fun (c : cell) ->
+       if is_ff c.kind then begin
+         let edge = if c.kind = Dff_p then `Pos else `Neg in
+         Hashtbl.replace map c.out (Builder.dff_placeholder b ~edge)
+       end)
+    t.cells;
+  (* [shape_of s] looks through a single-fanout driver of [s]. *)
+  let shape_of s =
+    match s with
+    | Zero | One -> Sopaque
+    | Net n ->
+      if fanout.(n) <> 1 || driver.(n) < 0 then Sopaque
+      else
+        let c = t.cells.(driver.(n)) in
+        (match c.kind with
+         | And -> Sand (c.inputs.(0), c.inputs.(1))
+         | Or -> Sor (c.inputs.(0), c.inputs.(1))
+         | Xor -> Sxor (c.inputs.(0), c.inputs.(1))
+         | _ -> Sopaque)
+  in
+  let rec map_signal s =
+    match s with
+    | Zero -> Zero
+    | One -> One
+    | Net n ->
+      (match Hashtbl.find_opt map n with
+       | Some s' -> s'
+       | None ->
+         let c = t.cells.(driver.(n)) in
+         let s' = emit c in
+         Hashtbl.replace map n s';
+         s')
+  and emit (c : cell) =
+    match c.kind with
+    | Not -> emit_not c.inputs.(0)
+    | _ -> Builder.raw_cell b c.kind (Array.map map_signal c.inputs)
+  and emit_not arg =
+    (* Match the biggest inverting cell available at this Not. *)
+    match shape_of arg with
+    | Sand (x, y) ->
+      (match shape_of x, shape_of y with
+       | Sor (p, q), Sor (r, s) ->
+         Builder.raw_cell b Oai4 [| map_signal p; map_signal q; map_signal r; map_signal s |]
+       | Sor (p, q), _ ->
+         Builder.raw_cell b Oai3 [| map_signal p; map_signal q; map_signal y |]
+       | _, Sor (r, s) ->
+         Builder.raw_cell b Oai3 [| map_signal r; map_signal s; map_signal x |]
+       | _, _ -> Builder.raw_cell b Nand [| map_signal x; map_signal y |])
+    | Sor (x, y) ->
+      (match shape_of x, shape_of y with
+       | Sand (p, q), Sand (r, s) ->
+         Builder.raw_cell b Aoi4 [| map_signal p; map_signal q; map_signal r; map_signal s |]
+       | Sand (p, q), _ ->
+         Builder.raw_cell b Aoi3 [| map_signal p; map_signal q; map_signal y |]
+       | _, Sand (r, s) ->
+         Builder.raw_cell b Aoi3 [| map_signal r; map_signal s; map_signal x |]
+       | _, _ -> Builder.raw_cell b Nor [| map_signal x; map_signal y |])
+    | Sxor (x, y) -> Builder.raw_cell b Xnor [| map_signal x; map_signal y |]
+    | Sopaque -> Builder.not_ b (map_signal arg)
+  in
+  List.iter
+    (fun (name, signals) -> Builder.set_output b name (Array.map map_signal signals))
+    t.outputs;
+  Array.iter
+    (fun (c : cell) ->
+       if is_ff c.kind then
+         Builder.connect_dff b ~q:(Hashtbl.find map c.out) ~d:(map_signal c.inputs.(0)))
+    t.cells;
+  Builder.build b
+
+let optimize t = dce (techmap (dce t))
+
+(* --- Sequential unrolling (section 4.3.3) ------------------------------ *)
+
+let unroll ?ff_names (t : Netlist.t) ~steps =
+  if steps < 1 then invalid_arg "Passes.unroll: steps must be >= 1";
+  let ffs =
+    Array.to_list t.cells
+    |> List.filter (fun (c : cell) -> is_ff c.kind)
+    |> Array.of_list
+  in
+  let ff_name i =
+    match ff_names with
+    | Some names when i < Array.length names -> names.(i)
+    | Some _ | None -> Printf.sprintf "ff%d" i
+  in
+  let b = Builder.create (t.name ^ "_unrolled") in
+  (* Initial state ports. *)
+  let state =
+    Array.mapi
+      (fun i (_ : cell) -> (Builder.add_input b (ff_name i ^ "@init") 1).(0))
+      ffs
+  in
+  let state = ref state in
+  for step = 0 to steps - 1 do
+    let map = Hashtbl.create t.num_nets in
+    List.iter
+      (fun (name, nets) ->
+         let signals = Builder.add_input b (Printf.sprintf "%s@%d" name step) (Array.length nets) in
+         Array.iteri (fun i n -> Hashtbl.replace map n signals.(i)) nets)
+      t.inputs;
+    Array.iteri (fun i (c : cell) -> Hashtbl.replace map c.out !state.(i)) ffs;
+    let map_signal = function
+      | Zero -> Zero
+      | One -> One
+      | Net n -> Hashtbl.find map n
+    in
+    Array.iter
+      (fun (c : cell) ->
+         if not (is_ff c.kind) then
+           Hashtbl.replace map c.out
+             (Builder.raw_cell b c.kind (Array.map map_signal c.inputs)))
+      t.cells;
+    List.iter
+      (fun (name, signals) ->
+         Builder.set_output b (Printf.sprintf "%s@%d" name step)
+           (Array.map map_signal signals))
+      t.outputs;
+    state := Array.map (fun (c : cell) -> map_signal c.inputs.(0)) ffs
+  done;
+  Array.iteri (fun i (_ : cell) -> Builder.set_output b (ff_name i ^ "@final") [| !state.(i) |]) ffs;
+  Builder.build b

@@ -1,0 +1,34 @@
+(** Netlist optimization and lowering passes.
+
+    These stand in for the Yosys/ABC optimization steps of section 4.2:
+    dead-gate elimination keeps the qubit budget honest, and the tech-mapper
+    rewrites generic logic into the larger Table 5 cells (NAND, NOR, XNOR,
+    AOI/OAI), which "can reduce the required qubit count" (section 4.3.2).
+    [unroll] implements the sequential-logic strategy of section 4.3.3:
+    trading the time dimension for a spatial one. *)
+
+val dce : Netlist.t -> Netlist.t
+(** Remove cells whose outputs cannot reach a module output (through any
+    chain of combinational logic and flip-flops).  Input ports are always
+    preserved. *)
+
+val techmap : Netlist.t -> Netlist.t
+(** Pattern-match inverters over single-fanout AND/OR/XOR cones into
+    NAND/NOR/XNOR/AOI3/OAI3/AOI4/OAI4 cells.  Behaviour-preserving. *)
+
+val optimize : Netlist.t -> Netlist.t
+(** [dce] followed by [techmap] followed by [dce]. *)
+
+(** [unroll ?ff_names netlist ~steps] converts a sequential netlist into a
+    purely combinational one by replicating the logic [steps] times:
+
+    - every input port [p] becomes per-step ports [p@0 ... p@steps-1];
+    - every output port likewise;
+    - flip-flop [i] (in cell order; named by [ff_names] when given) reads its
+      initial value from a new input port [<name>@init] and exposes its final
+      value as output port [<name>@final];
+    - the D value computed at step [t] becomes the Q value at step [t+1]
+      (clock edges are ignored: time is discrete, section 4.3.3).
+
+    A combinational netlist unrolls to per-step copies with no state ports. *)
+val unroll : ?ff_names:string array -> Netlist.t -> steps:int -> Netlist.t

@@ -1,0 +1,1 @@
+lib/qmasm/assemble.ml: Array Ast Float Format Hashtbl List Printf Problem Qac_ising

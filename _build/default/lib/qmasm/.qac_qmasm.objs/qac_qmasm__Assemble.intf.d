@@ -1,0 +1,1 @@
+lib/qmasm/assemble.mli: Ast Qac_ising

@@ -1,0 +1,1 @@
+lib/qmasm/ast.ml: Format List Printf String

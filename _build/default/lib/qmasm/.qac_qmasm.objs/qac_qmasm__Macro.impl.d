@@ -1,0 +1,1 @@
+lib/qmasm/macro.ml: Ast Format Hashtbl List Parser

@@ -1,0 +1,1 @@
+lib/qmasm/macro.mli: Ast

@@ -1,0 +1,1 @@
+lib/qmasm/minizinc.ml: Array Assemble Ast Buffer Float List Printf Problem Qac_ising String

@@ -1,0 +1,1 @@
+lib/qmasm/minizinc.mli: Assemble Qac_ising

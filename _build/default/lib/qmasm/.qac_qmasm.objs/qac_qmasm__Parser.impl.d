@@ -1,0 +1,1 @@
+lib/qmasm/parser.ml: Ast Format List Printf Str_split String

@@ -1,0 +1,1 @@
+lib/qmasm/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/qmasm/qmasm.ml: Assemble List Macro Minizinc Parser

@@ -1,0 +1,1 @@
+lib/qmasm/qmasm.mli: Assemble Ast Qac_ising

@@ -1,0 +1,1 @@
+lib/qmasm/str_split.ml: String

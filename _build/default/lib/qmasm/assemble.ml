@@ -1,0 +1,229 @@
+open Qac_ising
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type options = {
+  merge_chains : bool;
+  chain_strength : float option;
+  pin_strength : float option;
+}
+
+let default_options = { merge_chains = false; chain_strength = None; pin_strength = None }
+
+type t = {
+  problem : Problem.t;
+  symbols_of_var : string list array;
+  pins : (string * bool) list;
+  chains : (string * string) list;
+  assertions : Ast.bexpr list;
+  chain_strength : float;
+  pin_strength : float;
+}
+
+(* Union-find over symbol names. *)
+module Uf = struct
+  type t = (string, string) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find uf x =
+    match Hashtbl.find_opt uf x with
+    | None -> x
+    | Some parent ->
+      let root = find uf parent in
+      if root <> parent then Hashtbl.replace uf x root;
+      root
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if ra <> rb then Hashtbl.replace uf rb ra
+end
+
+let assemble ?(options = default_options) stmts =
+  (* Pass 1: symbol table (first-occurrence order) and merges. *)
+  let uf = Uf.create () in
+  let order = ref [] in
+  let seen = Hashtbl.create 64 in
+  let touch s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.replace seen s ();
+      order := s :: !order
+    end
+  in
+  let max_literal_j = ref 0.0 in
+  List.iter
+    (fun stmt ->
+       match stmt with
+       | Ast.Weight (a, _) -> touch a
+       | Ast.Coupler (a, b, j) ->
+         touch a;
+         touch b;
+         max_literal_j := Float.max !max_literal_j (Float.abs j)
+       | Ast.Chain (a, b) ->
+         touch a;
+         touch b;
+         if options.merge_chains then Uf.union uf a b
+       | Ast.Anti_chain (a, b) ->
+         touch a;
+         touch b
+       | Ast.Pin pins -> List.iter (fun (name, _) -> touch name) pins
+       | Ast.Alias (a, b) ->
+         touch a;
+         touch b;
+         Uf.union uf a b
+       | Ast.Assertion b -> List.iter touch (Ast.bexpr_syms b)
+       | Ast.Include f -> error "unexpanded !include %s (run Macro.expand first)" f
+       | Ast.Begin_macro m | Ast.End_macro m | Ast.Use_macro (m, _) ->
+         error "unexpanded macro construct %s (run Macro.expand first)" m)
+    stmts;
+  let order = List.rev !order in
+  let var_of_root = Hashtbl.create 64 in
+  let num_vars = ref 0 in
+  List.iter
+    (fun s ->
+       let root = Uf.find uf s in
+       if not (Hashtbl.mem var_of_root root) then begin
+         Hashtbl.replace var_of_root root !num_vars;
+         incr num_vars
+       end)
+    order;
+  let var s = Hashtbl.find var_of_root (Uf.find uf s) in
+  let symbols_of_var = Array.make !num_vars [] in
+  List.iter (fun s -> symbols_of_var.(var s) <- s :: symbols_of_var.(var s)) order;
+  Array.iteri (fun i syms -> symbols_of_var.(i) <- List.rev syms) symbols_of_var;
+  let chain_strength =
+    match options.chain_strength with
+    | Some s -> s
+    | None -> if !max_literal_j > 0.0 then 2.0 *. !max_literal_j else 2.0
+  in
+  let pin_strength =
+    match options.pin_strength with
+    | Some s -> s
+    | None -> chain_strength
+  in
+  (* Pass 2: accumulate the Hamiltonian. *)
+  let builder = Problem.Builder.create ~num_vars:!num_vars () in
+  let pins = ref [] in
+  let chains = ref [] in
+  let assertions = ref [] in
+  let add_j a b j =
+    let va = var a and vb = var b in
+    if va = vb then
+      (* Both endpoints merged into one variable: sigma^2 = 1. *)
+      Problem.Builder.add_offset builder j
+    else Problem.Builder.add_j builder va vb j
+  in
+  List.iter
+    (fun stmt ->
+       match stmt with
+       | Ast.Weight (a, w) -> Problem.Builder.add_h builder (var a) w
+       | Ast.Coupler (a, b, j) -> add_j a b j
+       | Ast.Chain (a, b) ->
+         chains := (a, b) :: !chains;
+         if not options.merge_chains then add_j a b (-.chain_strength)
+       | Ast.Anti_chain (a, b) ->
+         if var a = var b then error "anti-chain between merged symbols %s and %s" a b;
+         add_j a b chain_strength
+       | Ast.Pin pin_list ->
+         List.iter
+           (fun (name, value) ->
+              pins := (name, value) :: !pins;
+              Problem.Builder.add_h builder (var name)
+                (if value then -.pin_strength else pin_strength))
+           pin_list
+       | Ast.Alias _ -> ()
+       | Ast.Assertion b -> assertions := b :: !assertions
+       | Ast.Include _ | Ast.Begin_macro _ | Ast.End_macro _ | Ast.Use_macro _ ->
+         assert false)
+    stmts;
+  let problem = Problem.Builder.build builder in
+  (* The builder only grows to the highest touched variable; pad so every
+     symbol has a slot even if it carries no coefficients. *)
+  let problem =
+    if problem.Problem.num_vars = !num_vars then problem
+    else
+      Problem.relabel problem
+        (Array.init problem.Problem.num_vars (fun i -> i))
+        ~num_vars:!num_vars
+  in
+  { problem;
+    symbols_of_var;
+    pins = List.rev !pins;
+    chains = List.rev !chains;
+    assertions = List.rev !assertions;
+    chain_strength;
+    pin_strength }
+
+let variable t s =
+  let rec scan i =
+    if i >= Array.length t.symbols_of_var then None
+    else if List.mem s t.symbols_of_var.(i) then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let num_symbols t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.symbols_of_var
+
+let assignment_of_spins t spins =
+  if Array.length spins <> Array.length t.symbols_of_var then
+    error "spin vector length %d does not match %d variables" (Array.length spins)
+      (Array.length t.symbols_of_var);
+  Array.mapi
+    (fun v syms -> List.map (fun s -> (s, spins.(v) > 0)) syms)
+    t.symbols_of_var
+  |> Array.to_list |> List.concat
+
+let visible_assignment t spins =
+  List.filter (fun (s, _) -> not (Ast.is_internal_symbol s)) (assignment_of_spins t spins)
+
+(* --- Assertion evaluation ----------------------------------------------- *)
+
+let rec eval_aexpr lookup (e : Ast.aexpr) =
+  match e with
+  | Ast.Int v -> v
+  | Ast.Sym s -> if lookup s then 1 else 0
+  | Ast.Sym_bit (s, i) -> if lookup (Printf.sprintf "%s[%d]" s i) then 1 else 0
+  | Ast.Sym_range (s, msb, lsb) ->
+    let step = if msb >= lsb then -1 else 1 in
+    let width = abs (msb - lsb) + 1 in
+    let v = ref 0 in
+    for k = 0 to width - 1 do
+      let idx = msb + (k * step) in
+      v := (!v lsl 1) lor (if lookup (Printf.sprintf "%s[%d]" s idx) then 1 else 0)
+    done;
+    !v
+  | Ast.Neg a -> -eval_aexpr lookup a
+  | Ast.Bnot a -> lnot (eval_aexpr lookup a)
+  | Ast.Lnot b -> if eval_bexpr lookup b then 0 else 1
+  | Ast.Arith (op, a, b) ->
+    let va = eval_aexpr lookup a and vb = eval_aexpr lookup b in
+    (match op with
+     | Ast.A_add -> va + vb
+     | Ast.A_sub -> va - vb
+     | Ast.A_mul -> va * vb
+     | Ast.A_div -> if vb = 0 then error "assertion divides by zero" else va / vb
+     | Ast.A_mod -> if vb = 0 then error "assertion modulo by zero" else va mod vb
+     | Ast.A_and -> va land vb
+     | Ast.A_or -> va lor vb
+     | Ast.A_xor -> va lxor vb
+     | Ast.A_shl -> va lsl vb
+     | Ast.A_shr -> va asr vb)
+
+and eval_bexpr lookup (b : Ast.bexpr) =
+  match b with
+  | Ast.Cmp (op, a, b') ->
+    let va = eval_aexpr lookup a and vb = eval_aexpr lookup b' in
+    (match op with
+     | Ast.C_eq -> va = vb
+     | Ast.C_ne -> va <> vb
+     | Ast.C_lt -> va < vb
+     | Ast.C_le -> va <= vb
+     | Ast.C_gt -> va > vb
+     | Ast.C_ge -> va >= vb)
+  | Ast.And (x, y) -> eval_bexpr lookup x && eval_bexpr lookup y
+  | Ast.Or (x, y) -> eval_bexpr lookup x || eval_bexpr lookup y
+
+let check_assertions t lookup =
+  List.map (fun b -> (b, eval_bexpr lookup b)) t.assertions

@@ -1,0 +1,84 @@
+(** MiniZinc output: qmasm can "convert [programs] to various other formats
+    for classical solution (e.g., a constraint problem for solution with
+    MiniZinc)" — this emits that form.  Each Ising spin becomes a 0/1
+    variable; the objective is the (scaled, integer) Hamiltonian. *)
+
+open Qac_ising
+
+(* MiniZinc identifiers can't contain '.', '$', '[' etc. *)
+let sanitize s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf 'v';
+  String.iter
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+       | _ -> Buffer.add_char buf '_')
+    s;
+  Buffer.contents buf
+
+(* Scale coefficients to integers (MiniZinc's float support varies by
+   solver): multiply by the smallest power of ten that makes everything
+   integral, capped at 10^6. *)
+let integer_scale (p : Problem.t) =
+  let needed v scale = Float.abs ((v *. scale) -. Float.round (v *. scale)) > 1e-9 in
+  let rec find scale =
+    if scale >= 1e6 then 1e6
+    else if
+      Array.exists (fun v -> needed v scale) p.Problem.h
+      || Array.exists (fun (_, v) -> needed v scale) p.Problem.couplers
+    then find (scale *. 10.0)
+    else scale
+  in
+  find 1.0
+
+let of_program (a : Assemble.t) =
+  let p = a.Assemble.problem in
+  let scale = integer_scale p in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%% Generated from QMASM: minimize the 2-local Ising Hamiltonian.\n";
+  add "%% %d variables, %d couplers; coefficients scaled by %g.\n" p.Problem.num_vars
+    (Problem.num_interactions p) scale;
+  let var_name v =
+    match a.Assemble.symbols_of_var.(v) with
+    | primary :: _ -> sanitize primary
+    | [] -> Printf.sprintf "v_anon%d" v
+  in
+  for v = 0 to p.Problem.num_vars - 1 do
+    add "var 0..1: %s;  %% %s\n" (var_name v)
+      (String.concat " = " a.Assemble.symbols_of_var.(v))
+  done;
+  add "\n%% spin(x) = 2x - 1\n";
+  let spin v = Printf.sprintf "(2*%s - 1)" (var_name v) in
+  let terms = ref [] in
+  Array.iteri
+    (fun v h ->
+       if h <> 0.0 then
+         terms := Printf.sprintf "%d*%s" (int_of_float (Float.round (h *. scale))) (spin v) :: !terms)
+    p.Problem.h;
+  Array.iter
+    (fun ((i, j), v) ->
+       terms :=
+         Printf.sprintf "%d*%s*%s" (int_of_float (Float.round (v *. scale))) (spin i) (spin j)
+         :: !terms)
+    p.Problem.couplers;
+  let terms = List.rev !terms in
+  add "var int: energy = %s;\n" (if terms = [] then "0" else String.concat " + " terms);
+  add "solve minimize energy;\n";
+  let visible =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun v syms ->
+               List.filter_map
+                 (fun s -> if Ast.is_internal_symbol s then None else Some (v, s))
+                 syms)
+            a.Assemble.symbols_of_var))
+  in
+  add "output [%s];\n"
+    (String.concat ", "
+       (List.map
+          (fun (v, s) -> Printf.sprintf "\"%s = \", show(%s), \"\\n\"" s (var_name v))
+          visible));
+  Buffer.contents buf

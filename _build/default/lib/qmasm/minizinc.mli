@@ -1,0 +1,13 @@
+(** MiniZinc export: qmasm can "convert [programs] to various other formats
+    for classical solution (e.g., a constraint problem for solution with
+    MiniZinc)".  Each spin becomes a 0/1 variable; the objective is the
+    integer-scaled Hamiltonian; visible symbols appear in the output item. *)
+
+val of_program : Assemble.t -> string
+
+val sanitize : string -> string
+(** MiniZinc-legal identifier for a QMASM symbol. *)
+
+val integer_scale : Qac_ising.Problem.t -> float
+(** The power-of-ten multiplier (up to 1e6) that makes every coefficient
+    integral. *)

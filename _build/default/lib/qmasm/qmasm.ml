@@ -1,0 +1,30 @@
+(** Facade over the QMASM toolchain: parse, expand, assemble — and report. *)
+
+exception Error of string
+
+(** [load ?options ?resolve src] runs the full front half of qmasm:
+    [resolve] supplies [!include] file contents (return [None] for unknown
+    names). *)
+let load ?options ?(resolve = fun _ -> None) src =
+  try
+    let stmts = Parser.parse_string src in
+    let flat = Macro.expand ~resolve stmts in
+    Assemble.assemble ?options flat
+  with
+  | Parser.Error msg -> raise (Error ("parse: " ^ msg))
+  | Macro.Error msg -> raise (Error ("expand: " ^ msg))
+  | Assemble.Error msg -> raise (Error ("assemble: " ^ msg))
+
+(** Render a solution the way qmasm does: visible symbols, sorted, with
+    assertion outcomes. *)
+let report (a : Assemble.t) spins =
+  let assignment = Assemble.visible_assignment a spins in
+  let lookup name =
+    match List.assoc_opt name (Assemble.assignment_of_spins a spins) with
+    | Some v -> v
+    | None -> raise (Error ("assertion references unknown symbol " ^ name))
+  in
+  let checks = Assemble.check_assertions a lookup in
+  (List.sort compare assignment, checks)
+
+let to_minizinc = Minizinc.of_program

@@ -1,0 +1,22 @@
+(** Facade over the QMASM toolchain: parse -> expand -> assemble, and
+    solution reporting. *)
+
+exception Error of string
+
+(** [load ?options ?resolve src] runs the full front half of qmasm;
+    [resolve] supplies [!include] file contents ([None] for unknown
+    names). *)
+val load :
+  ?options:Assemble.options ->
+  ?resolve:(string -> string option) ->
+  string ->
+  Assemble.t
+
+(** [report program spins] renders a solution the way qmasm does: visible
+    symbols (no ["$"]), sorted, plus per-assertion outcomes. *)
+val report :
+  Assemble.t ->
+  Qac_ising.Problem.spin array ->
+  (string * bool) list * (Ast.bexpr * bool) list
+
+val to_minizinc : Assemble.t -> string

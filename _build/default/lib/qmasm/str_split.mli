@@ -1,0 +1,5 @@
+(** Tiny string helper shared across the QMASM and CSP parsers. *)
+
+val find_substring : string -> string -> int option
+(** [find_substring haystack needle] is the index of the first occurrence,
+    or [None]; empty needles never match. *)

@@ -1,0 +1,1 @@
+lib/roofdual/maxflow.ml: Array Float List Queue

@@ -1,0 +1,1 @@
+lib/roofdual/qpbo.ml: Array Float List Maxflow Problem Qac_ising Qubo

@@ -1,0 +1,1 @@
+lib/roofdual/qpbo.mli: Qac_ising

@@ -1,0 +1,1 @@
+lib/sexp/sexp.ml: Buffer Format List String

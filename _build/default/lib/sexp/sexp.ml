@@ -1,0 +1,197 @@
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of string
+
+let atom s = Atom s
+let list l = List l
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- Reader ----------------------------------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let rec skip_space c =
+  match peek c with
+  | Some ch when is_space ch ->
+    advance c;
+    skip_space c
+  | Some ';' ->
+    (* Line comments are not EDIF but are convenient in tests. *)
+    let rec to_eol () =
+      match peek c with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance c;
+        to_eol ()
+    in
+    to_eol ();
+    skip_space c
+  | Some _ | None -> ()
+
+let read_quoted c =
+  let buf = Buffer.create 16 in
+  advance c;
+  (* opening quote *)
+  let rec loop () =
+    match peek c with
+    | None -> parse_error "unterminated string at offset %d" c.pos
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | None -> parse_error "dangling escape at end of input"
+       | Some ch ->
+         Buffer.add_char buf ch;
+         advance c;
+         loop ())
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let read_bare c =
+  let start = c.pos in
+  let rec loop () =
+    match peek c with
+    | Some ch when (not (is_space ch)) && ch <> '(' && ch <> ')' && ch <> '"' ->
+      advance c;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  String.sub c.src start (c.pos - start)
+
+let rec read_sexp c =
+  skip_space c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '(' ->
+    advance c;
+    let rec items acc =
+      skip_space c;
+      match peek c with
+      | None -> parse_error "unterminated list"
+      | Some ')' ->
+        advance c;
+        List (List.rev acc)
+      | Some _ -> items (read_sexp c :: acc)
+    in
+    items []
+  | Some ')' -> parse_error "unexpected ')' at offset %d" c.pos
+  | Some '"' -> Atom (read_quoted c)
+  | Some _ ->
+    let s = read_bare c in
+    if s = "" then parse_error "empty token at offset %d" c.pos else Atom s
+
+let parse_string src =
+  let c = { src; pos = 0 } in
+  let s = read_sexp c in
+  skip_space c;
+  (match peek c with
+   | Some _ -> parse_error "trailing garbage at offset %d" c.pos
+   | None -> ());
+  s
+
+let parse_many src =
+  let c = { src; pos = 0 } in
+  let rec loop acc =
+    skip_space c;
+    match peek c with
+    | None -> List.rev acc
+    | Some _ -> loop (read_sexp c :: acc)
+  in
+  loop []
+
+(* --- Printer ---------------------------------------------------------- *)
+
+let needs_quoting s =
+  s = "" || String.exists (fun ch -> is_space ch || ch = '(' || ch = ')' || ch = '"') s
+
+let atom_to_string s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+         if ch = '"' || ch = '\\' then Buffer.add_char buf '\\';
+         Buffer.add_char buf ch)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let rec to_string_compact = function
+  | Atom s -> atom_to_string s
+  | List items -> "(" ^ String.concat " " (List.map to_string_compact items) ^ ")"
+
+let rec width = function
+  | Atom s -> String.length s
+  | List items -> 2 + List.fold_left (fun acc s -> acc + 1 + width s) 0 items
+
+let to_string sexp =
+  let buf = Buffer.create 256 in
+  let rec go indent s =
+    match s with
+    | Atom _ -> Buffer.add_string buf (to_string_compact s)
+    | List _ when width s <= 72 -> Buffer.add_string buf (to_string_compact s)
+    | List [] -> Buffer.add_string buf "()"
+    | List (hd :: tl) ->
+      Buffer.add_char buf '(';
+      go (indent + 2) hd;
+      List.iter
+        (fun item ->
+           Buffer.add_char buf '\n';
+           Buffer.add_string buf (String.make (indent + 2) ' ');
+           go (indent + 2) item)
+        tl;
+      Buffer.add_char buf ')'
+  in
+  go 0 sexp;
+  Buffer.contents buf
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+let rec equal a b =
+  match a, b with
+  | Atom x, Atom y -> String.equal x y
+  | List xs, List ys -> (try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | Atom _, List _ | List _, Atom _ -> false
+
+(* --- Accessors -------------------------------------------------------- *)
+
+let tag = function
+  | List (Atom hd :: _) -> Some hd
+  | List _ | Atom _ -> None
+
+let lowercase_equal a b = String.equal (String.lowercase_ascii a) (String.lowercase_ascii b)
+
+let find_all ~tag:wanted = function
+  | Atom _ -> []
+  | List items ->
+    List.filter
+      (fun item ->
+         match tag item with
+         | Some hd -> lowercase_equal hd wanted
+         | None -> false)
+      items
+
+let find ~tag sexp =
+  match find_all ~tag sexp with
+  | [] -> None
+  | hd :: _ -> Some hd
+
+let atom_exn = function
+  | Atom s -> s
+  | List _ as s -> parse_error "expected atom, got %s" (to_string_compact s)

@@ -1,0 +1,48 @@
+(** S-expressions, as used by the EDIF netlist format (section 4.2 of the
+    paper).  An EDIF netlist is a single large s-expression; this module
+    provides the reader and printer shared by [Qac_edif]. *)
+
+type t =
+  | Atom of string  (** a bare token or a ["quoted string"] *)
+  | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+(** [parse_string s] parses exactly one s-expression from [s], ignoring
+    surrounding whitespace.  Raises [Parse_error] on malformed input or
+    trailing garbage. *)
+val parse_string : string -> t
+
+(** [parse_many s] parses zero or more s-expressions from [s]. *)
+val parse_many : string -> t list
+
+exception Parse_error of string
+
+(** Pretty-print with indentation, EDIF-style: short lists on one line,
+    long lists broken with two-space indents. *)
+val to_string : t -> string
+
+(** Compact single-line rendering. *)
+val to_string_compact : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Structural equality (atoms compared case-sensitively). *)
+val equal : t -> t -> bool
+
+(** Accessors used when walking EDIF trees. *)
+
+(** [tag sexp] is the head atom of a list, if any. *)
+val tag : t -> string option
+
+(** [find_all ~tag sexp] returns the immediate children of [sexp] (a list)
+    whose head atom equals [tag], case-insensitively (EDIF keywords are
+    case-insensitive). *)
+val find_all : tag:string -> t -> t list
+
+(** [find ~tag sexp] is the first child found by [find_all], if any. *)
+val find : tag:string -> t -> t option
+
+(** [atom_exn sexp] extracts the string of an [Atom], failing otherwise. *)
+val atom_exn : t -> string

@@ -1,0 +1,1 @@
+lib/verilog/elab.ml: Ast Format Hashtbl List Option Printf

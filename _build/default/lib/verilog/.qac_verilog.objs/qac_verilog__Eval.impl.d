@@ -1,0 +1,1 @@
+lib/verilog/eval.ml: Array Ast Elab Eval_positions Format Fun Hashtbl List

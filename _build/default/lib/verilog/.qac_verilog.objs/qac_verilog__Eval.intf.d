@@ -1,0 +1,1 @@
+lib/verilog/eval.mli: Elab

@@ -1,0 +1,1 @@
+lib/verilog/eval_positions.ml: Ast Elab Format List

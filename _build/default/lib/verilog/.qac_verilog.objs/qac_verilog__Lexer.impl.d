@@ -1,0 +1,1 @@
+lib/verilog/lexer.ml: Char Format List String

@@ -1,0 +1,1 @@
+lib/verilog/parser.ml: Array Ast Format Lexer List Printf

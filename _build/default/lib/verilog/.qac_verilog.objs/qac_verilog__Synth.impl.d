@@ -1,0 +1,1 @@
+lib/verilog/synth.ml: Array Ast Elab Eval_positions Format Hashtbl Lazy List Parser Printf Qac_netlist

@@ -1,0 +1,1 @@
+lib/verilog/synth.mli: Elab Qac_netlist

@@ -1,0 +1,1 @@
+lib/verilog/verilog.ml: Array Elab Eval Parser Synth

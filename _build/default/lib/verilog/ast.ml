@@ -1,0 +1,174 @@
+(** Abstract syntax for the synthesizable Verilog subset the compiler
+    accepts (section 4.1).  The subset covers what the paper's workloads
+    need and more: multi-bit arithmetic/relational/bitwise operators,
+    conditionals, concatenation/replication, module instantiation,
+    parameters, constant-bound [for] loops, and [always] blocks (both
+    clocked and combinational).  Unsupported by design: floating point,
+    unbounded loops, recursion, memories, delays, and four-state logic. *)
+
+type unop =
+  | Bit_not  (** [~] *)
+  | Log_not  (** [!] *)
+  | Negate  (** [-] *)
+  | Reduce_and  (** [&] *)
+  | Reduce_or  (** [|] *)
+  | Reduce_xor  (** [^] *)
+  | Reduce_nand
+  | Reduce_nor
+  | Reduce_xnor
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Bit_and
+  | Bit_or
+  | Bit_xor
+  | Bit_xnor
+  | Log_and
+  | Log_or
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Shl
+  | Shr
+
+type expr =
+  | Number of { width : int option; value : int }
+      (** [4'b1010] has [width = Some 4]; a bare [10] has [width = None]
+          (self-determines to 32 bits, as in the standard) *)
+  | Ident of string
+  | Index of string * expr  (** [x[i]] *)
+  | Select of string * expr * expr  (** [x[msb:lsb]], bounds constant *)
+  | Concat of expr list  (** [{a, b, c}], first operand is most significant *)
+  | Replicate of expr * expr  (** [{n{x}}], [n] constant *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Ternary of expr * expr * expr
+
+type lvalue =
+  | Lident of string
+  | Lindex of string * expr
+  | Lselect of string * expr * expr
+  | Lconcat of lvalue list
+
+type statement =
+  | Blocking of lvalue * expr  (** [x = e] *)
+  | Nonblocking of lvalue * expr  (** [x <= e] *)
+  | If of expr * statement list * statement list
+  | Case of expr * (expr list * statement list) list * statement list option
+      (** arms, then optional default *)
+  | For of string * expr * expr * string * expr * statement list
+      (** [for (i = e0; cond; i = e_step) body]; bounds must elaborate to
+          constants *)
+
+type edge =
+  | Posedge of string
+  | Negedge of string
+  | Star  (** [always @*] or [always @(...)] sensitivity treated as comb *)
+
+type direction =
+  | Input
+  | Output
+
+type net_kind =
+  | Wire
+  | Reg
+  | Integer  (** loop variables *)
+  | Genvar  (** generate-loop variables; exist only at elaboration time *)
+
+type decl = {
+  decl_name : string;
+  dir : direction option;
+  kind : net_kind option;  (** [None] when only a direction was given *)
+  range : (expr * expr) option;  (** [[msb:lsb]], constant expressions *)
+}
+
+type connection =
+  | Positional of expr
+  | Named of string * expr option  (** [.p(e)]; [None] for unconnected [.p()] *)
+
+type item =
+  | Decl of decl
+  | Parameter of string * expr
+  | Assign of lvalue * expr
+  | Always of edge * statement list
+  | Instance of {
+      module_name : string;
+      instance_name : string;
+      parameters : connection list;  (** [#(...)] overrides *)
+      connections : connection list;
+    }
+  | Genfor of {
+      genvar : string;
+      init : expr;
+      cond : expr;
+      step : expr;  (** the loop must step its own genvar *)
+      label : string option;  (** [begin : label] block name *)
+      body : item list;  (** assigns, instances, always blocks, nested genfors *)
+    }
+
+type module_decl = {
+  module_name : string;
+  ports : string list;
+  items : item list;
+}
+
+type design = module_decl list
+
+(* Pretty-printing, used in error messages and golden tests. *)
+
+let unop_symbol = function
+  | Bit_not -> "~"
+  | Log_not -> "!"
+  | Negate -> "-"
+  | Reduce_and -> "&"
+  | Reduce_or -> "|"
+  | Reduce_xor -> "^"
+  | Reduce_nand -> "~&"
+  | Reduce_nor -> "~|"
+  | Reduce_xnor -> "~^"
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Bit_and -> "&"
+  | Bit_or -> "|"
+  | Bit_xor -> "^"
+  | Bit_xnor -> "~^"
+  | Log_and -> "&&"
+  | Log_or -> "||"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let rec pp_expr fmt = function
+  | Number { width = None; value } -> Format.fprintf fmt "%d" value
+  | Number { width = Some w; value } -> Format.fprintf fmt "%d'd%d" w value
+  | Ident name -> Format.pp_print_string fmt name
+  | Index (name, e) -> Format.fprintf fmt "%s[%a]" name pp_expr e
+  | Select (name, msb, lsb) -> Format.fprintf fmt "%s[%a:%a]" name pp_expr msb pp_expr lsb
+  | Concat exprs ->
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_expr)
+      exprs
+  | Replicate (n, e) -> Format.fprintf fmt "{%a{%a}}" pp_expr n pp_expr e
+  | Unop (op, e) -> Format.fprintf fmt "(%s%a)" (unop_symbol op) pp_expr e
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Ternary (c, t, e) -> Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr t pp_expr e
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e

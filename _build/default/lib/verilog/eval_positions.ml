@@ -1,0 +1,35 @@
+(** Shared lvalue expansion: an lvalue denotes an ordered list of
+    (net, storage bit) positions, LSB first, used identically by the
+    interpreter and the synthesizer. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let rec positions (m : Elab.t) (lv : Ast.lvalue) =
+  match lv with
+  | Ast.Lident name ->
+    let net =
+      match Elab.find_net m name with
+      | Some n -> n
+      | None -> error "assignment to undeclared %s" name
+    in
+    List.init net.Elab.width (fun i -> (name, i))
+  | Ast.Lindex (name, i) ->
+    let net =
+      match Elab.find_net m name with
+      | Some n -> n
+      | None -> error "assignment to undeclared %s" name
+    in
+    [ (name, Elab.storage_bit net (Elab.eval_const i)) ]
+  | Ast.Lselect (name, msb, lsb) ->
+    let net =
+      match Elab.find_net m name with
+      | Some n -> n
+      | None -> error "assignment to undeclared %s" name
+    in
+    let low, width = Elab.select_bits net (Elab.eval_const msb) (Elab.eval_const lsb) in
+    List.init width (fun i -> (name, low + i))
+  | Ast.Lconcat lvs ->
+    (* First element is most significant: reverse before concatenating. *)
+    List.concat_map (positions m) (List.rev lvs)

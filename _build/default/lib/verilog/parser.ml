@@ -1,0 +1,547 @@
+(** Recursive-descent parser for the Verilog subset.  Produces [Ast.design]. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type t = {
+  tokens : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let peek p = fst p.tokens.(p.pos)
+let line p = snd p.tokens.(p.pos)
+let advance p = if p.pos < Array.length p.tokens - 1 then p.pos <- p.pos + 1
+
+let token_name = function
+  | Lexer.Id s -> Printf.sprintf "identifier %s" s
+  | Lexer.Int v -> Printf.sprintf "number %d" v
+  | Lexer.Sized (w, v) -> Printf.sprintf "literal %d'd%d" w v
+  | Lexer.Kw s -> Printf.sprintf "keyword %s" s
+  | Lexer.Sym s -> Printf.sprintf "'%s'" s
+  | Lexer.Eof -> "end of input"
+
+let expect_sym p s =
+  match peek p with
+  | Lexer.Sym s' when s' = s -> advance p
+  | tok -> error "line %d: expected '%s', found %s" (line p) s (token_name tok)
+
+let expect_kw p s =
+  match peek p with
+  | Lexer.Kw s' when s' = s -> advance p
+  | tok -> error "line %d: expected '%s', found %s" (line p) s (token_name tok)
+
+let accept_sym p s =
+  match peek p with
+  | Lexer.Sym s' when s' = s ->
+    advance p;
+    true
+  | _ -> false
+
+let accept_kw p s =
+  match peek p with
+  | Lexer.Kw s' when s' = s ->
+    advance p;
+    true
+  | _ -> false
+
+let expect_id p =
+  match peek p with
+  | Lexer.Id name ->
+    advance p;
+    name
+  | tok -> error "line %d: expected identifier, found %s" (line p) (token_name tok)
+
+(* --- Expressions ------------------------------------------------------- *)
+
+(* Binding powers, loosest first. *)
+let binop_of_sym = function
+  | "||" -> Some (Ast.Log_or, 1)
+  | "&&" -> Some (Ast.Log_and, 2)
+  | "|" -> Some (Ast.Bit_or, 3)
+  | "^" -> Some (Ast.Bit_xor, 4)
+  | "~^" -> Some (Ast.Bit_xnor, 4)
+  | "&" -> Some (Ast.Bit_and, 5)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Neq, 6)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr p = parse_ternary p
+
+and parse_ternary p =
+  let cond = parse_binary p 1 in
+  if accept_sym p "?" then begin
+    let t = parse_expr p in
+    expect_sym p ":";
+    let e = parse_expr p in
+    Ast.Ternary (cond, t, e)
+  end
+  else cond
+
+and parse_binary p min_bp =
+  let lhs = ref (parse_unary p) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek p with
+    | Lexer.Sym s ->
+      (match binop_of_sym s with
+       | Some (op, bp) when bp >= min_bp ->
+         advance p;
+         let rhs = parse_binary p (bp + 1) in
+         lhs := Ast.Binop (op, !lhs, rhs)
+       | Some _ | None -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary p =
+  match peek p with
+  | Lexer.Sym "~" ->
+    advance p;
+    Ast.Unop (Ast.Bit_not, parse_unary p)
+  | Lexer.Sym "!" ->
+    advance p;
+    Ast.Unop (Ast.Log_not, parse_unary p)
+  | Lexer.Sym "-" ->
+    advance p;
+    Ast.Unop (Ast.Negate, parse_unary p)
+  | Lexer.Sym "+" ->
+    advance p;
+    parse_unary p
+  | Lexer.Sym "&" ->
+    advance p;
+    Ast.Unop (Ast.Reduce_and, parse_unary p)
+  | Lexer.Sym "|" ->
+    advance p;
+    Ast.Unop (Ast.Reduce_or, parse_unary p)
+  | Lexer.Sym "^" ->
+    advance p;
+    Ast.Unop (Ast.Reduce_xor, parse_unary p)
+  | Lexer.Sym "~&" ->
+    advance p;
+    Ast.Unop (Ast.Reduce_nand, parse_unary p)
+  | Lexer.Sym "~|" ->
+    advance p;
+    Ast.Unop (Ast.Reduce_nor, parse_unary p)
+  | Lexer.Sym "~^" ->
+    advance p;
+    Ast.Unop (Ast.Reduce_xnor, parse_unary p)
+  | _ -> parse_primary p
+
+and parse_primary p =
+  match peek p with
+  | Lexer.Int v ->
+    advance p;
+    Ast.Number { width = None; value = v }
+  | Lexer.Sized (w, v) ->
+    advance p;
+    Ast.Number { width = Some w; value = v }
+  | Lexer.Sym "(" ->
+    advance p;
+    let e = parse_expr p in
+    expect_sym p ")";
+    e
+  | Lexer.Sym "{" ->
+    advance p;
+    (* Either a concatenation {a, b} or a replication {n{x}}. *)
+    let first = parse_expr p in
+    if accept_sym p "{" then begin
+      let inner = parse_expr p in
+      expect_sym p "}";
+      expect_sym p "}";
+      Ast.Replicate (first, inner)
+    end
+    else begin
+      let rec rest acc =
+        if accept_sym p "," then rest (parse_expr p :: acc)
+        else begin
+          expect_sym p "}";
+          List.rev acc
+        end
+      in
+      Ast.Concat (rest [ first ])
+    end
+  | Lexer.Id name ->
+    advance p;
+    if accept_sym p "[" then begin
+      let first = parse_expr p in
+      if accept_sym p ":" then begin
+        let lsb = parse_expr p in
+        expect_sym p "]";
+        Ast.Select (name, first, lsb)
+      end
+      else begin
+        expect_sym p "]";
+        Ast.Index (name, first)
+      end
+    end
+    else Ast.Ident name
+  | tok -> error "line %d: expected expression, found %s" (line p) (token_name tok)
+
+(* --- Lvalues ----------------------------------------------------------- *)
+
+let rec parse_lvalue p =
+  match peek p with
+  | Lexer.Sym "{" ->
+    advance p;
+    let rec items acc =
+      let lv = parse_lvalue p in
+      if accept_sym p "," then items (lv :: acc)
+      else begin
+        expect_sym p "}";
+        List.rev (lv :: acc)
+      end
+    in
+    Ast.Lconcat (items [])
+  | Lexer.Id name ->
+    advance p;
+    if accept_sym p "[" then begin
+      let first = parse_expr p in
+      if accept_sym p ":" then begin
+        let lsb = parse_expr p in
+        expect_sym p "]";
+        Ast.Lselect (name, first, lsb)
+      end
+      else begin
+        expect_sym p "]";
+        Ast.Lindex (name, first)
+      end
+    end
+    else Ast.Lident name
+  | tok -> error "line %d: expected lvalue, found %s" (line p) (token_name tok)
+
+(* --- Statements -------------------------------------------------------- *)
+
+(* Returns a statement *list* because [begin ... end] blocks flatten into
+   their parent. *)
+let rec parse_statement p =
+  match peek p with
+  | Lexer.Kw "begin" ->
+    advance p;
+    let rec stmts acc =
+      if accept_kw p "end" then List.concat (List.rev acc)
+      else stmts (parse_statement p :: acc)
+    in
+    stmts []
+  | Lexer.Kw "if" ->
+    advance p;
+    expect_sym p "(";
+    let cond = parse_expr p in
+    expect_sym p ")";
+    let then_branch = parse_statement p in
+    let else_branch = if accept_kw p "else" then parse_statement p else [] in
+    [ Ast.If (cond, then_branch, else_branch) ]
+  | Lexer.Kw "case" | Lexer.Kw "casez" ->
+    advance p;
+    expect_sym p "(";
+    let subject = parse_expr p in
+    expect_sym p ")";
+    let rec arms acc default =
+      if accept_kw p "endcase" then (List.rev acc, default)
+      else if accept_kw p "default" then begin
+        ignore (accept_sym p ":");
+        let body = parse_statement p in
+        arms acc (Some body)
+      end
+      else begin
+        let rec labels acc_l =
+          let e = parse_expr p in
+          if accept_sym p "," then labels (e :: acc_l) else List.rev (e :: acc_l)
+        in
+        let labels = labels [] in
+        expect_sym p ":";
+        let body = parse_statement p in
+        arms ((labels, body) :: acc) default
+      end
+    in
+    let arms, default = arms [] None in
+    [ Ast.Case (subject, arms, default) ]
+  | Lexer.Kw "for" ->
+    advance p;
+    expect_sym p "(";
+    let var = expect_id p in
+    expect_sym p "=";
+    let init = parse_expr p in
+    expect_sym p ";";
+    let cond = parse_expr p in
+    expect_sym p ";";
+    let step_var = expect_id p in
+    expect_sym p "=";
+    let step = parse_expr p in
+    expect_sym p ")";
+    let body = parse_statement p in
+    [ Ast.For (var, init, cond, step_var, step, body) ]
+  | _ ->
+    let lv = parse_lvalue p in
+    let stmt =
+      if accept_sym p "=" then Ast.Blocking (lv, parse_expr p)
+      else if accept_sym p "<=" then Ast.Nonblocking (lv, parse_expr p)
+      else error "line %d: expected '=' or '<=', found %s" (line p) (token_name (peek p))
+    in
+    expect_sym p ";";
+    [ stmt ]
+
+(* --- Module items ------------------------------------------------------ *)
+
+let parse_range_opt p =
+  if accept_sym p "[" then begin
+    let msb = parse_expr p in
+    expect_sym p ":";
+    let lsb = parse_expr p in
+    expect_sym p "]";
+    Some (msb, lsb)
+  end
+  else None
+
+let parse_edge p =
+  if accept_kw p "posedge" then Ast.Posedge (expect_id p)
+  else if accept_kw p "negedge" then Ast.Negedge (expect_id p)
+  else begin
+    (* Level-sensitive entries make the block combinational. *)
+    (match peek p with
+     | Lexer.Sym "*" -> advance p
+     | Lexer.Id _ ->
+       advance p;
+       ()
+     | tok -> error "line %d: bad sensitivity item %s" (line p) (token_name tok));
+    Ast.Star
+  end
+
+let parse_sensitivity p =
+  expect_sym p "@";
+  if accept_sym p "*" then Ast.Star
+  else begin
+    expect_sym p "(";
+    if accept_sym p "*" then begin
+      expect_sym p ")";
+      Ast.Star
+    end
+    else begin
+      let first = parse_edge p in
+      let merged = ref first in
+      while accept_kw p "or" || accept_sym p "," do
+        let next = parse_edge p in
+        (* Multiple edges: keep the first clocked one; mixed lists with
+           level-sensitive entries degrade to Star. *)
+        match !merged, next with
+        | Ast.Star, e -> merged := e
+        | e, Ast.Star -> merged := e
+        | _ -> ()
+      done;
+      expect_sym p ")";
+      !merged
+    end
+  end
+
+let parse_connections p =
+  expect_sym p "(";
+  if accept_sym p ")" then []
+  else begin
+    let parse_one () =
+      if accept_sym p "." then begin
+        let port = expect_id p in
+        expect_sym p "(";
+        if accept_sym p ")" then Ast.Named (port, None)
+        else begin
+          let e = parse_expr p in
+          expect_sym p ")";
+          Ast.Named (port, Some e)
+        end
+      end
+      else Ast.Positional (parse_expr p)
+    in
+    let rec loop acc =
+      let c = parse_one () in
+      if accept_sym p "," then loop (c :: acc)
+      else begin
+        expect_sym p ")";
+        List.rev (c :: acc)
+      end
+    in
+    loop []
+  end
+
+(* One declaration statement can declare several names:
+   [input a, b;] or [output reg [5:0] x, y;]. *)
+let parse_decl_bodies p ~dir ~kind =
+  let kind =
+    match kind with
+    | Some _ -> kind
+    | None ->
+      if accept_kw p "wire" then Some Ast.Wire
+      else if accept_kw p "reg" then Some Ast.Reg
+      else None
+  in
+  let range = parse_range_opt p in
+  let rec names acc =
+    let name = expect_id p in
+    if accept_sym p "," then names (name :: acc) else List.rev (name :: acc)
+  in
+  let names = names [] in
+  expect_sym p ";";
+  List.map
+    (fun decl_name -> Ast.Decl { Ast.decl_name; dir; kind; range })
+    names
+
+let rec parse_item p =
+  match peek p with
+  | Lexer.Kw "input" ->
+    advance p;
+    parse_decl_bodies p ~dir:(Some Ast.Input) ~kind:None
+  | Lexer.Kw "output" ->
+    advance p;
+    parse_decl_bodies p ~dir:(Some Ast.Output) ~kind:None
+  | Lexer.Kw "inout" -> error "line %d: inout ports are not supported" (line p)
+  | Lexer.Kw "wire" ->
+    advance p;
+    parse_decl_bodies p ~dir:None ~kind:(Some Ast.Wire)
+  | Lexer.Kw "reg" ->
+    advance p;
+    parse_decl_bodies p ~dir:None ~kind:(Some Ast.Reg)
+  | Lexer.Kw "integer" ->
+    advance p;
+    parse_decl_bodies p ~dir:None ~kind:(Some Ast.Integer)
+  | Lexer.Kw "genvar" ->
+    advance p;
+    parse_decl_bodies p ~dir:None ~kind:(Some Ast.Genvar)
+  | Lexer.Kw "generate" ->
+    advance p;
+    let rec items acc =
+      if accept_kw p "endgenerate" then List.rev acc
+      else items (List.rev_append (parse_generate_item p) acc)
+    in
+    items []
+  | Lexer.Kw "parameter" | Lexer.Kw "localparam" ->
+    advance p;
+    ignore (parse_range_opt p);
+    let rec params acc =
+      let name = expect_id p in
+      expect_sym p "=";
+      let value = parse_expr p in
+      if accept_sym p "," then params (Ast.Parameter (name, value) :: acc)
+      else begin
+        expect_sym p ";";
+        List.rev (Ast.Parameter (name, value) :: acc)
+      end
+    in
+    params []
+  | Lexer.Kw "assign" ->
+    advance p;
+    let rec assigns acc =
+      let lv = parse_lvalue p in
+      expect_sym p "=";
+      let e = parse_expr p in
+      if accept_sym p "," then assigns (Ast.Assign (lv, e) :: acc)
+      else begin
+        expect_sym p ";";
+        List.rev (Ast.Assign (lv, e) :: acc)
+      end
+    in
+    assigns []
+  | Lexer.Kw "always" ->
+    advance p;
+    let edge = parse_sensitivity p in
+    let body = parse_statement p in
+    [ Ast.Always (edge, body) ]
+  | Lexer.Kw "initial" ->
+    (* Initial blocks are testbench-only; parse and discard. *)
+    advance p;
+    let _ = parse_statement p in
+    []
+  | Lexer.Id module_name ->
+    advance p;
+    let parameters =
+      if accept_sym p "#" then parse_connections p else []
+    in
+    let instance_name = expect_id p in
+    let connections = parse_connections p in
+    expect_sym p ";";
+    [ Ast.Instance { module_name; instance_name; parameters; connections } ]
+  | tok -> error "line %d: unexpected %s in module body" (line p) (token_name tok)
+
+(* Inside generate: for-generate loops plus ordinary items. *)
+and parse_generate_item p =
+  match peek p with
+  | Lexer.Kw "for" ->
+    advance p;
+    expect_sym p "(";
+    let genvar = expect_id p in
+    expect_sym p "=";
+    let init = parse_expr p in
+    expect_sym p ";";
+    let cond = parse_expr p in
+    expect_sym p ";";
+    let step_var = expect_id p in
+    expect_sym p "=";
+    let step = parse_expr p in
+    if step_var <> genvar then
+      error "line %d: generate-for must step its own genvar %s" (line p) genvar;
+    expect_sym p ")";
+    expect_kw p "begin";
+    let label = if accept_sym p ":" then Some (expect_id p) else None in
+    let rec body acc =
+      if accept_kw p "end" then List.rev acc
+      else body (List.rev_append (parse_generate_item p) acc)
+    in
+    let body = body [] in
+    [ Ast.Genfor { genvar; init; cond; step; label; body } ]
+  | _ -> parse_item p
+
+and parse_module p =
+  expect_kw p "module";
+  let module_name = expect_id p in
+  let ports = ref [] in
+  let ansi_items = ref [] in
+  if accept_sym p "(" then begin
+    if not (accept_sym p ")") then begin
+      let parse_port () =
+        let dir =
+          if accept_kw p "input" then Some Ast.Input
+          else if accept_kw p "output" then Some Ast.Output
+          else None
+        in
+        let kind =
+          if accept_kw p "wire" then Some Ast.Wire
+          else if accept_kw p "reg" then Some Ast.Reg
+          else None
+        in
+        let range = if dir <> None || kind <> None then parse_range_opt p else None in
+        let name = expect_id p in
+        ports := name :: !ports;
+        if dir <> None || kind <> None then
+          ansi_items := Ast.Decl { Ast.decl_name = name; dir; kind; range } :: !ansi_items
+      in
+      parse_port ();
+      while accept_sym p "," do
+        parse_port ()
+      done;
+      expect_sym p ")"
+    end
+  end;
+  expect_sym p ";";
+  let rec items acc =
+    if accept_kw p "endmodule" then List.rev acc
+    else items (List.rev_append (parse_item p) acc)
+  in
+  let body = items (List.rev !ansi_items) in
+  { Ast.module_name; ports = List.rev !ports; items = body }
+
+let parse_design src =
+  let p = { tokens = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec modules acc =
+    match peek p with
+    | Lexer.Eof -> List.rev acc
+    | _ -> modules (parse_module p :: acc)
+  in
+  modules []

@@ -1,0 +1,665 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+module B = Qac_netlist.Netlist.Builder
+module N = Qac_netlist.Netlist
+
+type word = N.signal array
+(* LSB first. *)
+
+type result = {
+  netlist : N.t;
+  ff_names : string array;
+}
+
+(* Net drivers, mirroring Eval. *)
+type driver =
+  | From_input of word
+  | From_state of word  (* the Q word of a clocked reg *)
+  | From_comb_block of int
+  | From_assigns
+
+type env = {
+  m : Elab.t;
+  b : B.t;
+  driver : (string, driver) Hashtbl.t;
+  assign_bits : (string, (int * int) option array) Hashtbl.t;
+      (* per storage bit: (assign index, offset) *)
+  assigns : (Ast.lvalue * Ast.expr) array;
+  assign_memo : (int, word) Hashtbl.t;
+  comb_blocks : Ast.statement list array;
+  block_memo : (int, (string, word) Hashtbl.t) Hashtbl.t;
+  block_busy : (int, unit) Hashtbl.t;
+  net_memo : (string, word) Hashtbl.t;
+  assign_busy : (int, unit) Hashtbl.t;
+}
+
+let zero_word w = Array.make w N.Zero
+
+let const_word width value =
+  Array.init width (fun i -> if (value lsr i) land 1 = 1 then N.One else N.Zero)
+
+let extend word w =
+  let len = Array.length word in
+  if len >= w then Array.sub word 0 w
+  else Array.append word (zero_word (w - len))
+
+(* --- Word-level operators ---------------------------------------------- *)
+
+let mux_word env sel a b =
+  Array.init (Array.length a) (fun i -> B.mux env.b ~sel ~a:a.(i) ~b:b.(i))
+
+let add_words env a b =
+  let w = Array.length a in
+  let out = Array.make w N.Zero in
+  let carry = ref N.Zero in
+  for i = 0 to w - 1 do
+    let s1 = B.xor_ env.b a.(i) b.(i) in
+    out.(i) <- B.xor_ env.b s1 !carry;
+    carry := B.or_ env.b (B.and_ env.b a.(i) b.(i)) (B.and_ env.b s1 !carry)
+  done;
+  (out, !carry)
+
+let not_word env a = Array.map (B.not_ env.b) a
+
+(* a - b = a + ~b + 1; also returns the *borrow* (1 when a < b unsigned). *)
+let sub_words env a b =
+  let w = Array.length a in
+  let out = Array.make w N.Zero in
+  let carry = ref N.One in
+  for i = 0 to w - 1 do
+    let nb = B.not_ env.b b.(i) in
+    let s1 = B.xor_ env.b a.(i) nb in
+    out.(i) <- B.xor_ env.b s1 !carry;
+    carry := B.or_ env.b (B.and_ env.b a.(i) nb) (B.and_ env.b s1 !carry)
+  done;
+  (out, B.not_ env.b !carry)
+
+let mul_words env a b =
+  let w = Array.length a in
+  let acc = ref (zero_word w) in
+  for i = 0 to w - 1 do
+    (* acc += (a << i) masked by b.(i) *)
+    let shifted = Array.init w (fun k -> if k < i then N.Zero else a.(k - i)) in
+    let masked = Array.map (fun s -> B.and_ env.b s b.(i)) shifted in
+    let sum, _ = add_words env !acc masked in
+    acc := sum
+  done;
+  !acc
+
+(* Restoring division; by-zero yields quotient all-ones, remainder = a,
+   matching [Eval]. *)
+let divmod_words env a b =
+  let w = Array.length a in
+  (* Remainder register is w+1 bits to absorb the shift. *)
+  let r = ref (zero_word (w + 1)) in
+  let q = Array.make w N.Zero in
+  let b_ext = extend b (w + 1) in
+  for i = w - 1 downto 0 do
+    let shifted = Array.init (w + 1) (fun k -> if k = 0 then a.(i) else !r.(k - 1)) in
+    let diff, borrow = sub_words env shifted b_ext in
+    let ge = B.not_ env.b borrow in
+    q.(i) <- ge;
+    r := mux_word env ge shifted diff
+  done;
+  (q, Array.sub !r 0 w)
+
+let eq_words env a b =
+  let bits = Array.mapi (fun i ai -> B.xnor_ env.b ai b.(i)) a in
+  Array.fold_left (fun acc bit -> B.and_ env.b acc bit) N.One bits
+
+let lt_words env a b =
+  let _, borrow = sub_words env a b in
+  borrow
+
+let reduce_or env word = Array.fold_left (fun acc s -> B.or_ env.b acc s) N.Zero word
+let reduce_and env word = Array.fold_left (fun acc s -> B.and_ env.b acc s) N.One word
+let reduce_xor env word = Array.fold_left (fun acc s -> B.xor_ env.b acc s) N.Zero word
+
+(* Barrel shifter.  [left] selects direction; shifting by >= w yields 0. *)
+let shift_words env a amount ~left =
+  let w = Array.length a in
+  let result = ref a in
+  Array.iteri
+    (fun k bit ->
+       let dist = 1 lsl k in
+       let shifted =
+         if dist >= w then zero_word w
+         else if left then
+           Array.init w (fun i -> if i < dist then N.Zero else !result.(i - dist))
+         else
+           Array.init w (fun i -> if i + dist >= w then N.Zero else !result.(i + dist))
+       in
+       result := mux_word env bit !result shifted)
+    amount;
+  !result
+
+(* --- Expressions -------------------------------------------------------- *)
+
+let self_width (m : Elab.t) e =
+  (* Same rules as the interpreter; duplicated signature via Eval is not
+     exposed, so recompute locally. *)
+  let rec go (e : Ast.expr) =
+    match e with
+    | Ast.Number { width = Some w; _ } -> w
+    | Ast.Number { width = None; _ } -> 32
+    | Ast.Ident name -> Elab.net_width m name
+    | Ast.Index _ -> 1
+    | Ast.Select (_, msb, lsb) -> abs (Elab.eval_const msb - Elab.eval_const lsb) + 1
+    | Ast.Concat es -> List.fold_left (fun acc x -> acc + go x) 0 es
+    | Ast.Replicate (n, x) -> Elab.eval_const n * go x
+    | Ast.Unop ((Ast.Bit_not | Ast.Negate), a) -> go a
+    | Ast.Unop (_, _) -> 1
+    | Ast.Binop
+        ( ( Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Bit_and | Ast.Bit_or
+          | Ast.Bit_xor | Ast.Bit_xnor ),
+          a,
+          b ) ->
+      max (go a) (go b)
+    | Ast.Binop ((Ast.Shl | Ast.Shr), a, _) -> go a
+    | Ast.Binop (_, _, _) -> 1
+    | Ast.Ternary (_, a, b) -> max (go a) (go b)
+  in
+  go e
+
+(* [read] resolves an identifier to its word (shadowed inside procedural
+   blocks). *)
+let rec synth_expr env ~read (e : Ast.expr) ~w : word =
+  let m = env.m in
+  match e with
+  | Ast.Number { value; _ } -> const_word w value
+  | Ast.Ident name -> extend (read name) w
+  | Ast.Index (name, i) ->
+    let net =
+      match Elab.find_net m name with
+      | Some n -> n
+      | None -> error "undeclared identifier %s" name
+    in
+    let bit = Elab.storage_bit net (Elab.eval_const i) in
+    extend [| read_bit env ~read name bit |] w
+  | Ast.Select (name, msb, lsb) ->
+    let net =
+      match Elab.find_net m name with
+      | Some n -> n
+      | None -> error "undeclared identifier %s" name
+    in
+    let low, width = Elab.select_bits net (Elab.eval_const msb) (Elab.eval_const lsb) in
+    extend (Array.init width (fun k -> read_bit env ~read name (low + k))) w
+  | Ast.Concat es ->
+    (* First element is most significant. *)
+    let words = List.map (fun x -> synth_expr env ~read x ~w:(self_width m x)) es in
+    extend (Array.concat (List.rev words)) w
+  | Ast.Replicate (n, x) ->
+    let count = Elab.eval_const n in
+    let xw = self_width m x in
+    let word = synth_expr env ~read x ~w:xw in
+    extend (Array.concat (List.init count (fun _ -> word))) w
+  | Ast.Unop (op, a) ->
+    (match op with
+     | Ast.Bit_not -> not_word env (synth_expr env ~read a ~w)
+     | Ast.Negate ->
+       (* -a = 0 - a *)
+       let word = synth_expr env ~read a ~w in
+       fst (sub_words env (zero_word w) word)
+     | Ast.Log_not ->
+       let word = synth_expr env ~read a ~w:(self_width m a) in
+       extend [| B.not_ env.b (reduce_or env word) |] w
+     | Ast.Reduce_and ->
+       extend [| reduce_and env (synth_expr env ~read a ~w:(self_width m a)) |] w
+     | Ast.Reduce_or ->
+       extend [| reduce_or env (synth_expr env ~read a ~w:(self_width m a)) |] w
+     | Ast.Reduce_xor ->
+       extend [| reduce_xor env (synth_expr env ~read a ~w:(self_width m a)) |] w
+     | Ast.Reduce_nand ->
+       extend
+         [| B.not_ env.b (reduce_and env (synth_expr env ~read a ~w:(self_width m a))) |]
+         w
+     | Ast.Reduce_nor ->
+       extend
+         [| B.not_ env.b (reduce_or env (synth_expr env ~read a ~w:(self_width m a))) |]
+         w
+     | Ast.Reduce_xnor ->
+       extend
+         [| B.not_ env.b (reduce_xor env (synth_expr env ~read a ~w:(self_width m a))) |]
+         w)
+  | Ast.Binop (op, a, b) ->
+    let binary_arith f =
+      let wa = synth_expr env ~read a ~w in
+      let wb = synth_expr env ~read b ~w in
+      f wa wb
+    in
+    let comparison f =
+      let cw = max (self_width m a) (self_width m b) in
+      let wa = synth_expr env ~read a ~w:cw in
+      let wb = synth_expr env ~read b ~w:cw in
+      extend [| f wa wb |] w
+    in
+    (match op with
+     | Ast.Add -> binary_arith (fun x y -> fst (add_words env x y))
+     | Ast.Sub -> binary_arith (fun x y -> fst (sub_words env x y))
+     | Ast.Mul -> binary_arith (fun x y -> mul_words env x y)
+     | Ast.Div -> binary_arith (fun x y -> fst (divmod_words env x y))
+     | Ast.Mod -> binary_arith (fun x y -> snd (divmod_words env x y))
+     | Ast.Bit_and -> binary_arith (Array.map2 (B.and_ env.b))
+     | Ast.Bit_or -> binary_arith (Array.map2 (B.or_ env.b))
+     | Ast.Bit_xor -> binary_arith (Array.map2 (B.xor_ env.b))
+     | Ast.Bit_xnor -> binary_arith (Array.map2 (B.xnor_ env.b))
+     | Ast.Log_and ->
+       let va = reduce_or env (synth_expr env ~read a ~w:(self_width m a)) in
+       let vb = reduce_or env (synth_expr env ~read b ~w:(self_width m b)) in
+       extend [| B.and_ env.b va vb |] w
+     | Ast.Log_or ->
+       let va = reduce_or env (synth_expr env ~read a ~w:(self_width m a)) in
+       let vb = reduce_or env (synth_expr env ~read b ~w:(self_width m b)) in
+       extend [| B.or_ env.b va vb |] w
+     | Ast.Eq -> comparison (eq_words env)
+     | Ast.Neq -> comparison (fun x y -> B.not_ env.b (eq_words env x y))
+     | Ast.Lt -> comparison (lt_words env)
+     | Ast.Ge -> comparison (fun x y -> B.not_ env.b (lt_words env x y))
+     | Ast.Gt -> comparison (fun x y -> lt_words env y x)
+     | Ast.Le -> comparison (fun x y -> B.not_ env.b (lt_words env y x))
+     | Ast.Shl ->
+       let wa = synth_expr env ~read a ~w in
+       let amount = synth_expr env ~read b ~w:(self_width m b) in
+       shift_words env wa amount ~left:true
+     | Ast.Shr ->
+       let wa = synth_expr env ~read a ~w in
+       let amount = synth_expr env ~read b ~w:(self_width m b) in
+       shift_words env wa amount ~left:false)
+  | Ast.Ternary (c, a, b) ->
+    let cond = reduce_or env (synth_expr env ~read c ~w:(self_width m c)) in
+    let wa = synth_expr env ~read a ~w in
+    let wb = synth_expr env ~read b ~w in
+    mux_word env cond wb wa
+
+(* --- Demand-driven net synthesis ---------------------------------------- *)
+
+(* Single-bit read that avoids demanding a whole bitwise-assigned net (the
+   Listing 5 pattern of one assign per bit). *)
+and read_bit env ~read name bit =
+  match Hashtbl.find_opt env.net_memo name with
+  | Some word -> word.(bit)
+  | None ->
+    (match Hashtbl.find_opt env.driver name with
+     | Some From_assigns when not (Hashtbl.mem env.net_memo name) ->
+       let arr = Hashtbl.find env.assign_bits name in
+       (match arr.(bit) with
+        | Some (idx, offset) -> (synth_assign env idx).(offset)
+        | None -> N.Zero)
+     | _ -> (read name).(bit))
+
+and synth_net env name : word =
+  match Hashtbl.find_opt env.net_memo name with
+  | Some word -> word
+  | None ->
+    let w = Elab.net_width env.m name in
+    let word =
+      match Hashtbl.find_opt env.driver name with
+      | Some (From_input word) | Some (From_state word) -> word
+      | Some (From_comb_block idx) ->
+        let results = synth_comb_block env idx in
+        (match Hashtbl.find_opt results name with
+         | Some word -> word
+         | None -> error "combinational block does not always assign %s" name)
+      | Some From_assigns ->
+        let arr = Hashtbl.find env.assign_bits name in
+        let word =
+          Array.map
+            (function
+              | None -> N.Zero
+              | Some (assign_idx, offset) -> (synth_assign env assign_idx).(offset))
+            arr
+        in
+        if Array.length word = w then word else extend word w
+      | None -> zero_word w
+    in
+    Hashtbl.replace env.net_memo name word;
+    word
+
+and synth_assign env idx : word =
+  match Hashtbl.find_opt env.assign_memo idx with
+  | Some word -> word
+  | None ->
+    if Hashtbl.mem env.assign_busy idx then
+      error "combinational cycle through a continuous assignment";
+    Hashtbl.replace env.assign_busy idx ();
+    let lv, e = env.assigns.(idx) in
+    let total = List.length (Eval_positions.positions env.m lv) in
+    let cw = max total (self_width env.m e) in
+    let word = synth_expr env ~read:(synth_net env) e ~w:cw in
+    Hashtbl.remove env.assign_busy idx;
+    Hashtbl.replace env.assign_memo idx word;
+    word
+
+(* --- Procedural blocks -------------------------------------------------- *)
+
+(* Shadow entries: per-bit (signal, defined).  [fallback] supplies the
+   value of unassigned bits when merging branches (Q for clocked regs,
+   [None] for combinational blocks, where missing assignments are latches). *)
+and exec_block env ~stmts ~fallback =
+  let shadow : (string, (N.signal * bool) array) Hashtbl.t = Hashtbl.create 8 in
+  let nb : (string, (N.signal * bool) array) Hashtbl.t = Hashtbl.create 8 in
+  let read name =
+    match Hashtbl.find_opt shadow name with
+    | None -> synth_net env name
+    | Some bits ->
+      let base = lazy (synth_net env name) in
+      Array.mapi
+        (fun i (s, defined) -> if defined then s else (Lazy.force base).(i))
+        bits
+  in
+  let entry tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some bits -> bits
+    | None ->
+      let w = Elab.net_width env.m name in
+      let bits = Array.make w (N.Zero, false) in
+      Hashtbl.replace tbl name bits;
+      bits
+  in
+  let write tbl lv value_word =
+    let positions = Eval_positions.positions env.m lv in
+    List.iteri
+      (fun offset (name, bit) ->
+         let bits = entry tbl name in
+         bits.(bit) <- (value_word.(offset), true))
+      positions
+  in
+  let snapshot tbl = Hashtbl.fold (fun k v acc -> (k, Array.copy v) :: acc) tbl [] in
+  let restore tbl saved =
+    Hashtbl.reset tbl;
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) saved
+  in
+  let merge_tables cond ~then_:(st, nt) ~else_:(se, ne) ~is_nb tbl =
+    ignore is_nb;
+    let merge_into target then_tbl else_tbl =
+      let keys = Hashtbl.create 8 in
+      List.iter (fun (k, _) -> Hashtbl.replace keys k ()) then_tbl;
+      List.iter (fun (k, _) -> Hashtbl.replace keys k ()) else_tbl;
+      Hashtbl.iter
+        (fun name () ->
+           let w = Elab.net_width env.m name in
+           let get tbl =
+             match List.assoc_opt name tbl with
+             | Some bits -> bits
+             | None -> Array.make w (N.Zero, false)
+           in
+           let tb = get then_tbl and eb = get else_tbl in
+           let merged =
+             Array.init w (fun i ->
+                 let ts, td = tb.(i) and es, ed = eb.(i) in
+                 if td && ed then (B.mux env.b ~sel:cond ~a:es ~b:ts, true)
+                 else if not (td || ed) then (N.Zero, false)
+                 else
+                   match fallback name with
+                   | Some word ->
+                     let other = word.(i) in
+                     if td then (B.mux env.b ~sel:cond ~a:other ~b:ts, true)
+                     else (B.mux env.b ~sel:cond ~a:es ~b:other, true)
+                   | None ->
+                     (* Combinational latch: leave undefined; an error fires
+                        only if the bit is still undefined at block end. *)
+                     (N.Zero, false))
+           in
+           Hashtbl.replace target name merged)
+        keys
+    in
+    let t_sh, t_nb = st, nt in
+    let e_sh, e_nb = se, ne in
+    (match tbl with
+     | `Shadow -> merge_into shadow t_sh e_sh
+     | `Nb -> merge_into nb t_nb e_nb)
+  in
+  let rec exec stmts =
+    List.iter
+      (fun stmt ->
+         match stmt with
+         | Ast.Blocking (lv, e) ->
+           let total = List.length (Eval_positions.positions env.m lv) in
+           let cw = max total (self_width env.m e) in
+           write shadow lv (synth_expr env ~read e ~w:cw)
+         | Ast.Nonblocking (lv, e) ->
+           let total = List.length (Eval_positions.positions env.m lv) in
+           let cw = max total (self_width env.m e) in
+           write nb lv (synth_expr env ~read e ~w:cw)
+         | Ast.If (c, then_branch, else_branch) ->
+           let cond = reduce_or env (synth_expr env ~read c ~w:(self_width env.m c)) in
+           let base_sh = snapshot shadow and base_nb = snapshot nb in
+           exec then_branch;
+           let then_sh = snapshot shadow and then_nb = snapshot nb in
+           restore shadow base_sh;
+           restore nb base_nb;
+           exec else_branch;
+           let else_sh = snapshot shadow and else_nb = snapshot nb in
+           merge_tables cond ~then_:(then_sh, then_nb) ~else_:(else_sh, else_nb)
+             ~is_nb:false `Shadow;
+           merge_tables cond ~then_:(then_sh, then_nb) ~else_:(else_sh, else_nb)
+             ~is_nb:true `Nb
+         | Ast.Case (subject, arms, default) ->
+           (* Desugar to an if-chain on equality. *)
+           let widths =
+             self_width env.m subject
+             :: List.concat_map
+                  (fun (labels, _) -> List.map (self_width env.m) labels)
+                  arms
+           in
+           let cw = List.fold_left max 1 widths in
+           let rec desugar = function
+             | [] -> (match default with Some d -> d | None -> [])
+             | (labels, body) :: rest ->
+               let cond =
+                 List.fold_left
+                   (fun acc l -> Ast.Binop (Ast.Log_or, acc, Ast.Binop (Ast.Eq, subject, l)))
+                   (Ast.Binop (Ast.Eq, subject, List.hd labels))
+                   (List.tl labels)
+               in
+               ignore cw;
+               [ Ast.If (cond, body, desugar rest) ]
+           in
+           exec (desugar arms)
+         | Ast.For _ -> error "for loops must be unrolled during elaboration")
+      stmts
+  in
+  exec stmts;
+  (shadow, nb)
+
+and synth_comb_block env idx =
+  match Hashtbl.find_opt env.block_memo idx with
+  | Some results -> results
+  | None ->
+    if Hashtbl.mem env.block_busy idx then error "combinational block cycle";
+    Hashtbl.replace env.block_busy idx ();
+    let shadow, nb = exec_block env ~stmts:env.comb_blocks.(idx) ~fallback:(fun _ -> None) in
+    (* Nonblocking assigns in comb blocks behave like blocking ones here. *)
+    Hashtbl.iter
+      (fun name bits ->
+         let existing =
+           match Hashtbl.find_opt shadow name with
+           | Some e -> e
+           | None ->
+             let w = Elab.net_width env.m name in
+             let e = Array.make w (N.Zero, false) in
+             Hashtbl.replace shadow name e;
+             e
+         in
+         Array.iteri (fun i (s, d) -> if d then existing.(i) <- (s, d)) bits)
+      nb;
+    let results = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun name bits ->
+         if not (Array.for_all snd bits) then
+           error "combinational block leaves %s partially unassigned (latch)" name;
+         Hashtbl.replace results name (Array.map fst bits))
+      shadow;
+    Hashtbl.remove env.block_busy idx;
+    Hashtbl.replace env.block_memo idx results;
+    results
+
+(* --- Top level ----------------------------------------------------------- *)
+
+let synthesize ?(optimize = true) (m : Elab.t) =
+  let b = B.create m.Elab.name in
+  let driver = Hashtbl.create 32 in
+  let assign_bits = Hashtbl.create 32 in
+  let assigns = Array.of_list m.Elab.assigns in
+  (* Input ports. *)
+  List.iter
+    (fun (name, (net : Elab.net)) ->
+       if net.Elab.dir = Some Ast.Input then
+         Hashtbl.replace driver name (From_input (B.add_input b name net.Elab.width)))
+    m.Elab.nets;
+  (* Continuous assigns (bit-level coverage). *)
+  let env_m = m in
+  Array.iteri
+    (fun idx (lv, _) ->
+       let positions = Eval_positions.positions env_m lv in
+       List.iteri
+         (fun offset (name, bit) ->
+            let arr =
+              match Hashtbl.find_opt assign_bits name with
+              | Some arr -> arr
+              | None ->
+                let w = Elab.net_width m name in
+                let arr = Array.make w None in
+                Hashtbl.replace assign_bits name arr;
+                arr
+            in
+            (match arr.(bit) with
+             | Some _ -> error "multiple continuous assignments drive %s" name
+             | None -> arr.(bit) <- Some (idx, offset));
+            match Hashtbl.find_opt driver name with
+            | Some (From_input _) -> error "continuous assignment drives input port %s" name
+            | Some (From_state _ | From_comb_block _) ->
+              error "%s driven by both a procedural block and an assign" name
+            | Some From_assigns | None -> Hashtbl.replace driver name From_assigns)
+         positions)
+    assigns;
+  (* Names assigned by procedural blocks. *)
+  let rec assigned_names stmts =
+    List.concat_map
+      (function
+        | Ast.Blocking (lv, _) | Ast.Nonblocking (lv, _) ->
+          List.map fst (Eval_positions.positions m lv)
+        | Ast.If (_, a, bb) -> assigned_names a @ assigned_names bb
+        | Ast.Case (_, arms, default) ->
+          List.concat_map (fun (_, body) -> assigned_names body) arms
+          @ (match default with Some d -> assigned_names d | None -> [])
+        | Ast.For (_, _, _, _, _, body) -> assigned_names body)
+      stmts
+  in
+  let comb_blocks = Array.of_list m.Elab.comb in
+  Array.iteri
+    (fun idx stmts ->
+       List.iter
+         (fun name ->
+            match Hashtbl.find_opt driver name with
+            | Some (From_comb_block j) when j = idx -> ()
+            | None -> Hashtbl.replace driver name (From_comb_block idx)
+            | Some _ -> error "%s has multiple drivers" name)
+         (List.sort_uniq compare (assigned_names stmts)))
+    comb_blocks;
+  (* Clocked regs: allocate DFF placeholders now so feedback works. *)
+  let clocked_targets = ref [] in
+  List.iter
+    (fun (edge, stmts) ->
+       let edge_kind =
+         match edge with
+         | Ast.Posedge _ -> `Pos
+         | Ast.Negedge _ -> `Neg
+         | Ast.Star -> assert false
+       in
+       List.iter
+         (fun name ->
+            match Hashtbl.find_opt driver name with
+            | Some (From_state _) -> ()
+            | None ->
+              let w = Elab.net_width m name in
+              let q = Array.init w (fun _ -> B.dff_placeholder b ~edge:edge_kind) in
+              Hashtbl.replace driver name (From_state q);
+              clocked_targets := (name, q) :: !clocked_targets
+            | Some _ -> error "%s has multiple drivers" name)
+         (List.sort_uniq compare (assigned_names stmts)))
+    m.Elab.clocked;
+  let clocked_targets = List.rev !clocked_targets in
+  let env =
+    { m;
+      b;
+      driver;
+      assign_bits;
+      assigns;
+      assign_memo = Hashtbl.create 16;
+      comb_blocks;
+      block_memo = Hashtbl.create 4;
+      block_busy = Hashtbl.create 4;
+      net_memo = Hashtbl.create 32;
+      assign_busy = Hashtbl.create 16 }
+  in
+  (* Synthesize each clocked block and connect the flip-flops. *)
+  let d_words : (string, N.signal array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (_, stmts) ->
+       let fallback name =
+         match Hashtbl.find_opt driver name with
+         | Some (From_state q) -> Some q
+         | _ -> None
+       in
+       let shadow, nb = exec_block env ~stmts ~fallback in
+       List.iter
+         (fun (name, q) ->
+            let w = Array.length q in
+            let get tbl =
+              match Hashtbl.find_opt tbl name with
+              | Some bits -> bits
+              | None -> Array.make w (N.Zero, false)
+            in
+            let sh = get shadow and nbb = get nb in
+            (* Was this reg touched by this block at all? *)
+            let touched =
+              Array.exists snd sh || Array.exists snd nbb
+            in
+            if touched then begin
+              let d =
+                Array.init w (fun i ->
+                    let ns, nd = nbb.(i) in
+                    if nd then ns
+                    else
+                      let ss, sd = sh.(i) in
+                      if sd then ss else q.(i))
+              in
+              (match Hashtbl.find_opt d_words name with
+               | Some _ -> error "%s assigned in multiple clocked blocks" name
+               | None -> Hashtbl.replace d_words name d)
+            end)
+         clocked_targets)
+    m.Elab.clocked;
+  List.iter
+    (fun (name, q) ->
+       let d =
+         match Hashtbl.find_opt d_words name with
+         | Some d -> d
+         | None -> q (* never actually assigned: holds its value *)
+       in
+       Array.iteri (fun i qs -> B.connect_dff b ~q:qs ~d:d.(i)) q)
+    clocked_targets;
+  (* Output ports. *)
+  List.iter
+    (fun (name, dir, _) ->
+       if dir = Ast.Output then B.set_output b name (synth_net env name))
+    m.Elab.ports;
+  let ff_names =
+    Array.of_list
+      (List.concat_map
+         (fun (name, q) ->
+            let w = Array.length q in
+            if w = 1 then [ name ]
+            else List.init w (fun i -> Printf.sprintf "%s[%d]" name i))
+         clocked_targets)
+  in
+  let netlist = B.build b in
+  let netlist = if optimize then Qac_netlist.Passes.optimize netlist else netlist in
+  { netlist; ff_names }
+
+let compile ?optimize ?top src =
+  let design = Parser.parse_design src in
+  synthesize ?optimize (Elab.elaborate ?top design)

@@ -1,0 +1,26 @@
+(** Synthesis: bit-blast an elaborated Verilog module into a gate-level
+    netlist over the Table 5 cell set (the Yosys/ABC role of section 4.2).
+
+    Word-level operators expand into standard structures: ripple-carry
+    adders, shift-add multipliers, restoring dividers, borrow-chain
+    comparators, barrel shifters and mux trees.  Clocked [always] blocks
+    become D flip-flops; combinational blocks become mux-merged dataflow
+    (incomplete assignments — latches — are rejected). *)
+
+exception Error of string
+
+type result = {
+  netlist : Qac_netlist.Netlist.t;
+  ff_names : string array;
+      (** flip-flop names ("var[3]"), indexed in DFF cell order; feed these
+          to {!Qac_netlist.Passes.unroll} for readable state port names *)
+}
+
+(** [synthesize ?optimize m] compiles [m].  With [optimize] (default true)
+    the result is run through {!Qac_netlist.Passes.optimize}
+    (dead-gate elimination + tech-mapping). *)
+val synthesize : ?optimize:bool -> Elab.t -> result
+
+(** [compile ?optimize ?top src] parses, elaborates and synthesizes Verilog
+    source in one call. *)
+val compile : ?optimize:bool -> ?top:string -> string -> result

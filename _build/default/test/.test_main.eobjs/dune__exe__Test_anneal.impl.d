@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Array Exact Exact_sampler Format Greedy List Printf Problem Qac_anneal Qac_ising Qac_qmasm Qbsolv Random Rng Sa Sampler Schedule Sqa Tabu

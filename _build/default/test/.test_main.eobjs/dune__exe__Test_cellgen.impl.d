@@ -1,0 +1,1 @@
+test/test_cellgen.ml: Alcotest Array Gen List Lp QCheck QCheck_alcotest Qac_cellgen Qac_ising Scale Truthtab

@@ -1,0 +1,1 @@
+test/test_cells.ml: Alcotest Array Cells Exact List Problem Qac_cellgen Qac_cells Qac_ising Scale

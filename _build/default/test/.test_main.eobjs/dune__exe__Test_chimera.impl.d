@@ -1,0 +1,1 @@
+test/test_chimera.ml: Alcotest Array List Printf Qac_chimera Qac_embed Qac_ising Queue

@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Buffer Csp List Mzn Printf Qac_csp String

@@ -1,0 +1,1 @@
+test/test_edif.ml: Alcotest Array List Netlist Printf QCheck QCheck_alcotest Qac_edif Qac_netlist Qac_sexp Qac_verilog Random Sim Test_netlist

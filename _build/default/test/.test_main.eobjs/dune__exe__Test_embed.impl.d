@@ -1,0 +1,1 @@
+test/test_embed.ml: Alcotest Array Exact List Problem QCheck QCheck_alcotest Qac_chimera Qac_embed Qac_ising Random

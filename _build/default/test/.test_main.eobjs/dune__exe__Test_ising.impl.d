@@ -1,0 +1,1 @@
+test/test_ising.ml: Alcotest Array Exact Float Gen List Option Problem QCheck QCheck_alcotest Qac_ising Qubo Scale

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Exact List Option Problem Qac_anneal Qac_cells Qac_chimera Qac_csp Qac_edif Qac_embed Qac_ising Qac_netlist Qac_qmasm Qac_verilog Qubo

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List Netlist Passes Printf QCheck QCheck_alcotest Qac_netlist Sim

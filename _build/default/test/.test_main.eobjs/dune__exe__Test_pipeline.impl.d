@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest List Printf Qac_anneal Qac_chimera Qac_core Qac_ising Qac_qmasm Qac_roofdual

@@ -1,0 +1,1 @@
+test/test_pipeline2.ml: Alcotest List Qac_anneal Qac_chimera Qac_core Qac_embed Qac_ising

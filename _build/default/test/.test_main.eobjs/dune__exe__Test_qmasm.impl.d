@@ -1,0 +1,1 @@
+test/test_qmasm.ml: Alcotest Array Assemble Ast Exact Float List Macro Option Parser Printf Problem QCheck QCheck_alcotest Qac_cells Qac_edif2qmasm Qac_ising Qac_qmasm Qac_verilog Qmasm Random

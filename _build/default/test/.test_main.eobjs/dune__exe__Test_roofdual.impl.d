@@ -1,0 +1,1 @@
+test/test_roofdual.ml: Alcotest Array Exact Float List Problem QCheck QCheck_alcotest Qac_ising Qac_roofdual Random

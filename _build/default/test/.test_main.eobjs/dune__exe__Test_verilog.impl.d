@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Ast Buffer Elab Eval Hashtbl List Parser Printf QCheck QCheck_alcotest Qac_netlist Qac_verilog Random String Synth Verilog

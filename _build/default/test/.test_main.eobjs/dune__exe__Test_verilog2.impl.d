@@ -1,0 +1,1 @@
+test/test_verilog2.ml: Alcotest Array Ast Elab Eval Hashtbl List Parser Printf Qac_netlist Qac_verilog Random Synth Verilog

@@ -1,0 +1,129 @@
+open Qac_ising
+open Qac_cells
+
+(* Table 5 (plus Table 1 and section 4.3.4): every standard cell's
+   Hamiltonian must have exactly its truth table as ground states, with a
+   positive gap, within the hardware coefficient ranges. *)
+
+let verify_cell cell =
+  Alcotest.test_case ("Table 5: " ^ cell.Cells.name) `Quick (fun () ->
+      (match Cells.verify cell with
+       | Ok gap -> Alcotest.(check bool) "positive gap" true (gap > 0.0)
+       | Error msg -> Alcotest.fail msg);
+      Alcotest.(check bool) "fits hardware range" true
+        (Scale.fits Scale.dwave_2000q cell.Cells.hamiltonian))
+
+let table5_tests = List.map verify_cell Cells.all
+
+let specific_tests =
+  [ Alcotest.test_case "AND ground energy is -3 when scaled like section 4.3.2" `Quick
+      (fun () ->
+         (* Section 4.3.2's example solution is exactly 2x Table 5's AND. *)
+         let paper_432 = Problem.scale Cells.and_.Cells.hamiltonian 2.0 in
+         let r = Exact.solve paper_432 in
+         Alcotest.(check (float 1e-9)) "k" (-3.0) r.Exact.ground_energy);
+    Alcotest.test_case "section 4.3.2 XOR solution (k = -4)" `Quick (fun () ->
+        (* H = -sY + sA - sB + 2sa - sYsA + sYsB - 2sYsa - sAsB + 2sAsa - 2sBsa,
+           with variable order A=0, B=1, Y=2, a=3. *)
+        let p =
+          Problem.create ~num_vars:4
+            ~h:[| 1.0; -1.0; -1.0; 2.0 |]
+            ~j:
+              [ ((0, 2), -1.0);
+                ((1, 2), 1.0);
+                ((2, 3), -2.0);
+                ((0, 1), -1.0);
+                ((0, 3), 2.0);
+                ((1, 3), -2.0) ]
+            ()
+        in
+        let r = Exact.solve p in
+        Alcotest.(check (float 1e-9)) "k" (-4.0) r.Exact.ground_energy;
+        (* Visible parts of ground states = XOR truth table. *)
+        let visible =
+          List.sort_uniq compare
+            (List.map (fun s -> Array.sub s 0 3) r.Exact.ground_states)
+        in
+        let expected =
+          [ [| -1; -1; -1 |]; [| -1; 1; 1 |]; [| 1; -1; 1 |]; [| 1; 1; -1 |] ]
+        in
+        Alcotest.(check bool) "xor table" true (List.sort compare expected = visible));
+    Alcotest.test_case "Table 1: wire minimized exactly at equality" `Quick (fun () ->
+        let e a y = Problem.energy Cells.wire [| a; y |] in
+        Alcotest.(check (float 1e-9)) "--" (-1.0) (e (-1) (-1));
+        Alcotest.(check (float 1e-9)) "++" (-1.0) (e 1 1);
+        Alcotest.(check (float 1e-9)) "-+" 1.0 (e (-1) 1);
+        Alcotest.(check (float 1e-9)) "+-" 1.0 (e 1 (-1)));
+    Alcotest.test_case "ground and power pins" `Quick (fun () ->
+        Alcotest.(check bool) "gnd -> false" true (Exact.is_ground_state Cells.ground [| -1 |]);
+        Alcotest.(check bool) "vcc -> true" true (Exact.is_ground_state Cells.power [| 1 |]));
+    Alcotest.test_case "cell lookup is case-insensitive" `Quick (fun () ->
+        match Cells.find "nand" with
+        | Some c -> Alcotest.(check string) "name" "NAND" c.Cells.name
+        | None -> Alcotest.fail "lookup failed");
+    Alcotest.test_case "pin_names order and ancilla naming" `Quick (fun () ->
+        Alcotest.(check (list string)) "mux pins"
+          [ "A"; "B"; "S"; "Y"; "$a" ] (Cells.pin_names Cells.mux);
+        Alcotest.(check (list string)) "aoi4 pins"
+          [ "A"; "B"; "C"; "D"; "Y"; "$a"; "$b" ] (Cells.pin_names Cells.aoi4));
+    Alcotest.test_case "section 4.3.5: AND3 from two ANDs plus a wire" `Quick (fun () ->
+        (* Variables: A=0 B=1 C=2 Y=3 n=4 m=5;
+           H = H_and(n; A, B) + H_and(Y; m, C) + wire(m, n). *)
+        let b = Problem.Builder.create () in
+        (* Cells.and_ has order A=0 B=1 Y=2. *)
+        Problem.Builder.add_problem b Cells.and_.Cells.hamiltonian ~var_map:[| 0; 1; 4 |];
+        Problem.Builder.add_problem b Cells.and_.Cells.hamiltonian ~var_map:[| 5; 2; 3 |];
+        Problem.Builder.add_problem b Cells.wire ~var_map:[| 5; 4 |];
+        let p = Problem.Builder.build b in
+        let r = Exact.solve p in
+        (* Visible ground states (A,B,C,Y) must be the AND3 table. *)
+        let visible =
+          List.sort_uniq compare
+            (List.map (fun s -> Array.sub s 0 4) r.Exact.ground_states)
+        in
+        Alcotest.(check int) "8 visible rows" 8 (List.length visible);
+        List.iter
+          (fun row ->
+             let y_expected = row.(0) > 0 && row.(1) > 0 && row.(2) > 0 in
+             Alcotest.(check bool) "AND3 relation" y_expected (row.(3) > 0))
+          visible);
+    Alcotest.test_case "section 4.3.6: pinning inputs computes forward" `Quick (fun () ->
+        (* AND with A pinned true, B pinned false -> Y must be false. *)
+        let b = Problem.Builder.create () in
+        Problem.Builder.add_problem b Cells.and_.Cells.hamiltonian
+          ~var_map:[| 0; 1; 2 |];
+        Problem.Builder.add_problem b (Problem.scale Cells.power 4.0) ~var_map:[| 0 |];
+        Problem.Builder.add_problem b (Problem.scale Cells.ground 4.0) ~var_map:[| 1 |];
+        let r = Exact.solve (Problem.Builder.build b) in
+        List.iter
+          (fun s ->
+             Alcotest.(check int) "A" 1 s.(0);
+             Alcotest.(check int) "B" (-1) s.(1);
+             Alcotest.(check int) "Y" (-1) s.(2))
+          r.Exact.ground_states);
+    Alcotest.test_case "section 4.3.6: pinning the output runs backward" `Quick (fun () ->
+        (* AND with Y pinned true -> A = B = true is the unique ground state. *)
+        let b = Problem.Builder.create () in
+        Problem.Builder.add_problem b Cells.and_.Cells.hamiltonian
+          ~var_map:[| 0; 1; 2 |];
+        Problem.Builder.add_problem b (Problem.scale Cells.power 4.0) ~var_map:[| 2 |];
+        let r = Exact.solve (Problem.Builder.build b) in
+        Alcotest.(check int) "unique" 1 (List.length r.Exact.ground_states);
+        List.iter
+          (fun s ->
+             Alcotest.(check int) "A" 1 s.(0);
+             Alcotest.(check int) "B" 1 s.(1))
+          r.Exact.ground_states);
+    Alcotest.test_case "cells agree with their logic functions" `Quick (fun () ->
+        List.iter
+          (fun c ->
+             if not c.Cells.is_flip_flop then begin
+               let num_inputs = List.length c.Cells.inputs in
+               let table = Cells.truth_table c in
+               Alcotest.(check int) "rows" (1 lsl num_inputs)
+                 (List.length table.Qac_cellgen.Truthtab.valid)
+             end)
+          Cells.all);
+  ]
+
+let suite = table5_tests @ specific_tests

@@ -1,0 +1,183 @@
+module Chimera = Qac_chimera.Chimera
+
+let suite =
+  [ Alcotest.test_case "C16 has 2048 qubits and 6016 couplers" `Quick (fun () ->
+        let g = Chimera.dwave_2000q in
+        Alcotest.(check int) "qubits" 2048 (Chimera.num_qubits g);
+        Alcotest.(check int) "couplers" 6016 (Chimera.num_edges g));
+    Alcotest.test_case "C1 is a K4,4" `Quick (fun () ->
+        let g = Chimera.create 1 in
+        Alcotest.(check int) "qubits" 8 (Chimera.num_qubits g);
+        Alcotest.(check int) "couplers" 16 (Chimera.num_edges g);
+        for q = 0 to 7 do
+          Alcotest.(check int) "degree" 4 (Chimera.degree g q)
+        done);
+    Alcotest.test_case "coords round-trip" `Quick (fun () ->
+        let g = Chimera.create 4 in
+        for q = 0 to Chimera.num_qubits g - 1 do
+          Alcotest.(check int) "roundtrip" q (Chimera.qubit g (Chimera.coords g q))
+        done);
+    Alcotest.test_case "adjacency is symmetric" `Quick (fun () ->
+        let g = Chimera.create 3 in
+        for q = 0 to Chimera.num_qubits g - 1 do
+          List.iter
+            (fun p ->
+               Alcotest.(check bool) "sym" true (List.mem q (Chimera.neighbors g p)))
+            (Chimera.neighbors g q)
+        done);
+    Alcotest.test_case "unit cell is complete bipartite" `Quick (fun () ->
+        let g = Chimera.create 2 in
+        (* Qubits 0-3 (horizontal) each adjacent to 4-7 (vertical) in cell 0. *)
+        for h = 0 to 3 do
+          for v = 4 to 7 do
+            Alcotest.(check bool) "k44" true (Chimera.adjacent g h v)
+          done;
+          for h2 = 0 to 3 do
+            if h <> h2 then
+              Alcotest.(check bool) "no intra-partition" false (Chimera.adjacent g h h2)
+          done
+        done);
+    Alcotest.test_case "inter-cell couplers follow Figure 1" `Quick (fun () ->
+        let g = Chimera.create 2 in
+        (* Horizontal-partition qubit 0 of cell (0,0) couples to its peer in
+           the cell south: cell (1,0) = qubits 16-23, peer = 16. *)
+        Alcotest.(check bool) "north-south" true (Chimera.adjacent g 0 16);
+        (* Vertical-partition qubit 4 of cell (0,0) couples east to cell
+           (0,1) = qubits 8-15, peer = 12. *)
+        Alcotest.(check bool) "east-west" true (Chimera.adjacent g 4 12);
+        (* But horizontal qubits do not couple east. *)
+        Alcotest.(check bool) "no horizontal-east" false (Chimera.adjacent g 0 8));
+    Alcotest.test_case "broken qubits drop out" `Quick (fun () ->
+        let g = Chimera.create 2 ~broken:[ 0; 5 ] in
+        Alcotest.(check int) "working" 30 (Chimera.num_working_qubits g);
+        Alcotest.(check bool) "not working" false (Chimera.is_working g 0);
+        Alcotest.(check (list int)) "no neighbors" [] (Chimera.neighbors g 0);
+        Alcotest.(check bool) "neighbor lists exclude broken" true
+          (not (List.mem 5 (Chimera.neighbors g 1))));
+    Alcotest.test_case "max degree is 6" `Quick (fun () ->
+        let g = Chimera.create 4 in
+        let max_deg = ref 0 in
+        for q = 0 to Chimera.num_qubits g - 1 do
+          max_deg := max !max_deg (Chimera.degree g q)
+        done;
+        Alcotest.(check int) "degree" 6 !max_deg);
+    Alcotest.test_case "bipartite: no odd cycles" `Quick (fun () ->
+        (* 2-color by partition: every edge crosses partitions or links same
+           partition across cells... verify properly with BFS 2-coloring. *)
+        let g = Chimera.create 3 in
+        let color = Array.make (Chimera.num_qubits g) (-1) in
+        let ok = ref true in
+        for start = 0 to Chimera.num_qubits g - 1 do
+          if color.(start) < 0 then begin
+            color.(start) <- 0;
+            let queue = Queue.create () in
+            Queue.add start queue;
+            while not (Queue.is_empty queue) do
+              let q = Queue.pop queue in
+              List.iter
+                (fun n ->
+                   if color.(n) < 0 then begin
+                     color.(n) <- 1 - color.(q);
+                     Queue.add n queue
+                   end
+                   else if color.(n) = color.(q) then ok := false)
+                (Chimera.neighbors g q)
+            done
+          end
+        done;
+        Alcotest.(check bool) "2-colorable" true !ok;
+        Alcotest.(check bool) "has_odd_cycles" false (Chimera.has_odd_cycles g));
+  ]
+
+module Topology = Qac_chimera.Topology
+module Pegasus = Qac_chimera.Pegasus
+
+let topology_tests =
+  [ Alcotest.test_case "generic topology from edge list" `Quick (fun () ->
+        let g =
+          Topology.create ~name:"path" ~params:[] ~num_qubits:4
+            ~edges:[ (0, 1); (1, 2); (2, 3) ] ()
+        in
+        Alcotest.(check int) "edges" 3 (Topology.num_edges g);
+        Alcotest.(check bool) "bipartite" true (Topology.is_bipartite g);
+        Alcotest.(check int) "deg 1" 2 (Topology.degree g 1));
+    Alcotest.test_case "duplicate edges collapse" `Quick (fun () ->
+        let g =
+          Topology.create ~name:"dup" ~params:[] ~num_qubits:2
+            ~edges:[ (0, 1); (1, 0); (0, 1) ] ()
+        in
+        Alcotest.(check int) "one edge" 1 (Topology.num_edges g));
+    Alcotest.test_case "self loop rejected" `Quick (fun () ->
+        match Topology.create ~name:"x" ~params:[] ~num_qubits:2 ~edges:[ (1, 1) ] () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "odd cycle detected" `Quick (fun () ->
+        let g =
+          Topology.create ~name:"tri" ~params:[] ~num_qubits:3
+            ~edges:[ (0, 1); (1, 2); (0, 2) ] ()
+        in
+        Alcotest.(check bool) "not bipartite" false (Topology.is_bipartite g));
+    Alcotest.test_case "shore-6 chimera has degree 8" `Quick (fun () ->
+        let g = Chimera.create ~shore:6 3 in
+        Alcotest.(check int) "qubits" (2 * 6 * 9) (Chimera.num_qubits g);
+        Alcotest.(check int) "max degree" 8 (Topology.max_degree g);
+        Alcotest.(check int) "shore" 6 (Chimera.shore g));
+  ]
+
+let pegasus_tests =
+  [ Alcotest.test_case "P_m has 24 m (m-1) qubits" `Quick (fun () ->
+        List.iter
+          (fun m ->
+             Alcotest.(check int)
+               (Printf.sprintf "P%d" m)
+               (24 * m * (m - 1))
+               (Topology.num_qubits (Pegasus.create m)))
+          [ 2; 3; 4 ]);
+    Alcotest.test_case "coords round-trip" `Quick (fun () ->
+        let g = Pegasus.create 3 in
+        for q = 0 to Topology.num_qubits g - 1 do
+          Alcotest.(check int) "roundtrip" q (Pegasus.qubit g (Pegasus.coords g q))
+        done);
+    Alcotest.test_case "max degree 15 (12 internal + 2 external + 1 odd)" `Quick (fun () ->
+        Alcotest.(check int) "degree" 15 (Topology.max_degree (Pegasus.create 4)));
+    Alcotest.test_case "contains odd cycles (unlike Chimera)" `Quick (fun () ->
+        Alcotest.(check bool) "not bipartite" false
+          (Topology.is_bipartite (Pegasus.create 2)));
+    Alcotest.test_case "adjacency symmetric" `Quick (fun () ->
+        let g = Pegasus.create 2 in
+        for q = 0 to Topology.num_qubits g - 1 do
+          List.iter
+            (fun p -> Alcotest.(check bool) "sym" true (List.mem q (Topology.neighbors g p)))
+            (Topology.neighbors g q)
+        done);
+    Alcotest.test_case "K4 embeds without chains" `Quick (fun () ->
+        let k4 =
+          Qac_ising.Problem.create ~num_vars:4 ~h:(Array.make 4 0.1)
+            ~j:[ ((0, 1), 1.0); ((0, 2), 1.0); ((0, 3), 1.0); ((1, 2), 1.0);
+                 ((1, 3), 1.0); ((2, 3), 1.0) ]
+            ()
+        in
+        let g = Pegasus.create 2 in
+        match Qac_embed.Cmr.find g k4 with
+        | Some e ->
+          Alcotest.(check int) "4 qubits" 4 (Qac_embed.Embedding.num_physical_qubits e);
+          Alcotest.(check bool) "verifies" true
+            (Qac_embed.Embedding.verify g k4 e = Ok ())
+        | None -> Alcotest.fail "no embedding");
+    Alcotest.test_case "fabric trimming: P2 keeps a 40-qubit main fabric" `Quick
+      (fun () ->
+         (* The idealized 24m(m-1) node set includes boundary segments that
+            cross nothing; they are marked broken like on real chips
+            (P16: 5760 -> 5640). *)
+         Alcotest.(check int) "working" 40
+           (Topology.num_working_qubits (Pegasus.create 2)));
+    Alcotest.test_case "broken qubits respected" `Quick (fun () ->
+        let baseline = Topology.num_working_qubits (Pegasus.create 2) in
+        let g = Pegasus.create 2 ~broken:[ 0; 1; 2 ] in
+        Alcotest.(check bool) "fewer working" true
+          (Topology.num_working_qubits g < baseline);
+        Alcotest.(check bool) "0 broken" false (Topology.is_working g 0);
+        Alcotest.(check (list int)) "no neighbors" [] (Topology.neighbors g 0));
+  ]
+
+let suite = suite @ topology_tests @ pegasus_tests

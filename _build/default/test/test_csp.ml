@@ -1,0 +1,148 @@
+open Qac_csp
+
+(* Listing 8 of the paper, verbatim. *)
+let listing8 =
+  {|
+var 1..4: NSW;
+var 1..4: QLD;
+var 1..4: SA;
+var 1..4: VIC;
+var 1..4: WA;
+var 1..4: NT;
+var 1..4: ACT;
+constraint WA != NT;
+constraint WA != SA;
+constraint NT != SA;
+constraint NT != QLD;
+constraint SA != QLD;
+constraint SA != NSW;
+constraint SA != VIC;
+constraint QLD != NSW;
+constraint NSW != VIC;
+constraint NSW != ACT;
+solve satisfy;
+|}
+
+let adjacency =
+  [ ("WA", "NT"); ("WA", "SA"); ("NT", "SA"); ("NT", "QLD"); ("SA", "QLD");
+    ("SA", "NSW"); ("SA", "VIC"); ("QLD", "NSW"); ("NSW", "VIC"); ("NSW", "ACT") ]
+
+let csp_tests =
+  [ Alcotest.test_case "trivial satisfiable" `Quick (fun () ->
+        let t = Csp.create () in
+        let a = Csp.add_var t ~name:"a" ~lo:0 ~hi:1 () in
+        let b = Csp.add_var t ~name:"b" ~lo:0 ~hi:1 () in
+        Csp.add_constraint t Csp.Ne a b;
+        match Csp.solve t with
+        | Some s ->
+          Alcotest.(check bool) "different" true (List.assoc "a" s <> List.assoc "b" s)
+        | None -> Alcotest.fail "should be satisfiable");
+    Alcotest.test_case "unsatisfiable detected" `Quick (fun () ->
+        (* 3 mutually-different variables over a 2-value domain. *)
+        let t = Csp.create () in
+        let vars = List.init 3 (fun i -> Csp.add_var t ~name:(string_of_int i) ~lo:0 ~hi:1 ()) in
+        List.iteri
+          (fun i a -> List.iteri (fun k b -> if i < k then Csp.add_constraint t Csp.Ne a b) vars)
+          vars;
+        Alcotest.(check bool) "unsat" true (Csp.solve t = None));
+    Alcotest.test_case "solve_all enumerates" `Quick (fun () ->
+        let t = Csp.create () in
+        let a = Csp.add_var t ~name:"a" ~lo:0 ~hi:2 () in
+        let b = Csp.add_var t ~name:"b" ~lo:0 ~hi:2 () in
+        Csp.add_constraint t Csp.Lt a b;
+        (* pairs with a < b over 0..2: (0,1) (0,2) (1,2) *)
+        Alcotest.(check int) "three" 3 (List.length (Csp.solve_all t)));
+    Alcotest.test_case "unary constraints restrict domains" `Quick (fun () ->
+        let t = Csp.create () in
+        let a = Csp.add_var t ~name:"a" ~lo:0 ~hi:9 () in
+        Csp.add_unary t a (fun v -> v mod 3 = 0);
+        Alcotest.(check int) "multiples of 3" 4 (Csp.count_solutions t));
+    Alcotest.test_case "custom relations" `Quick (fun () ->
+        let t = Csp.create () in
+        let a = Csp.add_var t ~name:"a" ~lo:1 ~hi:5 () in
+        let b = Csp.add_var t ~name:"b" ~lo:1 ~hi:5 () in
+        Csp.add_constraint t (Csp.Custom ("sum7", fun x y -> x + y = 7)) a b;
+        Alcotest.(check int) "pairs summing to 7" 4 (Csp.count_solutions t));
+    Alcotest.test_case "check validates solutions" `Quick (fun () ->
+        let t = Csp.create () in
+        let a = Csp.add_var t ~name:"a" ~lo:0 ~hi:1 () in
+        let b = Csp.add_var t ~name:"b" ~lo:0 ~hi:1 () in
+        Csp.add_constraint t Csp.Ne a b;
+        Alcotest.(check bool) "good" true (Csp.check t [ ("a", 0); ("b", 1) ]);
+        Alcotest.(check bool) "bad" false (Csp.check t [ ("a", 1); ("b", 1) ]));
+    Alcotest.test_case "seeded solve samples different solutions" `Quick (fun () ->
+        let make () =
+          let t = Csp.create () in
+          let a = Csp.add_var t ~name:"a" ~lo:0 ~hi:9 () in
+          let b = Csp.add_var t ~name:"b" ~lo:0 ~hi:9 () in
+          Csp.add_constraint t Csp.Ne a b;
+          t
+        in
+        let solutions =
+          List.init 10 (fun seed -> Csp.solve ~seed (make ()))
+          |> List.filter_map (fun s -> s)
+          |> List.sort_uniq compare
+        in
+        Alcotest.(check bool) "more than one distinct" true (List.length solutions > 1));
+  ]
+
+let mzn_tests =
+  [ Alcotest.test_case "Listing 8 parses" `Quick (fun () ->
+        let t = Mzn.parse listing8 in
+        Alcotest.(check int) "7 vars" 7 (Csp.num_vars t);
+        Alcotest.(check int) "10 constraints" 10 (Csp.num_constraints t));
+    Alcotest.test_case "Listing 8 solves to a valid four-coloring" `Quick (fun () ->
+        let t = Mzn.parse listing8 in
+        match Csp.solve t with
+        | None -> Alcotest.fail "Australia is four-colorable"
+        | Some coloring ->
+          List.iter
+            (fun (a, b) ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "%s != %s" a b)
+                 true
+                 (List.assoc a coloring <> List.assoc b coloring))
+            adjacency);
+    Alcotest.test_case "Australia has 576 four-colorings" `Quick (fun () ->
+        (* Chromatic polynomial: the adjacency graph factors as a WA-NT-SA
+           triangle with QLD, NSW, VIC each attached to two colored regions
+           and ACT to one, giving k(k-1)^2 (k-2)^4 = 576 at k = 4. *)
+        let t = Mzn.parse listing8 in
+        Alcotest.(check int) "count" 576 (Csp.count_solutions t));
+    Alcotest.test_case "recolored domains: 3 colors give 12, 2 give none" `Quick (fun () ->
+        let with_colors k =
+          let buf = Buffer.create 512 in
+          String.split_on_char '\n' listing8
+          |> List.iter (fun line ->
+              let line =
+                if String.length line >= 10 && String.sub line 0 4 = "var " then
+                  Printf.sprintf "var 1..%d: %s" k (String.sub line 10 (String.length line - 10))
+                else line
+              in
+              Buffer.add_string buf line;
+              Buffer.add_char buf '\n');
+          Mzn.parse (Buffer.contents buf)
+        in
+        Alcotest.(check int) "3 colors" 12 (Csp.count_solutions (with_colors 3));
+        Alcotest.(check bool) "2 colors unsat" true (Csp.solve (with_colors 2) = None));
+    Alcotest.test_case "comments and conjunctions" `Quick (fun () ->
+        let src =
+          "% a comment\nvar 1..2: A;\nvar 1..2: B; var 1..2: C;\nconstraint A != B /\\ B != C;\nsolve satisfy;\n"
+        in
+        let t = Mzn.parse src in
+        Alcotest.(check int) "two constraints" 2 (Csp.num_constraints t);
+        Alcotest.(check bool) "sat" true (Csp.solve t <> None));
+    Alcotest.test_case "constant comparisons" `Quick (fun () ->
+        let t = Mzn.parse "var 1..5: X;\nconstraint X >= 3;\nconstraint X != 4;\nsolve satisfy;\n" in
+        Alcotest.(check int) "two values" 2 (Csp.count_solutions t));
+    Alcotest.test_case "unsupported items rejected" `Quick (fun () ->
+        match Mzn.parse "array[1..3] of var int: xs;\nsolve satisfy;" with
+        | exception Mzn.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "missing solve rejected" `Quick (fun () ->
+        match Mzn.parse "var 1..2: A;" with
+        | exception Mzn.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+  ]
+
+let suite = csp_tests @ mzn_tests

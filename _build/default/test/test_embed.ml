@@ -1,0 +1,225 @@
+open Qac_ising
+module Chimera = Qac_chimera.Chimera
+module Embedding = Qac_embed.Embedding
+module Cmr = Qac_embed.Cmr
+
+let triangle =
+  (* The section 4.4 example: H_log over a 3-cycle, which no bipartite
+     Chimera subgraph can host directly. *)
+  Problem.create ~num_vars:3 ~h:[| 0.5; 0.5; 0.5 |]
+    ~j:[ ((0, 1), 1.0); ((1, 2), 1.0); ((0, 2), 1.0) ]
+    ()
+
+let find_exn ?params graph p =
+  match Cmr.find ?params graph p with
+  | Some e -> e
+  | None -> Alcotest.fail "no embedding found"
+
+let check_verified graph p e =
+  match Embedding.verify graph p e with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* Ground-state preservation: unembedding each physical ground state gives a
+   logical ground state, and every logical ground state is represented. *)
+let check_ground_preservation graph p e =
+  let physical = Embedding.apply graph p e in
+  let compacted, old_of_new = Embedding.compact physical in
+  Alcotest.(check bool) "compact small enough" true
+    (compacted.Problem.num_vars <= Exact.max_vars);
+  let logical_result = Exact.solve p in
+  let physical_result = Exact.solve compacted in
+  let to_full spins =
+    let full = Array.make physical.Problem.num_vars 1 in
+    Array.iteri (fun k old -> full.(old) <- spins.(k)) old_of_new;
+    full
+  in
+  let unembedded =
+    List.map
+      (fun s ->
+         let u = Embedding.unembed e (to_full s) in
+         Alcotest.(check int) "no broken chains in ground state" 0 u.Embedding.broken_chains;
+         Array.to_list u.Embedding.logical)
+      physical_result.Exact.ground_states
+    |> List.sort_uniq compare
+  in
+  let logical_grounds =
+    List.map Array.to_list logical_result.Exact.ground_states |> List.sort compare
+  in
+  Alcotest.(check bool) "ground sets equal" true (unembedded = logical_grounds)
+
+let embedding_tests =
+  [ Alcotest.test_case "triangle embeds into C2 (needs a chain)" `Quick (fun () ->
+        let graph = Chimera.create 2 in
+        let e = find_exn graph triangle in
+        check_verified graph triangle e;
+        Alcotest.(check bool) "at least 4 qubits (3-cycle needs a chain)" true
+          (Embedding.num_physical_qubits e >= 4);
+        check_ground_preservation graph triangle e);
+    Alcotest.test_case "section 4.4 hand example is a valid embedding" `Quick (fun () ->
+        (* sigma_A -> qubit 0, sigma_C -> qubit 5, sigma_B -> qubits {2, 4}:
+           wait, 2 and 4 must be adjacent (they are: K4,4 cell), and the
+           couplers (0,4), (0,5), (2,5) must exist. *)
+        let graph = Chimera.create 2 in
+        let e = { Embedding.chains = [| [| 0 |]; [| 2; 4 |]; [| 5 |] |] } in
+        check_verified graph triangle e;
+        check_ground_preservation graph triangle e);
+    Alcotest.test_case "apply splits coefficients like section 4.4" `Quick (fun () ->
+        let graph = Chimera.create 2 in
+        let e = { Embedding.chains = [| [| 0 |]; [| 2; 4 |]; [| 5 |] |] } in
+        let phys = Embedding.apply graph triangle e ~chain_strength:1.0 in
+        (* h_B = 1/2 split over qubits 2 and 4. *)
+        Alcotest.(check (float 1e-9)) "h2" 0.25 phys.Problem.h.(2);
+        Alcotest.(check (float 1e-9)) "h4" 0.25 phys.Problem.h.(4);
+        Alcotest.(check (float 1e-9)) "h0" 0.5 phys.Problem.h.(0);
+        (* Chain coupler. *)
+        Alcotest.(check (float 1e-9)) "chain J24" (-1.0) (Problem.get_j phys 2 4);
+        (* Logical coupler (A,B): edges (0,4) only (0-2 not adjacent? 0 and 2
+           are both horizontal partition - not adjacent). *)
+        Alcotest.(check (float 1e-9)) "J04" 1.0 (Problem.get_j phys 0 4));
+    Alcotest.test_case "K4 embeds into C2" `Quick (fun () ->
+        let k4 =
+          Problem.create ~num_vars:4 ~h:(Array.make 4 0.1)
+            ~j:[ ((0, 1), 1.0); ((0, 2), 1.0); ((0, 3), 1.0);
+                 ((1, 2), 1.0); ((1, 3), 1.0); ((2, 3), 1.0) ]
+            ()
+        in
+        let graph = Chimera.create 2 in
+        let e = find_exn graph k4 in
+        check_verified graph k4 e;
+        check_ground_preservation graph k4 e);
+    Alcotest.test_case "K6 embeds into C3" `Quick (fun () ->
+        let j = ref [] in
+        for i = 0 to 5 do
+          for k = i + 1 to 5 do
+            j := ((i, k), if (i + k) mod 2 = 0 then 1.0 else -1.0) :: !j
+          done
+        done;
+        let k6 = Problem.create ~num_vars:6 ~h:(Array.make 6 0.0) ~j:!j () in
+        let graph = Chimera.create 3 in
+        let e = find_exn graph k6 in
+        check_verified graph k6 e);
+    Alcotest.test_case "embedding avoids broken qubits" `Quick (fun () ->
+        let graph = Chimera.create 2 ~broken:[ 0; 1; 8 ] in
+        let e = find_exn graph triangle in
+        check_verified graph triangle e;
+        Array.iter
+          (fun chain ->
+             Array.iter
+               (fun q -> Alcotest.(check bool) "working" true (Chimera.is_working graph q))
+               chain)
+          e.Embedding.chains);
+    Alcotest.test_case "verify rejects bad embeddings" `Quick (fun () ->
+        let graph = Chimera.create 2 in
+        let disconnected = { Embedding.chains = [| [| 0 |]; [| 1 |]; [| 2; 3 |] |] } in
+        (match Embedding.verify graph triangle disconnected with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "chain {2,3} is disconnected and 0-1 not adjacent");
+        let overlapping = { Embedding.chains = [| [| 0 |]; [| 0 |]; [| 4 |] |] } in
+        match Embedding.verify graph triangle overlapping with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "overlap must be rejected");
+    Alcotest.test_case "unembed majority vote and broken chains" `Quick (fun () ->
+        let e = { Embedding.chains = [| [| 0; 1; 2 |]; [| 3 |] |] } in
+        let u = Embedding.unembed e [| 1; 1; -1; -1 |] in
+        Alcotest.(check int) "majority" 1 u.Embedding.logical.(0);
+        Alcotest.(check int) "one broken" 1 u.Embedding.broken_chains;
+        let u2 = Embedding.unembed e [| 1; 1; 1; -1 |] in
+        Alcotest.(check int) "intact" 0 u2.Embedding.broken_chains);
+    Alcotest.test_case "embedder is randomized but deterministic per seed" `Quick
+      (fun () ->
+         let graph = Chimera.create 3 in
+         let e1 = find_exn ~params:{ Cmr.default_params with Cmr.seed = 5 } graph triangle in
+         let e2 = find_exn ~params:{ Cmr.default_params with Cmr.seed = 5 } graph triangle in
+         Alcotest.(check bool) "same result" true (e1 = e2));
+    Alcotest.test_case "compact drops untouched variables" `Quick (fun () ->
+        let p =
+          Problem.create ~num_vars:10 ~h:(Array.init 10 (fun i -> if i = 3 then 1.0 else 0.0))
+            ~j:[ ((3, 7), -1.0) ] ()
+        in
+        let compacted, old_of_new = Embedding.compact p in
+        Alcotest.(check int) "two vars" 2 compacted.Problem.num_vars;
+        Alcotest.(check (array int)) "map" [| 3; 7 |] old_of_new);
+  ]
+
+let property_tests =
+  let random_embeds =
+    QCheck.Test.make ~name:"random sparse graphs embed into C4 and verify" ~count:10
+      QCheck.(int_bound 10000)
+      (fun seed ->
+         let st = Random.State.make [| seed |] in
+         let n = 4 + Random.State.int st 5 in
+         let j = ref [] in
+         for i = 0 to n - 1 do
+           for k = i + 1 to n - 1 do
+             if Random.State.int st 3 = 0 then
+               j := ((i, k), float_of_int (1 + Random.State.int st 3) /. 2.0) :: !j
+           done
+         done;
+         (* Ensure connectivity-ish: chain all consecutive. *)
+         for i = 0 to n - 2 do
+           j := ((i, i + 1), -1.0) :: !j
+         done;
+         let p = Problem.create ~num_vars:n ~h:(Array.make n 0.25) ~j:!j () in
+         let graph = Chimera.create 4 in
+         match Cmr.find ~params:{ Cmr.default_params with Cmr.seed = seed } graph p with
+         | None -> false
+         | Some e ->
+           (match Embedding.verify graph p e with
+            | Ok () -> true
+            | Error _ -> false))
+  in
+  [ QCheck_alcotest.to_alcotest random_embeds ]
+
+let suite = embedding_tests @ property_tests
+
+module Clique = Qac_embed.Clique
+
+let clique_tests =
+  [ Alcotest.test_case "clique template: K8 into C4" `Quick (fun () ->
+        let j = ref [] in
+        for i = 0 to 7 do
+          for k = i + 1 to 7 do
+            j := ((i, k), 0.5) :: !j
+          done
+        done;
+        let k8 = Problem.create ~num_vars:8 ~h:(Array.make 8 0.1) ~j:!j () in
+        let graph = Chimera.create 4 in
+        match Clique.find graph k8 with
+        | None -> Alcotest.fail "template failed"
+        | Some e ->
+          check_verified graph k8 e;
+          Alcotest.(check bool) "short chains" true (Embedding.max_chain_length e <= 4));
+    Alcotest.test_case "clique template: K16 into C4 (full capacity)" `Quick (fun () ->
+        let n = 16 in
+        let j = ref [] in
+        for i = 0 to n - 1 do
+          for k = i + 1 to n - 1 do
+            j := ((i, k), 0.5) :: !j
+          done
+        done;
+        let kn = Problem.create ~num_vars:n ~h:(Array.make n 0.1) ~j:!j () in
+        let graph = Chimera.create 4 in
+        match Clique.find graph kn with
+        | None -> Alcotest.fail "template failed"
+        | Some e -> check_verified graph kn e);
+    Alcotest.test_case "oversized clique rejected" `Quick (fun () ->
+        Alcotest.(check bool) "none" true (Clique.embed (Chimera.create 2) ~n:9 = None));
+    Alcotest.test_case "broken qubit on the template fails cleanly" `Quick (fun () ->
+        (* Qubit 0 = row 0, col 0, partition 0, index 0: used by variable 0. *)
+        let graph = Chimera.create 4 ~broken:[ 0 ] in
+        Alcotest.(check bool) "none" true (Clique.embed graph ~n:4 = None));
+    Alcotest.test_case "ground preservation through the template" `Quick (fun () ->
+        let k5 =
+          Problem.create ~num_vars:5 ~h:[| 0.2; -0.3; 0.1; 0.4; -0.1 |]
+            ~j:[ ((0, 1), 1.0); ((0, 2), -0.5); ((1, 3), 0.75); ((2, 4), -1.0);
+                 ((3, 4), 0.5); ((0, 4), 0.25) ]
+            ()
+        in
+        let graph = Chimera.create 2 in
+        match Clique.find graph k5 with
+        | None -> Alcotest.fail "template failed"
+        | Some e -> check_ground_preservation graph k5 e);
+  ]
+
+let suite = suite @ clique_tests

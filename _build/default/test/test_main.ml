@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "qac"
+    [ ("sexp", Test_sexp.suite);
+      ("ising", Test_ising.suite);
+      ("cellgen", Test_cellgen.suite);
+      ("cells", Test_cells.suite);
+      ("netlist", Test_netlist.suite);
+      ("verilog", Test_verilog.suite);
+      ("verilog2", Test_verilog2.suite);
+      ("edif", Test_edif.suite);
+      ("qmasm", Test_qmasm.suite);
+      ("chimera", Test_chimera.suite);
+      ("embed", Test_embed.suite);
+      ("anneal", Test_anneal.suite);
+      ("roofdual", Test_roofdual.suite);
+      ("csp", Test_csp.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("pipeline2", Test_pipeline2.suite);
+      ("misc", Test_misc.suite);
+    ]

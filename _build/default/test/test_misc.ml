@@ -1,0 +1,185 @@
+(* Cross-cutting edge-case battery: ising algebra, cell gaps, EDIF and CSP
+   corners, stdcell text, SQA parameters, clique-template sizing. *)
+
+open Qac_ising
+
+let ising_tests =
+  [ Alcotest.test_case "relabel merges couplers mapped to the same pair" `Quick (fun () ->
+        let p =
+          Problem.create ~num_vars:4 ~h:[| 1.0; 0.0; 0.0; 2.0 |]
+            ~j:[ ((0, 1), 1.0); ((2, 3), 0.5) ]
+            ()
+        in
+        (* Map 2 -> 0 and 3 -> 1: couplers (0,1) and (2,3) collapse. *)
+        let r = Problem.relabel p [| 0; 1; 0; 1 |] ~num_vars:2 in
+        Alcotest.(check int) "vars" 2 r.Problem.num_vars;
+        Alcotest.(check (float 1e-9)) "merged J" 1.5 (Problem.get_j r 0 1);
+        Alcotest.(check (float 1e-9)) "h0" 1.0 r.Problem.h.(0);
+        Alcotest.(check (float 1e-9)) "h1 (old vars 1 and 3)" 2.0 r.Problem.h.(1));
+    Alcotest.test_case "get_j on absent coupler is zero" `Quick (fun () ->
+        let p = Problem.create ~num_vars:3 ~h:(Array.make 3 0.0) ~j:[ ((0, 2), 1.0) ] () in
+        Alcotest.(check (float 0.0)) "absent" 0.0 (Problem.get_j p 0 1);
+        Alcotest.(check (float 0.0)) "present" 1.0 (Problem.get_j p 2 0));
+    Alcotest.test_case "scale rejects nonpositive factors" `Quick (fun () ->
+        match Problem.scale Problem.empty (-1.0) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "energy checks spin values" `Quick (fun () ->
+        let p = Problem.create ~num_vars:1 ~h:[| 1.0 |] ~j:[] () in
+        match Problem.energy p [| 0 |] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "min_j / max_j / max_abs_h" `Quick (fun () ->
+        let p =
+          Problem.create ~num_vars:3 ~h:[| -3.0; 1.0; 0.0 |]
+            ~j:[ ((0, 1), -2.0); ((1, 2), 0.5) ]
+            ()
+        in
+        Alcotest.(check (float 0.0)) "max_abs_h" 3.0 (Problem.max_abs_h p);
+        Alcotest.(check (float 0.0)) "max_j" 0.5 (Problem.max_j p);
+        Alcotest.(check (float 0.0)) "min_j" (-2.0) (Problem.min_j p));
+    Alcotest.test_case "qubo offset preserved through double conversion" `Quick (fun () ->
+        let q =
+          Qubo.create ~num_vars:2 ~linear:[| 1.0; -2.0 |] ~quadratic:[ ((0, 1), 3.0) ]
+            ~offset:7.5 ()
+        in
+        let q2 = Qubo.of_ising (Qubo.to_ising q) in
+        List.iter
+          (fun (a, b) ->
+             Alcotest.(check (float 1e-9)) "energy" (Qubo.energy q [| a; b |])
+               (Qubo.energy q2 [| a; b |]))
+          [ (false, false); (true, false); (false, true); (true, true) ]);
+    Alcotest.test_case "exact histogram energies ascend" `Quick (fun () ->
+        let p =
+          Problem.create ~num_vars:3 ~h:[| 0.3; -0.7; 0.1 |] ~j:[ ((0, 2), -0.4) ] ()
+        in
+        let hist = Exact.brute_energy_histogram p in
+        let energies = List.map fst hist in
+        Alcotest.(check bool) "sorted" true (List.sort compare energies = energies));
+  ]
+
+let cells_tests =
+  [ Alcotest.test_case "exact gaps of Table 5 match recorded values" `Quick (fun () ->
+        let expected =
+          [ ("NOT", 2.0); ("AND", 2.0); ("OR", 2.0); ("NAND", 2.0); ("NOR", 2.0);
+            ("XOR", 1.0); ("XNOR", 1.0); ("MUX", 1.0); ("OAI3", 1.0);
+            ("DFF_P", 2.0); ("DFF_N", 2.0) ]
+        in
+        List.iter
+          (fun (name, gap) ->
+             match Qac_cells.Cells.find name with
+             | None -> Alcotest.fail ("missing cell " ^ name)
+             | Some c ->
+               (match Qac_cells.Cells.verify c with
+                | Ok g -> Alcotest.(check (float 1e-6)) name gap g
+                | Error msg -> Alcotest.fail msg))
+          expected);
+    Alcotest.test_case "AOI gaps are thirds" `Quick (fun () ->
+        let gap name =
+          match Qac_cells.Cells.verify (Option.get (Qac_cells.Cells.find name)) with
+          | Ok g -> g
+          | Error msg -> Alcotest.fail msg
+        in
+        Alcotest.(check (float 1e-6)) "AOI3" (4.0 /. 3.0) (gap "AOI3");
+        Alcotest.(check (float 1e-6)) "AOI4" (1.0 /. 3.0) (gap "AOI4");
+        Alcotest.(check (float 1e-6)) "OAI4" (4.0 /. 3.0) (gap "OAI4"));
+    Alcotest.test_case "stdcell text is stable across calls" `Quick (fun () ->
+        Alcotest.(check string) "same" (Qac_cells.Stdcell.contents ())
+          (Qac_cells.Stdcell.contents ()));
+    Alcotest.test_case "stdcell macros carry assertions" `Quick (fun () ->
+        let stmts = Qac_qmasm.Parser.parse_string (Qac_cells.Stdcell.contents ()) in
+        let assertions =
+          List.length
+            (List.filter (function Qac_qmasm.Ast.Assertion _ -> true | _ -> false) stmts)
+        in
+        Alcotest.(check int) "one per cell" 14 assertions);
+  ]
+
+let edif_tests =
+  [ Alcotest.test_case "netlist names with special characters survive" `Quick (fun () ->
+        (* Unrolled ports contain @ and []; EDIF must round-trip them. *)
+        let src =
+          "module t (clk, o); input clk; output o; reg q; always @(posedge clk) q <= ~q; assign o = q; endmodule"
+        in
+        let netlist =
+          Qac_netlist.Passes.unroll ~ff_names:[| "q" |]
+            (Qac_verilog.Synth.compile src).Qac_verilog.Synth.netlist ~steps:2
+        in
+        let back = Qac_edif.Edif.of_string (Qac_edif.Edif.to_string netlist) in
+        Alcotest.(check bool) "q@init input present" true
+          (Qac_netlist.Netlist.find_input back "q@init" <> None);
+        Alcotest.(check bool) "o@1 output present" true
+          (Qac_netlist.Netlist.find_output back "o@1" <> None));
+    Alcotest.test_case "edif of empty-logic module" `Quick (fun () ->
+        let src = "module t (a, o); input a; output o; assign o = a; endmodule" in
+        let n = (Qac_verilog.Synth.compile src).Qac_verilog.Synth.netlist in
+        let back = Qac_edif.Edif.of_string (Qac_edif.Edif.to_string n) in
+        let out = Qac_netlist.Sim.comb back ~inputs:[ ("a", [| true |]) ] in
+        Alcotest.(check bool) "passthrough" true (List.assoc "o" out).(0));
+  ]
+
+let csp_tests =
+  [ Alcotest.test_case "iter_solutions early stop" `Quick (fun () ->
+        let t = Qac_csp.Csp.create () in
+        let _ = Qac_csp.Csp.add_var t ~name:"x" ~lo:0 ~hi:9 () in
+        let count = ref 0 in
+        Qac_csp.Csp.iter_solutions t (fun _ ->
+            incr count;
+            if !count >= 3 then `Stop else `Continue);
+        Alcotest.(check int) "stopped" 3 !count);
+    Alcotest.test_case "var_name lookup" `Quick (fun () ->
+        let t = Qac_csp.Csp.create () in
+        let a = Qac_csp.Csp.add_var t ~name:"alpha" ~lo:0 ~hi:1 () in
+        Alcotest.(check string) "name" "alpha" (Qac_csp.Csp.var_name t a));
+    Alcotest.test_case "solve_all with limit" `Quick (fun () ->
+        let t = Qac_csp.Csp.create () in
+        let _ = Qac_csp.Csp.add_var t ~lo:0 ~hi:9 () in
+        Alcotest.(check int) "limited" 4 (List.length (Qac_csp.Csp.solve_all ~limit:4 t)));
+  ]
+
+let sqa_clique_tests =
+  [ Alcotest.test_case "sqa j_perp behaviour via extreme gammas" `Quick (fun () ->
+        (* With gamma pinned huge the replicas decouple: reads should still
+           return legal spin vectors (sanity of the Trotter machinery). *)
+        let p = Problem.create ~num_vars:4 ~h:[| 1.0; -1.0; 0.5; -0.5 |] ~j:[] () in
+        let r =
+          Qac_anneal.Sqa.sample
+            ~params:{ Qac_anneal.Sqa.default_params with
+                      Qac_anneal.Sqa.gamma_initial = 10.0; gamma_final = 5.0;
+                      num_reads = 5; num_sweeps = 50 }
+            p
+        in
+        List.iter
+          (fun s ->
+             Array.iter
+               (fun v -> Alcotest.(check bool) "+-1" true (v = 1 || v = -1))
+               s.Qac_anneal.Sampler.spins)
+          r.Qac_anneal.Sampler.samples);
+    Alcotest.test_case "clique template chain lengths" `Quick (fun () ->
+        (* Variable v in block b has chain length (b+1) + (blocks-b). *)
+        let g = Qac_chimera.Chimera.create 4 in
+        match Qac_embed.Clique.embed g ~n:12 with
+        | None -> Alcotest.fail "template failed"
+        | Some e ->
+          Alcotest.(check int) "blocks = 3 -> max chain 4" 4
+            (Qac_embed.Embedding.max_chain_length e));
+    Alcotest.test_case "clique template on wider shore" `Quick (fun () ->
+        let g = Qac_chimera.Chimera.create ~shore:6 3 in
+        match Qac_embed.Clique.embed g ~n:18 with
+        | None -> Alcotest.fail "template failed on shore 6"
+        | Some e ->
+          let p18 =
+            let j = ref [] in
+            for i = 0 to 17 do
+              for k = i + 1 to 17 do
+                j := ((i, k), 0.1) :: !j
+              done
+            done;
+            Problem.create ~num_vars:18 ~h:(Array.make 18 0.0) ~j:!j ()
+          in
+          (match Qac_embed.Embedding.verify g p18 e with
+           | Ok () -> ()
+           | Error msg -> Alcotest.fail msg));
+  ]
+
+let suite = ising_tests @ cells_tests @ edif_tests @ csp_tests @ sqa_clique_tests

@@ -1,0 +1,111 @@
+open Qac_ising
+module Qpbo = Qac_roofdual.Qpbo
+
+let random_problem ~seed ~n ~density =
+  let st = Random.State.make [| seed |] in
+  let h = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+  let j = ref [] in
+  for i = 0 to n - 1 do
+    for k = i + 1 to n - 1 do
+      if Random.State.float st 1.0 < density then
+        j := ((i, k), Random.State.float st 2.0 -. 1.0) :: !j
+    done
+  done;
+  Problem.create ~num_vars:n ~h ~j:!j ()
+
+(* Weak persistency: fixing the labeled variables must preserve the optimal
+   energy; the bound must hold. *)
+let check_weak_persistency p =
+  let exact = Exact.solve p in
+  let result = Qpbo.solve p in
+  Alcotest.(check bool) "lower bound holds" true
+    (result.Qpbo.lower_bound <= exact.Exact.ground_energy +. 1e-6);
+  if result.Qpbo.fixed <> [] then begin
+    let consistent =
+      List.exists
+        (fun ground ->
+           List.for_all
+             (fun (i, b) -> (ground.(i) > 0) = b)
+             result.Qpbo.fixed)
+        exact.Exact.ground_states
+    in
+    Alcotest.(check bool) "some ground state agrees with all fixings" true consistent
+  end
+
+let unit_tests =
+  [ Alcotest.test_case "pure field problem fully fixed" `Quick (fun () ->
+        let p = Problem.create ~num_vars:3 ~h:[| 1.0; -2.0; 0.5 |] ~j:[] () in
+        let r = Qpbo.solve p in
+        Alcotest.(check int) "all fixed" 3 (List.length r.Qpbo.fixed);
+        Alcotest.(check bool) "values" true
+          (r.Qpbo.fixed = [ (0, false); (1, true); (2, false) ]);
+        Alcotest.(check (float 1e-9)) "tight bound" (-3.5) r.Qpbo.lower_bound);
+    Alcotest.test_case "submodular (ferromagnetic) problems fix completely" `Quick
+      (fun () ->
+         (* All J <= 0 in QUBO form means roof duality is tight. *)
+         let p =
+           Problem.create ~num_vars:4 ~h:[| 0.3; -0.2; 0.5; -0.1 |]
+             ~j:[ ((0, 1), -1.0); ((1, 2), -0.5); ((2, 3), -1.0) ]
+             ()
+         in
+         let r = Qpbo.solve p in
+         let exact = Exact.solve p in
+         Alcotest.(check int) "all fixed" 4 (List.length r.Qpbo.fixed);
+         Alcotest.(check (float 1e-6)) "bound tight" exact.Exact.ground_energy
+           r.Qpbo.lower_bound);
+    Alcotest.test_case "frustrated triangle fixes nothing" `Quick (fun () ->
+        let p =
+          Problem.create ~num_vars:3 ~h:[| 0.0; 0.0; 0.0 |]
+            ~j:[ ((0, 1), 1.0); ((1, 2), 1.0); ((0, 2), 1.0) ]
+            ()
+        in
+        let r = Qpbo.solve p in
+        Alcotest.(check (list (pair int bool))) "nothing fixed" [] r.Qpbo.fixed);
+    Alcotest.test_case "simplify folds fixed variables" `Quick (fun () ->
+        (* Strong field pins variable 0; coupling folds into variable 1. *)
+        let p =
+          Problem.create ~num_vars:2 ~h:[| 5.0; 0.1 |] ~j:[ ((0, 1), -1.0) ] ()
+        in
+        let s = Qpbo.simplify p in
+        Alcotest.(check bool) "var 0 fixed false" true (List.mem (0, false) s.Qpbo.fixed);
+        (* Reduced problem over remaining variables solves to the same
+           optimum as the original. *)
+        let reduced_exact = Exact.solve s.Qpbo.reduced in
+        let full_exact = Exact.solve p in
+        Alcotest.(check (float 1e-9)) "same optimum" full_exact.Exact.ground_energy
+          reduced_exact.Exact.ground_energy;
+        (* Restore round-trip. *)
+        (match reduced_exact.Exact.ground_states with
+         | g :: _ ->
+           let full = Qpbo.restore ~original_num_vars:2 s g in
+           Alcotest.(check bool) "restored is ground" true (Exact.is_ground_state p full)
+         | [] -> Alcotest.fail "no reduced ground state"));
+    Alcotest.test_case "empty problem" `Quick (fun () ->
+        let r = Qpbo.solve Problem.empty in
+        Alcotest.(check (list (pair int bool))) "nothing" [] r.Qpbo.fixed);
+  ]
+
+let property_tests =
+  let persistency =
+    QCheck.Test.make ~name:"roof duality gives weak persistency on random problems"
+      ~count:60
+      QCheck.(int_bound 100000)
+      (fun seed ->
+         let p = random_problem ~seed ~n:(4 + (seed mod 7)) ~density:0.5 in
+         check_weak_persistency p;
+         true)
+  in
+  let simplify_preserves =
+    QCheck.Test.make ~name:"simplify preserves the optimal energy" ~count:40
+      QCheck.(int_bound 100000)
+      (fun seed ->
+         let p = random_problem ~seed:(seed + 7919) ~n:(3 + (seed mod 8)) ~density:0.4 in
+         let s = Qpbo.simplify p in
+         let reduced = Exact.solve s.Qpbo.reduced in
+         let full = Exact.solve p in
+         Float.abs (reduced.Exact.ground_energy -. full.Exact.ground_energy) < 1e-6)
+  in
+  [ QCheck_alcotest.to_alcotest persistency;
+    QCheck_alcotest.to_alcotest simplify_preserves ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,68 @@
+module Sexp = Qac_sexp.Sexp
+
+let check_roundtrip name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let parsed = Sexp.parse_string src in
+      Alcotest.(check bool) "structure" true (Sexp.equal parsed expected);
+      let reparsed = Sexp.parse_string (Sexp.to_string parsed) in
+      Alcotest.(check bool) "pretty round-trip" true (Sexp.equal parsed reparsed);
+      let reparsed = Sexp.parse_string (Sexp.to_string_compact parsed) in
+      Alcotest.(check bool) "compact round-trip" true (Sexp.equal parsed reparsed))
+
+let atom = Sexp.atom
+let list = Sexp.list
+
+let parse_error name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Sexp.parse_string src with
+      | exception Sexp.Parse_error _ -> ()
+      | _ -> Alcotest.fail "expected Parse_error")
+
+let accessor_tests =
+  [ Alcotest.test_case "find_all is case-insensitive" `Quick (fun () ->
+        let s = Sexp.parse_string "(cell (Port a) (PORT b) (net x))" in
+        Alcotest.(check int) "ports" 2 (List.length (Sexp.find_all ~tag:"port" s));
+        Alcotest.(check int) "nets" 1 (List.length (Sexp.find_all ~tag:"net" s));
+        Alcotest.(check int) "absent" 0 (List.length (Sexp.find_all ~tag:"instance" s)));
+    Alcotest.test_case "tag" `Quick (fun () ->
+        Alcotest.(check (option string)) "list" (Some "edif")
+          (Sexp.tag (Sexp.parse_string "(edif x)"));
+        Alcotest.(check (option string)) "atom" None (Sexp.tag (atom "x")));
+    Alcotest.test_case "find" `Quick (fun () ->
+        let s = Sexp.parse_string "(a (b 1) (c 2))" in
+        match Sexp.find ~tag:"c" s with
+        | Some (Sexp.List [ _; Sexp.Atom "2" ]) -> ()
+        | _ -> Alcotest.fail "find c");
+    Alcotest.test_case "parse_many" `Quick (fun () ->
+        Alcotest.(check int) "three" 3 (List.length (Sexp.parse_many "a (b) c")));
+    Alcotest.test_case "comments skipped" `Quick (fun () ->
+        let s = Sexp.parse_string "; header\n(a ; inline\n b)" in
+        Alcotest.(check bool) "eq" true (Sexp.equal s (list [ atom "a"; atom "b" ])));
+    Alcotest.test_case "quoted atoms keep spaces" `Quick (fun () ->
+        match Sexp.parse_string {|(rename x "out[3]")|} with
+        | Sexp.List [ _; _; Sexp.Atom "out[3]" ] -> ()
+        | _ -> Alcotest.fail "rename");
+    Alcotest.test_case "quoting emitted when needed" `Quick (fun () ->
+        let s = list [ atom "a b"; atom "plain" ] in
+        let src = Sexp.to_string_compact s in
+        Alcotest.(check bool) "round" true (Sexp.equal s (Sexp.parse_string src)));
+    Alcotest.test_case "escaped quote round-trips" `Quick (fun () ->
+        let s = atom {|say "hi"|} in
+        Alcotest.(check bool) "round" true
+          (Sexp.equal s (Sexp.parse_string (Sexp.to_string_compact s))));
+  ]
+
+let suite =
+  [ check_roundtrip "atom" "hello" (atom "hello");
+    check_roundtrip "empty list" "()" (list []);
+    check_roundtrip "nested" "(a (b c) ((d)))"
+      (list [ atom "a"; list [ atom "b"; atom "c" ]; list [ list [ atom "d" ] ] ]);
+    check_roundtrip "string atom" {|("two words")|} (list [ atom "two words" ]);
+    check_roundtrip "numbers" "(1 -2.5 3e4)" (list [ atom "1"; atom "-2.5"; atom "3e4" ]);
+    parse_error "unbalanced open" "(a (b)";
+    parse_error "unbalanced close" "a)";
+    parse_error "trailing garbage" "(a) b";
+    parse_error "empty input" "   ";
+    parse_error "unterminated string" {|("abc|};
+  ]
+  @ accessor_tests

@@ -1,0 +1,396 @@
+(* Second Verilog battery: feature corners, error cases, and additional
+   differential checks between the interpreter and the synthesizer. *)
+
+open Qac_verilog
+module Sim = Qac_netlist.Sim
+
+let int_of_bits = Verilog.int_of_bits
+let bits_of_int width v = Array.init width (fun i -> (v lsr i) land 1 = 1)
+
+let eval_outputs src inputs =
+  Eval.comb_outputs (Verilog.interpreter src) ~inputs
+
+let check_equiv ?(cases = 64) src =
+  let m = Verilog.elaborate src in
+  let ev = Eval.create m in
+  let n = (Synth.synthesize m).Synth.netlist in
+  let input_ports =
+    List.filter_map
+      (fun (name, dir, w) -> if dir = Ast.Input then Some (name, w) else None)
+      m.Elab.ports
+  in
+  let total_bits = List.fold_left (fun acc (_, w) -> acc + w) 0 input_ports in
+  let codes =
+    if total_bits <= 10 then List.init (1 lsl total_bits) (fun c -> c)
+    else
+      let st = Random.State.make [| Hashtbl.hash src |] in
+      List.init cases (fun _ -> Random.State.int st (1 lsl (min total_bits 30)))
+  in
+  List.iter
+    (fun code ->
+       let _, assignment =
+         List.fold_left
+           (fun (shift, acc) (name, w) ->
+              (shift + w, (name, (code lsr shift) land ((1 lsl w) - 1)) :: acc))
+           (0, []) input_ports
+       in
+       let expected = Eval.comb_outputs ev ~inputs:assignment in
+       let got =
+         Sim.comb n
+           ~inputs:
+             (List.map (fun (name, v) -> (name, bits_of_int (Eval.width ev name) v)) assignment)
+       in
+       List.iter
+         (fun (name, v) ->
+            Alcotest.(check int) (Printf.sprintf "%s@%d" name code) v
+              (int_of_bits (List.assoc name got)))
+         expected)
+    codes
+
+let operator_tests =
+  [ Alcotest.test_case "bit-xnor operator" `Quick (fun () ->
+        check_equiv "module t (a, b, o); input [2:0] a, b; output [2:0] o; assign o = a ~^ b; endmodule");
+    Alcotest.test_case "nested ternaries" `Quick (fun () ->
+        check_equiv
+          "module t (s, o); input [1:0] s; output [1:0] o; assign o = s == 0 ? 1 : s == 1 ? 2 : s == 2 ? 3 : 0; endmodule");
+    Alcotest.test_case "negate operator" `Quick (fun () ->
+        check_equiv "module t (a, o); input [3:0] a; output [3:0] o; assign o = -a; endmodule");
+    Alcotest.test_case "modulo by nonzero constant" `Quick (fun () ->
+        check_equiv "module t (a, o); input [4:0] a; output [4:0] o; assign o = a % 5; endmodule");
+    Alcotest.test_case "mixed widths extend with zeros" `Quick (fun () ->
+        let outs = eval_outputs
+            "module t (a, o); input [1:0] a; output [4:0] o; assign o = a + 5'b10000; endmodule"
+            [ ("a", 3) ]
+        in
+        Alcotest.(check int) "o" 19 (List.assoc "o" outs));
+    Alcotest.test_case "comparison width uses both operands" `Quick (fun () ->
+        (* 2-bit 3 vs 4-bit 12: must compare as unsigned 4-bit. *)
+        let outs = eval_outputs
+            "module t (a, o); input [1:0] a; output o; assign o = a < 4'd12; endmodule"
+            [ ("a", 3) ]
+        in
+        Alcotest.(check int) "o" 1 (List.assoc "o" outs));
+    Alcotest.test_case "shift beyond width yields zero" `Quick (fun () ->
+        let outs = eval_outputs
+            "module t (a, s, o); input [3:0] a; input [2:0] s; output [3:0] o; assign o = a << s; endmodule"
+            [ ("a", 15); ("s", 6) ]
+        in
+        Alcotest.(check int) "o" 0 (List.assoc "o" outs));
+    Alcotest.test_case "logical vs bitwise on multibit" `Quick (fun () ->
+        (* 2 && 1 is true (both nonzero); 2 & 1 is 0. *)
+        let outs = eval_outputs
+            "module t (o1, o2); output o1; output [1:0] o2; assign o1 = 2'd2 && 2'd1; assign o2 = 2'd2 & 2'd1; endmodule"
+            []
+        in
+        Alcotest.(check int) "&&" 1 (List.assoc "o1" outs);
+        Alcotest.(check int) "&" 0 (List.assoc "o2" outs));
+    Alcotest.test_case "replicated concat as operand" `Quick (fun () ->
+        check_equiv
+          "module t (a, o); input a; output [3:0] o; assign o = {4{a}} ^ 4'b0101; endmodule");
+    Alcotest.test_case "hex and octal literals" `Quick (fun () ->
+        let outs = eval_outputs
+            "module t (o); output [7:0] o; assign o = 8'hA5 ^ 8'o17; endmodule" []
+        in
+        Alcotest.(check int) "o" (0xA5 lxor 0o17) (List.assoc "o" outs));
+    Alcotest.test_case "underscores in literals" `Quick (fun () ->
+        let outs = eval_outputs
+            "module t (o); output [7:0] o; assign o = 8'b1010_0101; endmodule" []
+        in
+        Alcotest.(check int) "o" 0xA5 (List.assoc "o" outs));
+  ]
+
+let statement_tests =
+  [ Alcotest.test_case "case with multiple labels synthesizes" `Quick (fun () ->
+        check_equiv
+          {|module t (s, o);
+             input [2:0] s;
+             output [1:0] o;
+             reg [1:0] o;
+             always @* begin
+               case (s)
+                 0, 1, 2: o = 0;
+                 3, 4: o = 1;
+                 default: o = 2;
+               endcase
+             end
+           endmodule|});
+    Alcotest.test_case "nested ifs in comb block" `Quick (fun () ->
+        check_equiv
+          {|module t (a, b, o);
+             input [1:0] a, b;
+             output [1:0] o;
+             reg [1:0] o;
+             always @* begin
+               o = 0;
+               if (a > b) begin
+                 if (a == 3) o = 3; else o = 1;
+               end else if (a < b) o = 2;
+             end
+           endmodule|});
+    Alcotest.test_case "blocking assignment sequencing in comb block" `Quick (fun () ->
+        let outs = eval_outputs
+            {|module t (a, o);
+               input [3:0] a;
+               output [3:0] o;
+               reg [3:0] tmp, o;
+               always @* begin
+                 tmp = a + 1;
+                 tmp = tmp + 1;
+                 o = tmp;
+               end
+             endmodule|}
+            [ ("a", 5) ]
+        in
+        Alcotest.(check int) "o" 7 (List.assoc "o" outs));
+    Alcotest.test_case "partial bit assignment covering all bits" `Quick (fun () ->
+        check_equiv
+          {|module t (a, o);
+             input [3:0] a;
+             output [3:0] o;
+             reg [3:0] o;
+             always @* begin
+               o[1:0] = a[3:2];
+               o[3:2] = a[1:0];
+             end
+           endmodule|});
+    Alcotest.test_case "lvalue concatenation" `Quick (fun () ->
+        check_equiv
+          {|module t (a, hi, lo);
+             input [5:0] a;
+             output [2:0] hi, lo;
+             assign {hi, lo} = a + 1;
+           endmodule|});
+    Alcotest.test_case "negedge blocks clock like posedge (discrete time)" `Quick
+      (fun () ->
+         let src =
+           "module t (clk, o); input clk; output [1:0] o; reg [1:0] q; always @(negedge clk) q <= q + 1; assign o = q; endmodule"
+         in
+         let ev = Verilog.interpreter src in
+         let outs = Eval.run ev ~inputs:[ [ ("clk", 0) ]; [ ("clk", 0) ]; [ ("clk", 0) ] ] in
+         Alcotest.(check (list int)) "counts" [ 0; 1; 2 ]
+           (List.map (List.assoc "o") outs));
+    Alcotest.test_case "multiple clocked blocks over disjoint regs" `Quick (fun () ->
+        let src =
+          {|module t (clk, o1, o2);
+             input clk;
+             output [1:0] o1, o2;
+             reg [1:0] q1, q2;
+             always @(posedge clk) q1 <= q1 + 1;
+             always @(posedge clk) q2 <= q2 + 2;
+             assign o1 = q1;
+             assign o2 = q2;
+           endmodule|}
+        in
+        let ev = Verilog.interpreter src in
+        let outs = Eval.run ev ~inputs:[ [ ("clk", 0) ]; [ ("clk", 0) ] ] in
+        let last = List.nth outs 1 in
+        Alcotest.(check int) "q1" 1 (List.assoc "o1" last);
+        Alcotest.(check int) "q2" 2 (List.assoc "o2" last));
+  ]
+
+let error_tests =
+  let expect_elab_error name src =
+    Alcotest.test_case name `Quick (fun () ->
+        match Verilog.elaborate src with
+        | exception Elab.Error _ -> ()
+        | _ -> Alcotest.fail "expected elaboration error")
+  in
+  let expect_front_error name src =
+    Alcotest.test_case name `Quick (fun () ->
+        match Eval.comb_outputs (Verilog.interpreter src) ~inputs:[] with
+        | exception Eval.Error _ -> ()
+        | exception Elab.Error _ -> ()
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error")
+  in
+  [ expect_elab_error "unknown module instantiated"
+      "module t (o); output o; nosuch u (.o(o)); endmodule";
+    expect_elab_error "port without direction"
+      "module t (a); wire a; endmodule";
+    expect_front_error "multiple continuous drivers"
+      "module t (o); output o; assign o = 0; assign o = 1; endmodule";
+    expect_front_error "assign to input"
+      "module t (a); input a; assign a = 1; endmodule";
+    expect_front_error "undeclared identifier"
+      "module t (o); output o; assign o = ghost; endmodule";
+    expect_elab_error "for loop with non-loop step"
+      {|module t (o); output o; reg o; integer i;
+        always @* begin for (i = 0; i < 2; o = o + 1) o = 1; end endmodule|};
+    Alcotest.test_case "out-of-range bit select rejected" `Quick (fun () ->
+        let src = "module t (a, o); input [1:0] a; output o; assign o = a[5]; endmodule" in
+        match Eval.comb_outputs (Verilog.interpreter src) ~inputs:[ ("a", 0) ] with
+        | exception Eval.Error _ -> ()
+        | exception Elab.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "part-select direction mismatch rejected" `Quick (fun () ->
+        let src = "module t (a, o); input [3:0] a; output [1:0] o; assign o = a[0:1]; endmodule" in
+        match Eval.comb_outputs (Verilog.interpreter src) ~inputs:[ ("a", 0) ] with
+        | exception Eval.Error _ -> ()
+        | exception Elab.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+  ]
+
+let structure_tests =
+  [ Alcotest.test_case "two instances of the same child" `Quick (fun () ->
+        check_equiv
+          {|module inv (a, y); input a; output y; assign y = ~a; endmodule
+            module t (a, b, o); input a, b; output [1:0] o;
+              inv i1 (.a(a), .y(o[0]));
+              inv i2 (.a(b), .y(o[1]));
+            endmodule|});
+    Alcotest.test_case "three-level hierarchy" `Quick (fun () ->
+        check_equiv
+          {|module leaf (a, y); input a; output y; assign y = ~a; endmodule
+            module mid (a, y); input a; output y; leaf l (.a(a), .y(y)); endmodule
+            module t (a, y); input a; output y; mid m (.a(a), .y(y)); endmodule|});
+    Alcotest.test_case "parameter arithmetic in ranges" `Quick (fun () ->
+        let m =
+          Verilog.elaborate
+            "module t (o); parameter W = 3; parameter D = W * 2 + 1; output [D-1:0] o; assign o = 0; endmodule"
+        in
+        Alcotest.(check int) "width" 7 (Elab.net_width m "o"));
+    Alcotest.test_case "localparam behaves like parameter" `Quick (fun () ->
+        let outs = eval_outputs
+            "module t (o); localparam K = 42; output [5:0] o; assign o = K; endmodule" []
+        in
+        Alcotest.(check int) "o" 42 (List.assoc "o" outs));
+    Alcotest.test_case "top selection by name" `Quick (fun () ->
+        let src =
+          "module a (o); output o; assign o = 0; endmodule\nmodule b (o); output o; assign o = 1; endmodule"
+        in
+        let ev = Verilog.interpreter ~top:"a" src in
+        Alcotest.(check int) "top a" 0
+          (List.assoc "o" (Eval.comb_outputs ev ~inputs:[])));
+    Alcotest.test_case "unconnected output port tolerated" `Quick (fun () ->
+        check_equiv
+          {|module full (a, s, c); input a; output s, c; assign s = a; assign c = ~a; endmodule
+            module t (a, o); input a; output o; full f (.a(a), .s(o), .c()); endmodule|});
+    Alcotest.test_case "peek reads internal wires" `Quick (fun () ->
+        let ev =
+          Verilog.interpreter
+            "module t (a, o); input [1:0] a; output o; wire [1:0] w; assign w = a ^ 2'b11; assign o = w[0]; endmodule"
+        in
+        Alcotest.(check int) "w" 1 (Eval.peek ev ~inputs:[ ("a", 2) ] "w"));
+    Alcotest.test_case "estimated_logical_vars counts ancillas" `Quick (fun () ->
+        let n =
+          (Synth.compile "module t (a, b, o); input a, b; output o; assign o = a ^ b; endmodule")
+            .Synth.netlist
+        in
+        (* One XOR cell: 2 inputs + 1 output + 1 ancilla = 4. *)
+        Alcotest.(check int) "vars" 4 (Qac_netlist.Netlist.estimated_logical_vars n));
+  ]
+
+let suite = operator_tests @ statement_tests @ error_tests @ structure_tests
+
+let generate_tests =
+  [ Alcotest.test_case "generate-for over assigns (bit reversal)" `Quick (fun () ->
+        check_equiv
+          {|module t (a, o);
+             input [5:0] a;
+             output [5:0] o;
+             genvar i;
+             generate
+               for (i = 0; i < 6; i = i + 1) begin : rev
+                 assign o[i] = a[5 - i];
+               end
+             endgenerate
+           endmodule|});
+    Alcotest.test_case "generate-for instantiating modules" `Quick (fun () ->
+        check_equiv
+          {|module inv (a, y); input a; output y; assign y = ~a; endmodule
+            module t (a, o);
+              input [3:0] a;
+              output [3:0] o;
+              genvar i;
+              generate
+                for (i = 0; i < 4; i = i + 1) begin : bits
+                  inv u (.a(a[i]), .y(o[i]));
+                end
+              endgenerate
+            endmodule|});
+    Alcotest.test_case "generate bound from parameter" `Quick (fun () ->
+        let m =
+          Verilog.elaborate
+            {|module t (a, o);
+               parameter W = 5;
+               input [W-1:0] a;
+               output [W-1:0] o;
+               genvar g;
+               generate
+                 for (g = 0; g < W; g = g + 1) begin : blk
+                   assign o[g] = ~a[g];
+                 end
+               endgenerate
+             endmodule|}
+        in
+        let ev = Eval.create m in
+        Alcotest.(check int) "complement" 0b10101
+          (List.assoc "o" (Eval.comb_outputs ev ~inputs:[ ("a", 0b01010) ])));
+    Alcotest.test_case "nested generate-for" `Quick (fun () ->
+        check_equiv
+          {|module t (a, o);
+             input [3:0] a;
+             output [3:0] o;
+             wire [3:0] w;
+             genvar i, j;
+             generate
+               for (i = 0; i < 2; i = i + 1) begin : outer
+                 for (j = 0; j < 2; j = j + 1) begin : inner
+                   assign w[i * 2 + j] = a[j * 2 + i];
+                 end
+               end
+             endgenerate
+             assign o = w;
+           endmodule|});
+    Alcotest.test_case "ripple-carry adder built by generate" `Quick (fun () ->
+        check_equiv
+          {|module fa (a, b, cin, s, cout);
+              input a, b, cin; output s, cout;
+              assign s = a ^ b ^ cin;
+              assign cout = (a & b) | (cin & (a ^ b));
+            endmodule
+            module t (x, y, sum);
+              input [3:0] x, y;
+              output [4:0] sum;
+              wire [4:0] carry;
+              assign carry[0] = 0;
+              genvar i;
+              generate
+                for (i = 0; i < 4; i = i + 1) begin : stage
+                  fa f (.a(x[i]), .b(y[i]), .cin(carry[i]), .s(sum[i]), .cout(carry[i+1]));
+                end
+              endgenerate
+              assign sum[4] = carry[4];
+            endmodule|});
+    Alcotest.test_case "declaration inside generate rejected" `Quick (fun () ->
+        match
+          Verilog.elaborate
+            {|module t (o); output o;
+               genvar i;
+               generate
+                 for (i = 0; i < 2; i = i + 1) begin : b
+                   wire w;
+                 end
+               endgenerate
+               assign o = 0;
+             endmodule|}
+        with
+        | exception Elab.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+    Alcotest.test_case "generate unroll limit enforced" `Quick (fun () ->
+        match
+          Verilog.elaborate
+            {|module t (o); output o;
+               genvar i;
+               generate
+                 for (i = 0; i >= 0; i = i + 1) begin : b
+                   assign o = 0;
+                 end
+               endgenerate
+             endmodule|}
+        with
+        | exception Elab.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+  ]
+
+let suite = suite @ generate_tests
