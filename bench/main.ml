@@ -5,7 +5,11 @@
       rows.
     - [dune exec bench/main.exe -- e12 e14] runs a subset.
     - [dune exec bench/main.exe -- bechamel] runs the Bechamel
-      micro-benchmarks (one [Test.make] per experiment family). *)
+      micro-benchmarks (one [Test.make] per experiment family).
+    - [dune exec bench/main.exe -- trace] prints the per-stage span
+      breakdown (times + size counters) for a compile+run of a multiplier.
+    - [dune exec bench/main.exe -- parallel] measures domain-parallel SA
+      read-batch scaling on a 300-variable spin glass. *)
 
 let run_experiments ids =
   let selected =
@@ -100,8 +104,83 @@ let bechamel () =
          analyzed)
     tests
 
+(* --- Per-stage tracing ------------------------------------------------------ *)
+
+let trace_breakdown () =
+  let module P = Qac_core.Pipeline in
+  let module Trace = Qac_diag.Trace in
+  let src =
+    "module mult (a, b, p); input [2:0] a; input [2:0] b; output [5:0] p; \
+     assign p = a * b; endmodule"
+  in
+  let trace = Trace.create () in
+  let t = P.compile ~trace src in
+  let params =
+    { Qac_anneal.Sa.default_params with Qac_anneal.Sa.num_reads = 200; num_sweeps = 500 }
+  in
+  let result =
+    P.run t ~pins:[ ("p", 15) ] ~trace ~solver:(P.Sa params) ~target:P.Logical
+  in
+  Printf.printf "per-stage trace (compile + run, 3x3 multiplier, p pinned to 15):\n";
+  Format.printf "%a" Trace.pp trace;
+  Printf.printf "valid solutions: %d of %d distinct\n"
+    (List.length (P.valid_solutions result))
+    (List.length result.P.solutions)
+
+(* --- Domain-parallel SA scaling --------------------------------------------- *)
+
+let parallel_scaling () =
+  let module Rng = Qac_anneal.Rng in
+  (* A 300-variable random spin glass: ring + random chords. *)
+  let n = 300 in
+  let rng = Rng.create 1 in
+  let h = Array.init n (fun _ -> (Rng.float rng *. 2.0) -. 1.0) in
+  let seen = Hashtbl.create 1024 in
+  let j = ref [] in
+  for i = 0 to n - 1 do
+    Hashtbl.replace seen (i, (i + 1) mod n) ();
+    j := ((i, (i + 1) mod n), (Rng.float rng *. 2.0) -. 1.0) :: !j
+  done;
+  let added = ref 0 in
+  while !added < 3 * n do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    let key = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      j := (key, (Rng.float rng *. 2.0) -. 1.0) :: !j;
+      incr added
+    end
+  done;
+  let problem = Qac_ising.Problem.create ~num_vars:n ~h ~j:!j () in
+  let params =
+    { Qac_anneal.Sa.default_params with
+      Qac_anneal.Sa.num_reads = 256;
+      num_sweeps = 400;
+      seed = 7 }
+  in
+  Printf.printf
+    "domain-parallel SA: %d vars, %d terms, %d reads x %d sweeps (%d cores available)\n"
+    n
+    (Qac_ising.Problem.num_terms problem)
+    params.Qac_anneal.Sa.num_reads params.Qac_anneal.Sa.num_sweeps
+    (Domain.recommended_domain_count ());
+  let baseline = ref 0.0 in
+  List.iter
+    (fun threads ->
+       let r = Qac_anneal.Parallel.sample_sa ~num_threads:threads ~params problem in
+       let wall = r.Qac_anneal.Sampler.elapsed_seconds in
+       if threads = 1 then baseline := wall;
+       Printf.printf
+         "  threads=%-2d  wall=%7.3fs  speedup=%5.2fx  distinct=%d  best=%g\n" threads wall
+         (!baseline /. wall)
+         (Qac_anneal.Sampler.num_distinct r)
+         (Qac_anneal.Sampler.best r).Qac_anneal.Sampler.energy)
+    [ 1; 2; 4; 8 ]
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "bechamel" ] -> bechamel ()
+  | [ "trace" ] -> trace_breakdown ()
+  | [ "parallel" ] -> parallel_scaling ()
   | ids -> run_experiments ids

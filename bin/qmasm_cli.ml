@@ -39,7 +39,11 @@ let merge_arg =
   let doc = "Merge chained variables into one (qmasm's optimization)." in
   Arg.(value & flag & info [ "merge-chains" ] ~doc)
 
-let main src pins solver reads minizinc merge =
+let threads_arg =
+  let doc = "Split annealing reads across $(docv) OCaml domains (SA/SQA/tabu)." in
+  Arg.(value & opt int 1 & info [ "threads" ] ~docv:"N" ~doc)
+
+let main src pins solver reads minizinc merge threads =
   try
     let pin_lines = String.concat "\n" pins in
     let source = read_file src ^ "\n" ^ pin_lines ^ "\n" in
@@ -55,18 +59,21 @@ let main src pins solver reads minizinc merge =
       let problem = program.Qmasm.Assemble.problem in
       Printf.printf "# %d variables, %d couplers\n" problem.Problem.num_vars
         (Problem.num_interactions problem);
+      let sa_params =
+        { Qac_anneal.Sa.default_params with Qac_anneal.Sa.num_reads = reads }
+      in
+      let sqa_params =
+        { Qac_anneal.Sqa.default_params with Qac_anneal.Sqa.num_reads = reads }
+      in
       let response =
         match solver with
         | `Exact -> Qac_anneal.Exact_sampler.sample problem
-        | `Sa ->
-          Qac_anneal.Sa.sample
-            ~params:{ Qac_anneal.Sa.default_params with Qac_anneal.Sa.num_reads = reads }
-            problem
+        | `Sa -> Qac_anneal.Parallel.sample_sa ~num_threads:threads ~params:sa_params problem
         | `Sqa ->
-          Qac_anneal.Sqa.sample
-            ~params:{ Qac_anneal.Sqa.default_params with Qac_anneal.Sqa.num_reads = reads }
-            problem
-        | `Tabu -> Qac_anneal.Tabu.sample problem
+          Qac_anneal.Parallel.sample_sqa ~num_threads:threads ~params:sqa_params problem
+        | `Tabu ->
+          Qac_anneal.Parallel.sample_tabu ~num_threads:threads
+            ~params:Qac_anneal.Tabu.default_params problem
         | `Qbsolv -> Qac_anneal.Qbsolv.sample problem
       in
       Printf.printf "# %d reads in %.3fs\n" response.Qac_anneal.Sampler.num_reads
@@ -93,13 +100,14 @@ let main src pins solver reads minizinc merge =
       `Ok ()
     end
   with
-  | Qmasm.Qmasm.Error msg -> `Error (false, msg)
+  | Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
   | Sys_error msg -> `Error (false, msg)
 
 let () =
   let doc = "a quantum macro assembler (classical-substrate reproduction)" in
   let info = Cmd.info "qmasm_cli" ~version:"1.0.0" ~doc in
   let term =
-    Term.(ret (const main $ src_arg $ pin_arg $ solver_arg $ reads_arg $ minizinc_arg $ merge_arg))
+    Term.(ret (const main $ src_arg $ pin_arg $ solver_arg $ reads_arg $ minizinc_arg $ merge_arg
+               $ threads_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -8,6 +8,7 @@
 
 open Cmdliner
 module P = Qac_core.Pipeline
+module Trace = Qac_diag.Trace
 
 let read_file path =
   let ic = open_in_bin path in
@@ -34,8 +35,27 @@ let no_optimize_arg =
   let doc = "Skip netlist optimization (dead-gate elimination, tech mapping)." in
   Arg.(value & flag & info [ "no-optimize" ] ~doc)
 
-let compile ?top ?steps ~optimize path =
-  P.compile ?top ?steps ~optimize (read_file path)
+let compile ?top ?steps ~optimize ?trace path =
+  P.compile ?top ?steps ~optimize ?trace (read_file path)
+
+(* --- Tracing -------------------------------------------------------------- *)
+
+let trace_arg =
+  let doc = "Print one timed span per pipeline stage (with size counters) to stderr." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_json_arg =
+  let doc = "Like --trace, but emit machine-readable JSON." in
+  Arg.(value & flag & info [ "trace-json" ] ~doc)
+
+let make_trace ~trace ~trace_json =
+  if trace || trace_json then Some (Trace.create ()) else None
+
+let emit_trace ~trace_json = function
+  | None -> ()
+  | Some tr ->
+    if trace_json then prerr_endline (Trace.to_json tr)
+    else prerr_string (Trace.to_text tr)
 
 (* --- compile ------------------------------------------------------------- *)
 
@@ -46,23 +66,26 @@ let format_arg =
        & info [ "f"; "format" ] ~docv:"FORMAT" ~doc)
 
 let compile_cmd =
-  let run src top steps no_optimize format =
+  let run src top steps no_optimize format trace trace_json =
     try
       (match format with
        | `Stdcell -> print_string (Qac_cells.Stdcell.contents ())
        | _ ->
-         let t = compile ?top ?steps ~optimize:(not no_optimize) src in
+         let tr = make_trace ~trace ~trace_json in
+         let t = compile ?top ?steps ~optimize:(not no_optimize) ?trace:tr src in
          (match format with
           | `Qmasm -> print_string t.P.qmasm_src
           | `Edif -> print_string t.P.edif
           | `Minizinc -> print_string (Qac_qmasm.Qmasm.to_minizinc t.P.program)
-          | `Stdcell -> assert false));
+          | `Stdcell -> assert false);
+         emit_trace ~trace_json tr);
       `Ok ()
-    with P.Error msg -> `Error (false, msg)
+    with Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
   in
   let doc = "compile Verilog to EDIF, QMASM or MiniZinc" in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(ret (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ format_arg))
+    Term.(ret (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ format_arg
+               $ trace_arg $ trace_json_arg))
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -111,6 +134,13 @@ let all_arg =
   let doc = "Show every distinct sample, not just valid solutions." in
   Arg.(value & flag & info [ "all" ] ~doc)
 
+let threads_arg =
+  let doc =
+    "Split annealing reads across $(docv) OCaml domains (SA/SQA/tabu).  \
+     Results are deterministic for a given seed, whatever the thread count."
+  in
+  Arg.(value & opt int 1 & info [ "threads" ] ~docv:"N" ~doc)
+
 (* Pins in QMASM syntax ("C[7:0] := 10001111") go to the QMASM parser
    verbatim; the "name=value" shorthand becomes an integer port pin. *)
 let split_pins specs =
@@ -124,14 +154,21 @@ let split_pins specs =
           | Some i ->
             let name = String.trim (String.sub spec 0 i) in
             let value = String.trim (String.sub spec (i + 1) (String.length spec - i - 1)) in
-            Right (name, int_of_string value)
+            (match int_of_string_opt value with
+             | Some v -> Right (name, v)
+             | None ->
+               failwith
+                 (Printf.sprintf "bad pin value %S for port %s (not an integer)"
+                    value name))
           | None -> failwith ("bad pin syntax: " ^ spec)))
     specs
 
 let run_cmd =
-  let run src top steps no_optimize pins solver reads sweeps seed physical pegasus roof all =
+  let run src top steps no_optimize pins solver reads sweeps seed physical pegasus roof all
+      threads trace trace_json =
     try
-      let t = compile ?top ?steps ~optimize:(not no_optimize) src in
+      let tr = make_trace ~trace ~trace_json in
+      let t = compile ?top ?steps ~optimize:(not no_optimize) ?trace:tr src in
       let qmasm_pins, int_pins = split_pins pins in
       let pin_source = String.concat "\n" qmasm_pins in
       let pins = int_pins in
@@ -158,7 +195,7 @@ let run_cmd =
               chain_strength = None;
               roof_duality = roof }
       in
-      let result = P.run t ~pins ~pin_source ~solver ~target in
+      let result = P.run t ~pins ~pin_source ?trace:tr ~num_threads:threads ~solver ~target in
       Printf.printf "# logical variables: %d\n" result.P.num_logical_vars;
       (match result.P.num_physical_qubits with
        | Some q -> Printf.printf "# physical qubits:  %d\n" q
@@ -177,9 +214,10 @@ let run_cmd =
                 else "");
              List.iter (fun (name, v) -> Printf.printf "  %s = %d\n" name v) s.P.ports)
           shown;
+      emit_trace ~trace_json tr;
       `Ok ()
     with
-    | P.Error msg -> `Error (false, msg)
+    | Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
     | Failure msg -> `Error (false, msg)
   in
   let doc = "compile and execute a Verilog module on the annealing substrate" in
@@ -187,7 +225,7 @@ let run_cmd =
     Term.(ret
             (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ pins_arg
              $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ physical_arg $ pegasus_arg
-             $ roof_arg $ all_arg))
+             $ roof_arg $ all_arg $ threads_arg $ trace_arg $ trace_json_arg))
 
 (* --- cells ----------------------------------------------------------------- *)
 
@@ -252,7 +290,7 @@ let stats_cmd =
         | None -> Printf.printf "physical: no embedding found on C%d\n" physical
       end;
       `Ok ()
-    with P.Error msg -> `Error (false, msg)
+    with Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
   in
   let doc = "print the section 6.1 static properties of a module" in
   Cmd.v (Cmd.info "stats" ~doc)

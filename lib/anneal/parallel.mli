@@ -1,0 +1,43 @@
+(** Domain-parallel sampling: split a read batch across OCaml 5 domains.
+
+    Reads are partitioned into fixed-size chunks whose seeds derive from
+    the base seed by chunk position, so the response is a deterministic
+    function of [(seed, num_reads, chunk_size)] alone: any thread count
+    returns the identical sample set (only wall time varies). *)
+
+val default_chunk_size : int
+
+type chunk = { chunk_seed : int; chunk_reads : int }
+
+val chunks : ?chunk_size:int -> seed:int -> num_reads:int -> unit -> chunk list
+(** The deterministic chunk decomposition. *)
+
+(** [sample ~num_threads ~seed ~num_reads f problem] calls
+    [f ~seed:chunk_seed ~num_reads:chunk_reads] once per chunk, across
+    [num_threads] domains, and merges the responses ({!Sampler.merge}).
+    [elapsed_seconds] of the result is the wall time of the whole batch.
+    [f] must be pure up to its seed (no shared mutable state): it runs
+    concurrently on multiple domains. *)
+val sample :
+  ?num_threads:int ->
+  ?chunk_size:int ->
+  seed:int ->
+  num_reads:int ->
+  (seed:int -> num_reads:int -> Sampler.response) ->
+  Qac_ising.Problem.t ->
+  Sampler.response
+
+(** Per-solver wrappers: the params' own [seed] and [num_reads]
+    (resp. [num_restarts] for tabu) define the batch. *)
+
+val sample_sa :
+  ?num_threads:int -> ?chunk_size:int -> params:Sa.params -> Qac_ising.Problem.t ->
+  Sampler.response
+
+val sample_sqa :
+  ?num_threads:int -> ?chunk_size:int -> params:Sqa.params -> Qac_ising.Problem.t ->
+  Sampler.response
+
+val sample_tabu :
+  ?num_threads:int -> ?chunk_size:int -> params:Tabu.params -> Qac_ising.Problem.t ->
+  Sampler.response

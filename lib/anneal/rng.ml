@@ -44,3 +44,6 @@ let shuffle t arr =
 
 (** Derive an independent stream (for per-read seeding). *)
 let split t = create (Int64.to_int (next_int64 t))
+
+(** Derive a non-negative integer seed for an independent child stream. *)
+let next_seed t = Int64.to_int (next_int64 t) land max_int

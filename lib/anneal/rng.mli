@@ -27,3 +27,7 @@ val shuffle : t -> 'a array -> unit
 
 val split : t -> t
 (** Derive an independent stream (per-read seeding). *)
+
+val next_seed : t -> int
+(** Derive a non-negative seed for an independent child stream (per-chunk
+    seeding in {!Parallel}). *)

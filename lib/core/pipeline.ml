@@ -1,6 +1,7 @@
-exception Error of string
+module Diag = Qac_diag.Diag
+module Trace = Qac_diag.Trace
 
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Diag.error ~stage:"pipeline" fmt
 
 module N = Qac_netlist.Netlist
 module Sim = Qac_netlist.Sim
@@ -25,54 +26,81 @@ type t = {
   qmasm_src : string;
   statements : Qmasm.Ast.stmt list;
   program : Qmasm.Assemble.t;
+  options : Qmasm.Assemble.options;
 }
 
 let default_options =
   { Qmasm.Assemble.merge_chains = true; chain_strength = None; pin_strength = None }
 
-let compile ?top ?steps ?(optimize = true) ?(options = default_options) verilog_src =
-  try
-    let elaborated = Vlog.Elab.elaborate ?top (Vlog.Parser.parse_design verilog_src) in
-    let { Vlog.Synth.netlist; ff_names } = Vlog.Synth.synthesize ~optimize elaborated in
-    let netlist, steps =
-      if N.is_combinational netlist then (netlist, None)
-      else
-        match steps with
-        | None ->
-          error
-            "module %s is sequential; pass ~steps to unroll it (section 4.3.3)"
-            netlist.N.name
-        | Some s ->
-          let unrolled = Passes.unroll ~ff_names netlist ~steps:s in
-          ((if optimize then Passes.optimize unrolled else unrolled), Some s)
-    in
-    let edif = Qac_edif.Edif.to_string netlist in
-    (* Round-trip through EDIF, as the paper's toolchain does: the QMASM is
-       generated from the parsed EDIF, not from the in-memory netlist. *)
-    let reparsed = Qac_edif.Edif.of_string edif in
-    let qmasm_src = E2Q.convert reparsed in
-    let statements =
-      Qmasm.Macro.expand ~resolve:E2Q.resolve (Qmasm.Parser.parse_string qmasm_src)
-    in
-    let program = Qmasm.Assemble.assemble ~options statements in
-    { verilog_src;
-      elaborated;
-      netlist;
-      ff_names;
-      steps;
-      edif;
-      qmasm_src;
-      statements;
-      program }
-  with
-  | Vlog.Parser.Error msg -> error "verilog parse: %s" msg
-  | Vlog.Lexer.Error msg -> error "verilog lex: %s" msg
-  | Vlog.Elab.Error msg -> error "elaboration: %s" msg
-  | Vlog.Synth.Error msg -> error "synthesis: %s" msg
-  | Qac_edif.Edif.Error msg -> error "edif: %s" msg
-  | Qmasm.Parser.Error msg -> error "qmasm parse: %s" msg
-  | Qmasm.Macro.Error msg -> error "qmasm expand: %s" msg
-  | Qmasm.Assemble.Error msg -> error "qmasm assemble: %s" msg
+(* Compile stages (section 4, Fig. 1), each a traced span:
+   parse -> elab -> synth -> unroll -> edif-roundtrip -> e2q -> expand
+   -> assemble.  Stage failures raise [Diag.Error] tagged at the raising
+   stage, so no catch ladder is needed here. *)
+let compile ?top ?steps ?(optimize = true) ?(options = default_options) ?trace verilog_src =
+  let span name f = Trace.with_span_opt trace name f in
+  let count key v = Trace.counter_opt trace key v in
+  let design = span "parse" (fun () -> Vlog.Parser.parse_design verilog_src) in
+  let elaborated = span "elab" (fun () -> Vlog.Elab.elaborate ?top design) in
+  let { Vlog.Synth.netlist; ff_names } =
+    span "synth" (fun () ->
+        let r = Vlog.Synth.synthesize ~optimize elaborated in
+        count "gates" (Array.length r.Vlog.Synth.netlist.N.cells);
+        count "nets" r.Vlog.Synth.netlist.N.num_nets;
+        r)
+  in
+  let netlist, steps =
+    span "unroll" (fun () ->
+        let netlist, steps =
+          if N.is_combinational netlist then (netlist, None)
+          else
+            match steps with
+            | None ->
+              error
+                "module %s is sequential; pass ~steps to unroll it (section 4.3.3)"
+                netlist.N.name
+            | Some s ->
+              let unrolled = Passes.unroll ~ff_names netlist ~steps:s in
+              ((if optimize then Passes.optimize unrolled else unrolled), Some s)
+        in
+        count "steps" (match steps with Some s -> s | None -> 0);
+        count "gates" (Array.length netlist.N.cells);
+        (netlist, steps))
+  in
+  let edif, reparsed =
+    span "edif-roundtrip" (fun () ->
+        let edif = Qac_edif.Edif.to_string netlist in
+        (* Round-trip through EDIF, as the paper's toolchain does: the QMASM
+           is generated from the parsed EDIF, not the in-memory netlist. *)
+        let reparsed = Qac_edif.Edif.of_string edif in
+        count "edif-lines" (Qac_edif.Edif.line_count edif);
+        (edif, reparsed))
+  in
+  let qmasm_src = span "e2q" (fun () -> E2Q.convert reparsed) in
+  let statements =
+    span "expand" (fun () ->
+        let stmts =
+          Qmasm.Macro.expand ~resolve:E2Q.resolve (Qmasm.Parser.parse_string qmasm_src)
+        in
+        count "statements" (List.length stmts);
+        stmts)
+  in
+  let program =
+    span "assemble" (fun () ->
+        let program = Qmasm.Assemble.assemble ~options statements in
+        count "logical-vars" program.Qmasm.Assemble.problem.Problem.num_vars;
+        count "logical-terms" (Problem.num_terms program.Qmasm.Assemble.problem);
+        program)
+  in
+  { verilog_src;
+    elaborated;
+    netlist;
+    ff_names;
+    steps;
+    edif;
+    qmasm_src;
+    statements;
+    program;
+    options }
 
 (* --- Pins ----------------------------------------------------------------- *)
 
@@ -84,13 +112,20 @@ let port_width t name =
      | Some signals -> Some (Array.length signals)
      | None -> None)
 
+(* A non-negative [value] fits in [width] bits iff shifting out those bits
+   leaves nothing.  OCaml ints are 63-bit, so any value fits once
+   [width >= Sys.int_size - 1]; never shift by the full width (undefined
+   for shifts > int_size, and [1 lsl width] overflows at width 62). *)
+let value_in_range ~width value =
+  value >= 0 && (width >= Sys.int_size - 1 || value lsr width = 0)
+
 (* Expand "name := value" into per-bit pins using the port's width. *)
 let pin_statements t pins =
   List.map
     (fun (name, value) ->
        match port_width t name with
        | Some width ->
-         if value < 0 || (width < 62 && value >= 1 lsl width) then
+         if not (value_in_range ~width value) then
            error "pin value %d out of range for %d-bit port %s" value width name;
          Qmasm.Ast.Pin
            (List.init width (fun i ->
@@ -148,12 +183,15 @@ type run_result = {
   assertion_failures : int;
 }
 
-let dispatch_solver solver problem =
+(* Read batches for SA/SQA/tabu go through [Anneal.Parallel] at every thread
+   count: the chunk decomposition depends only on the seed, so the sample set
+   is identical whether the chunks run on 1 domain or many. *)
+let dispatch_solver ?(num_threads = 1) solver problem =
   match solver with
   | Exact_solver -> Anneal.Exact_sampler.sample problem
-  | Sa params -> Anneal.Sa.sample ~params problem
-  | Sqa params -> Anneal.Sqa.sample ~params problem
-  | Tabu params -> Anneal.Tabu.sample ~params problem
+  | Sa params -> Anneal.Parallel.sample_sa ~num_threads ~params problem
+  | Sqa params -> Anneal.Parallel.sample_sqa ~num_threads ~params problem
+  | Tabu params -> Anneal.Parallel.sample_tabu ~num_threads ~params problem
   | Qbsolv params -> Anneal.Qbsolv.sample ~params problem
 
 let port_values t assignment =
@@ -183,22 +221,27 @@ let verify_ports t ports =
   in
   Sim.check_relation t.netlist ~assignment
 
-let run ?(pins = []) ?(pin_source = "") ~solver ~target t =
-  (* Re-assemble with the pins appended (the --pin workflow of section
-     4.3.6: program code stays separate from program inputs). *)
-  let options =
-    { Qmasm.Assemble.merge_chains = true; chain_strength = None; pin_strength = None }
-  in
+(* Run stages, each a traced span: assemble -> (qpbo -> embed) -> solve
+   -> unembed -> verify.  Logical targets skip the embedding spans. *)
+let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1) ~solver ~target t =
+  let span name f = Trace.with_span_opt trace name f in
+  let count key v = Trace.counter_opt trace key v in
   let source_pins =
     if String.trim pin_source = "" then []
     else
       try Qmasm.Parser.parse_string pin_source
-      with Qmasm.Parser.Error msg -> error "pin parse: %s" msg
+      with Diag.Error d -> error "pin parse: %s" (Diag.to_string d)
   in
+  (* Re-assemble with the pins appended (the --pin workflow of section
+     4.3.6: program code stays separate from program inputs), reusing the
+     assembly options the program was compiled with. *)
   let statements = t.statements @ pin_statements t pins @ source_pins in
   let program =
-    try Qmasm.Assemble.assemble ~options statements
-    with Qmasm.Assemble.Error msg -> error "qmasm assemble: %s" msg
+    span "assemble" (fun () ->
+        let program = Qmasm.Assemble.assemble ~options:t.options statements in
+        count "logical-vars" program.Qmasm.Assemble.problem.Problem.num_vars;
+        count "logical-terms" (Problem.num_terms program.Qmasm.Assemble.problem);
+        program)
   in
   let logical = program.Qmasm.Assemble.problem in
   let num_logical_vars = logical.Problem.num_vars in
@@ -206,7 +249,12 @@ let run ?(pins = []) ?(pin_source = "") ~solver ~target t =
   let reads_logical, num_physical_qubits, num_reads, elapsed =
     match target with
     | Logical ->
-      let response = dispatch_solver solver logical in
+      let response =
+        span "solve" (fun () ->
+            let r = dispatch_solver ~num_threads solver logical in
+            count "reads" r.Anneal.Sampler.num_reads;
+            r)
+      in
       let reads =
         List.concat_map
           (fun s ->
@@ -217,98 +265,125 @@ let run ?(pins = []) ?(pin_source = "") ~solver ~target t =
       (reads, None, response.Anneal.Sampler.num_reads, response.Anneal.Sampler.elapsed_seconds)
     | Physical { graph; embed_params; chain_strength; roof_duality } ->
       let simplified =
-        if roof_duality then Qpbo.simplify logical
-        else
-          { Qpbo.reduced = logical;
-            kept = Array.init num_logical_vars (fun i -> i);
-            fixed = [] }
+        span "qpbo" (fun () ->
+            let simplified =
+              if roof_duality then Qpbo.simplify logical
+              else
+                { Qpbo.reduced = logical;
+                  kept = Array.init num_logical_vars (fun i -> i);
+                  fixed = [] }
+            in
+            count "kept-vars" (Array.length simplified.Qpbo.kept);
+            count "fixed-vars" (List.length simplified.Qpbo.fixed);
+            simplified)
       in
       let to_embed = simplified.Qpbo.reduced in
       let embedding =
-        match Cmr.find ?params:embed_params graph to_embed with
-        | Some e -> e
-        | None ->
-          (* Dense interaction graphs defeat the path-based heuristic; fall
-             back to the deterministic clique template when it applies. *)
-          (match (try Qac_embed.Clique.find graph to_embed with Not_found -> None) with
-           | Some e -> e
-           | None -> error "no minor embedding found (problem too large for the topology?)")
+        span "embed" (fun () ->
+            let embedding =
+              match Cmr.find ?params:embed_params graph to_embed with
+              | Some e -> e
+              | None ->
+                (* Dense interaction graphs defeat the path-based heuristic;
+                   fall back to the deterministic clique template when it
+                   applies. *)
+                (match (try Qac_embed.Clique.find graph to_embed with Not_found -> None) with
+                 | Some e -> e
+                 | None -> error "no minor embedding found (problem too large for the topology?)")
+            in
+            count "physical-qubits" (Embedding.num_physical_qubits embedding);
+            count "max-chain-length" (Embedding.max_chain_length embedding);
+            embedding)
       in
       let physical = Embedding.apply ?chain_strength graph to_embed embedding in
       let compacted, old_of_new = Embedding.compact physical in
-      let response = dispatch_solver solver compacted in
+      let response =
+        span "solve" (fun () ->
+            let r = dispatch_solver ~num_threads solver compacted in
+            count "reads" r.Anneal.Sampler.num_reads;
+            r)
+      in
       let reads =
-        List.concat_map
-          (fun s ->
-             let full = Array.make physical.Problem.num_vars 1 in
-             Array.iteri (fun k old -> full.(old) <- s.Anneal.Sampler.spins.(k)) old_of_new;
-             let u = Embedding.unembed embedding full in
-             let restored =
-               Qpbo.restore ~original_num_vars:num_logical_vars simplified u.Embedding.logical
-             in
-             List.init s.Anneal.Sampler.num_occurrences (fun _ ->
-                 (restored, u.Embedding.broken_chains)))
-          response.Anneal.Sampler.samples
+        span "unembed" (fun () ->
+            List.concat_map
+              (fun s ->
+                 let full = Array.make physical.Problem.num_vars 1 in
+                 Array.iteri
+                   (fun k old -> full.(old) <- s.Anneal.Sampler.spins.(k))
+                   old_of_new;
+                 let u = Embedding.unembed embedding full in
+                 let restored =
+                   Qpbo.restore ~original_num_vars:num_logical_vars simplified
+                     u.Embedding.logical
+                 in
+                 List.init s.Anneal.Sampler.num_occurrences (fun _ ->
+                     (restored, u.Embedding.broken_chains)))
+              response.Anneal.Sampler.samples)
       in
       ( reads,
         Some (Embedding.num_physical_qubits embedding),
         response.Anneal.Sampler.num_reads,
         response.Anneal.Sampler.elapsed_seconds )
   in
-  (* Aggregate logical reads into named solutions. *)
-  let tbl = Hashtbl.create 64 in
-  List.iter
-    (fun (spins, broken) ->
-       let key = Array.to_list spins in
-       match Hashtbl.find_opt tbl key with
-       | Some (count, worst_broken) ->
-         Hashtbl.replace tbl key (count + 1, max worst_broken broken)
-       | None -> Hashtbl.replace tbl key (1, broken))
-    reads_logical;
-  let assertion_failures = ref 0 in
-  let solutions =
-    Hashtbl.fold
-      (fun key (count, broken) acc ->
-         let spins = Array.of_list key in
-         let assignment = Qmasm.Assemble.visible_assignment program spins in
-         let full_assignment = Qmasm.Assemble.assignment_of_spins program spins in
-         let lookup name =
-           match List.assoc_opt name full_assignment with
-           | Some v -> v
-           | None -> error "assertion references unknown symbol %s" name
-         in
-         let assertions_ok =
-           List.for_all (fun (_, ok) -> ok) (Qmasm.Assemble.check_assertions program lookup)
-         in
-         if not assertions_ok then incr assertion_failures;
-         let ports = port_values t assignment in
-         let valid = verify_ports t ports in
-         let pins_respected =
-           List.for_all
-             (fun (name, expected) -> lookup name = expected)
-             program.Qmasm.Assemble.pins
-         in
-         { ports;
-           assignment;
-           energy = Problem.energy logical spins;
-           num_occurrences = count;
-           valid;
-           assertions_ok;
-           pins_respected;
-           broken_chains = broken }
-         :: acc)
-      tbl []
-    |> List.sort (fun a b ->
-        match compare a.energy b.energy with
-        | 0 -> compare a.ports b.ports
-        | c -> c)
-  in
-  { solutions;
-    num_reads;
-    elapsed_seconds = elapsed;
-    num_logical_vars;
-    num_physical_qubits;
-    assertion_failures = !assertion_failures }
+  span "verify" (fun () ->
+      (* Aggregate logical reads into named solutions. *)
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (spins, broken) ->
+           let key = Array.to_list spins in
+           match Hashtbl.find_opt tbl key with
+           | Some (count, worst_broken) ->
+             Hashtbl.replace tbl key (count + 1, max worst_broken broken)
+           | None -> Hashtbl.replace tbl key (1, broken))
+        reads_logical;
+      let assertion_failures = ref 0 in
+      let solutions =
+        Hashtbl.fold
+          (fun key (count, broken) acc ->
+             let spins = Array.of_list key in
+             let assignment = Qmasm.Assemble.visible_assignment program spins in
+             let full_assignment = Qmasm.Assemble.assignment_of_spins program spins in
+             let lookup name =
+               match List.assoc_opt name full_assignment with
+               | Some v -> v
+               | None -> error "assertion references unknown symbol %s" name
+             in
+             let assertions_ok =
+               List.for_all (fun (_, ok) -> ok)
+                 (Qmasm.Assemble.check_assertions program lookup)
+             in
+             if not assertions_ok then incr assertion_failures;
+             let ports = port_values t assignment in
+             let valid = verify_ports t ports in
+             let pins_respected =
+               List.for_all
+                 (fun (name, expected) -> lookup name = expected)
+                 program.Qmasm.Assemble.pins
+             in
+             { ports;
+               assignment;
+               energy = Problem.energy logical spins;
+               num_occurrences = count;
+               valid;
+               assertions_ok;
+               pins_respected;
+               broken_chains = broken }
+             :: acc)
+          tbl []
+        |> List.sort (fun a b ->
+            match compare a.energy b.energy with
+            | 0 -> compare a.ports b.ports
+            | c -> c)
+      in
+      count "distinct-solutions" (List.length solutions);
+      count "valid-solutions"
+        (List.length (List.filter (fun s -> s.valid && s.pins_respected) solutions));
+      { solutions;
+        num_reads;
+        elapsed_seconds = elapsed;
+        num_logical_vars;
+        num_physical_qubits;
+        assertion_failures = !assertion_failures })
 
 let valid_solutions result =
   List.filter (fun s -> s.valid && s.pins_respected) result.solutions

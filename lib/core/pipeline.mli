@@ -6,9 +6,13 @@
     Stages (section 4): Verilog -> elaborated module -> optimized gate
     netlist (time-unrolled when sequential) -> EDIF -> QMASM -> logical
     Ising problem -> (optionally) minor-embedded physical Ising problem ->
-    samples -> named, verified solutions. *)
+    samples -> named, verified solutions.
 
-exception Error of string
+    Every stage failure raises [Qac_diag.Diag.Error], tagged with the stage
+    that failed (["verilog-parse"], ["qmasm-assemble"], ["pipeline"], ...).
+    Pass a [Qac_diag.Trace.t] to [compile]/[run] to record one timed span
+    per stage with size counters (gates, nets, statements, logical vars and
+    terms, physical qubits, max chain length). *)
 
 type t = {
   verilog_src : string;
@@ -20,18 +24,23 @@ type t = {
   qmasm_src : string;
   statements : Qac_qmasm.Ast.stmt list;  (** flat (macro-expanded) program *)
   program : Qac_qmasm.Assemble.t;  (** the logical Ising problem + symbols *)
+  options : Qac_qmasm.Assemble.options;
+      (** assembly options the program was compiled with; [run] reuses them
+          when re-assembling with pins *)
 }
 
-(** [compile ?top ?steps ?optimize ?options src] runs the front half.
+(** [compile ?top ?steps ?optimize ?options ?trace src] runs the front half.
     Sequential sources require [steps] (the unroll depth, section 4.3.3).
     [options] control QMASM assembly; the default merges chains (qmasm's
     variable-merging optimization), which is what the paper's section 6.1
-    variable counts reflect. *)
+    variable counts reflect.  [trace] records the spans
+    parse, elab, synth, unroll, edif-roundtrip, e2q, expand, assemble. *)
 val compile :
   ?top:string ->
   ?steps:int ->
   ?optimize:bool ->
   ?options:Qac_qmasm.Assemble.options ->
+  ?trace:Qac_diag.Trace.t ->
   string ->
   t
 
@@ -58,6 +67,14 @@ type target =
 
 val dwave_target : target
 (** C16 Chimera, default embedder, auto chain strength, roof duality off. *)
+
+(** [dispatch_solver ?num_threads solver problem] runs one solver on one
+    problem.  SA/SQA/tabu read batches go through {!Qac_anneal.Parallel} at
+    every thread count, so the sample set depends only on the seed — the
+    same results whether [num_threads] is 1 (the default) or many.  Exact
+    and qbsolv solvers always run sequentially. *)
+val dispatch_solver :
+  ?num_threads:int -> solver -> Qac_ising.Problem.t -> Qac_anneal.Sampler.response
 
 type solution = {
   ports : (string * int) list;  (** every module port, as an integer *)
@@ -93,10 +110,15 @@ type run_result = {
     in polynomial time and discarded by the caller).
     [pin_source] is raw QMASM pin text (one ["name := value"] per line,
     binary strings sized by the bracket range, as on the qmasm command
-    line); [pins] is the programmatic integer form. *)
+    line); [pins] is the programmatic integer form.
+    [trace] records the spans assemble, (qpbo, embed — physical targets
+    only,) solve, unembed, verify.  [num_threads] is forwarded to
+    {!dispatch_solver}. *)
 val run :
   ?pins:(string * int) list ->
   ?pin_source:string ->
+  ?trace:Qac_diag.Trace.t ->
+  ?num_threads:int ->
   solver:solver ->
   target:target ->
   t ->

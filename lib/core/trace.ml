@@ -1,0 +1,129 @@
+(** Span-based tracing for the compilation/execution pipeline.
+
+    A trace is an ordered list of completed spans; each span has a wall
+    time and named integer counters (gates, nets, logical vars, physical
+    qubits, ...).  Spans nest: counters attach to the innermost open
+    span.  Everything is a no-op when no trace is supplied (the [_opt]
+    helpers), so the instrumented hot path costs one option match. *)
+
+type span = {
+  name : string;
+  elapsed_seconds : float;
+  counters : (string * int) list;  (** in the order first set *)
+}
+
+type frame = {
+  fname : string;
+  start : float;
+  mutable fcounters : (string * int) list;  (* in the order first set *)
+}
+
+type t = {
+  mutable completed : span list;  (* reverse order *)
+  mutable stack : frame list;  (* innermost first *)
+}
+
+let create () = { completed = []; stack = [] }
+
+let now = Unix.gettimeofday
+
+let with_span t name f =
+  let frame = { fname = name; start = now (); fcounters = [] } in
+  t.stack <- frame :: t.stack;
+  let finish () =
+    (t.stack <- (match t.stack with _ :: rest -> rest | [] -> []));
+    t.completed <-
+      { name = frame.fname;
+        elapsed_seconds = now () -. frame.start;
+        counters = frame.fcounters }
+      :: t.completed
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let counter t key value =
+  match t.stack with
+  | frame :: _ ->
+    let rec set = function
+      | [] -> [ (key, value) ]
+      | (k, _) :: rest when k = key -> (k, value) :: rest
+      | kv :: rest -> kv :: set rest
+    in
+    frame.fcounters <- set frame.fcounters
+  | [] ->
+    (* Counter outside any span: record it as a zero-duration span so the
+       value is not silently lost. *)
+    t.completed <- { name = key; elapsed_seconds = 0.0; counters = [ (key, value) ] } :: t.completed
+
+let spans t = List.rev t.completed
+
+let find_span t name = List.find_opt (fun s -> s.name = name) (spans t)
+
+let find_counter t span_name key =
+  match find_span t span_name with
+  | None -> None
+  | Some s -> List.assoc_opt key s.counters
+
+let total_seconds t =
+  List.fold_left (fun acc s -> acc +. s.elapsed_seconds) 0.0 (spans t)
+
+(* --- Optional-trace helpers ------------------------------------------------ *)
+
+let with_span_opt t name f =
+  match t with
+  | Some t -> with_span t name f
+  | None -> f ()
+
+let counter_opt t key value =
+  match t with
+  | Some t -> counter t key value
+  | None -> ()
+
+(* --- Export ---------------------------------------------------------------- *)
+
+let pp fmt t =
+  let spans = spans t in
+  let width =
+    List.fold_left (fun acc s -> max acc (String.length s.name)) 4 spans
+  in
+  List.iter
+    (fun s ->
+       Format.fprintf fmt "%-*s %9.3f ms" width s.name (s.elapsed_seconds *. 1000.0);
+       List.iter (fun (k, v) -> Format.fprintf fmt "  %s=%d" k v) s.counters;
+       Format.fprintf fmt "@.")
+    spans;
+  Format.fprintf fmt "%-*s %9.3f ms@." width "total" (total_seconds t *. 1000.0)
+
+let to_text t = Format.asprintf "%a" pp t
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let span_json s =
+    let counters =
+      s.counters
+      |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+      |> String.concat ","
+    in
+    Printf.sprintf "{\"name\":\"%s\",\"elapsed_seconds\":%.6f,\"counters\":{%s}}"
+      (json_escape s.name) s.elapsed_seconds counters
+  in
+  Printf.sprintf "{\"total_seconds\":%.6f,\"spans\":[%s]}" (total_seconds t)
+    (String.concat "," (List.map span_json (spans t)))

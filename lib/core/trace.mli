@@ -1,0 +1,43 @@
+(** Span-based tracing for the compilation/execution pipeline.
+
+    [with_span t "synth" (fun () -> ...)] records the wall time of the
+    callback under the name ["synth"]; [counter t "gates" n] attaches a
+    named integer to the innermost open span.  A trace accumulates
+    completed spans in execution order and exports them as aligned text
+    or JSON. *)
+
+type span = {
+  name : string;
+  elapsed_seconds : float;
+  counters : (string * int) list;  (** in the order first set *)
+}
+
+type t
+
+val create : unit -> t
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Time [f] under a named span.  Spans nest; the span is recorded even
+    when [f] raises. *)
+
+val counter : t -> string -> int -> unit
+(** Attach (or overwrite) a counter on the innermost open span. *)
+
+val spans : t -> span list
+(** Completed spans, in completion order. *)
+
+val find_span : t -> string -> span option
+val find_counter : t -> string -> string -> int option
+val total_seconds : t -> float
+
+(** No-op variants for optionally-traced code paths. *)
+
+val with_span_opt : t option -> string -> (unit -> 'a) -> 'a
+val counter_opt : t option -> string -> int -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_text : t -> string
+
+val to_json : t -> string
+(** [{"total_seconds":..., "spans":[{"name":..., "elapsed_seconds":...,
+    "counters":{...}}, ...]}]. *)

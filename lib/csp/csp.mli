@@ -12,7 +12,6 @@ type t
 
 type var
 
-exception Error of string
 
 val create : unit -> t
 

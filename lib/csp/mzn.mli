@@ -10,7 +10,6 @@
     constraints (optionally conjoined with [/\]), [solve satisfy], [%]
     comments, and [output] items (ignored). *)
 
-exception Error of string
 
 val parse : string -> Csp.t
 (** Builds the CSP; raises [Error] on anything outside the subset. *)

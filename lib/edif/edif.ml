@@ -1,9 +1,7 @@
 module S = Qac_sexp.Sexp
 module N = Qac_netlist.Netlist
 
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"edif" fmt
 
 (* --- Naming ------------------------------------------------------------- *)
 

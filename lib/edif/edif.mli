@@ -15,7 +15,6 @@
     - constant drivers appear as [GND]/[VCC] instances;
     - instances are named [id00001], [id00002], ... in cell order. *)
 
-exception Error of string
 
 val to_sexp : Qac_netlist.Netlist.t -> Qac_sexp.Sexp.t
 val to_string : Qac_netlist.Netlist.t -> string

@@ -1,8 +1,6 @@
 open Qac_ising
 
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"qmasm-assemble" fmt
 
 type options = {
   merge_chains : bool;

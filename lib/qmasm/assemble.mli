@@ -8,7 +8,6 @@
     strong bias field.  Per the paper, the default chain strength is twice
     the largest-in-magnitude J value appearing literally in the code. *)
 
-exception Error of string
 
 type options = {
   merge_chains : bool;  (** default false: chains stay as couplers *)

@@ -7,9 +7,7 @@
     file contents supplied by a [resolve] callback so the standard-cell
     library can live in memory. *)
 
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"qmasm-expand" fmt
 
 let rename_stmt ~f (stmt : Ast.stmt) =
   match stmt with

@@ -7,7 +7,6 @@
     file contents supplied by [resolve] so the standard-cell library can
     live in memory. *)
 
-exception Error of string
 
 val expand : resolve:(string -> string option) -> Ast.stmt list -> Ast.stmt list
 (** The result contains no [Include], [Begin_macro], [End_macro] or

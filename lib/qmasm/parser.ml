@@ -1,8 +1,6 @@
 (** Line-oriented parser for QMASM source. *)
 
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"qmasm-parse" fmt
 
 (* --- Assertion expressions --------------------------------------------- *)
 
@@ -212,8 +210,8 @@ let parse_line line_number line =
   let trimmed = String.trim line in
   if trimmed = "" then []
   else begin
-    let fail fmt = Format.kasprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line_number s))) fmt in
-    try
+    let fail fmt = Qac_diag.Diag.error ~stage:"qmasm-parse" ~line:line_number fmt in
+    Qac_diag.Diag.locate ~line:line_number @@ fun () ->
       if String.length trimmed > 0 && trimmed.[0] = '!' then begin
         let tokens = split_ws trimmed in
         match tokens with
@@ -262,9 +260,6 @@ let parse_line line_number line =
               | None -> fail "bad coupler strength %s" j)
            | _ -> fail "unrecognized statement: %s" trimmed)
       end
-    with Error msg ->
-      if String.length msg > 5 && String.sub msg 0 5 = "line " then raise (Error msg)
-      else fail "%s" msg
   end
 
 let parse_string src =

@@ -1,6 +1,5 @@
 (** Line-oriented parser for QMASM source (section 4.3's language). *)
 
-exception Error of string
 
 val parse_string : string -> Ast.stmt list
 (** Raises [Error] with a line number on malformed input. *)

@@ -1,19 +1,14 @@
-(** Facade over the QMASM toolchain: parse, expand, assemble — and report. *)
-
-exception Error of string
+(** Facade over the QMASM toolchain: parse, expand, assemble — and report.
+    Stage failures raise [Qac_diag.Diag.Error] with their own provenance
+    (["qmasm-parse"], ["qmasm-expand"], ["qmasm-assemble"]). *)
 
 (** [load ?options ?resolve src] runs the full front half of qmasm:
     [resolve] supplies [!include] file contents (return [None] for unknown
     names). *)
 let load ?options ?(resolve = fun _ -> None) src =
-  try
-    let stmts = Parser.parse_string src in
-    let flat = Macro.expand ~resolve stmts in
-    Assemble.assemble ?options flat
-  with
-  | Parser.Error msg -> raise (Error ("parse: " ^ msg))
-  | Macro.Error msg -> raise (Error ("expand: " ^ msg))
-  | Assemble.Error msg -> raise (Error ("assemble: " ^ msg))
+  let stmts = Parser.parse_string src in
+  let flat = Macro.expand ~resolve stmts in
+  Assemble.assemble ?options flat
 
 (** Render a solution the way qmasm does: visible symbols, sorted, with
     assertion outcomes. *)
@@ -22,7 +17,8 @@ let report (a : Assemble.t) spins =
   let lookup name =
     match List.assoc_opt name (Assemble.assignment_of_spins a spins) with
     | Some v -> v
-    | None -> raise (Error ("assertion references unknown symbol " ^ name))
+    | None ->
+      Qac_diag.Diag.error ~stage:"qmasm" "assertion references unknown symbol %s" name
   in
   let checks = Assemble.check_assertions a lookup in
   (List.sort compare assignment, checks)

@@ -1,7 +1,6 @@
 (** Facade over the QMASM toolchain: parse -> expand -> assemble, and
     solution reporting. *)
 
-exception Error of string
 
 (** [load ?options ?resolve src] runs the full front half of qmasm;
     [resolve] supplies [!include] file contents ([None] for unknown

@@ -1,6 +1,4 @@
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"verilog-elab" fmt
 
 let max_width = 62
 

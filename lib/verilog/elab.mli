@@ -35,7 +35,6 @@ type t = {
   comb : Ast.statement list list;  (** [always @*] blocks *)
 }
 
-exception Error of string
 
 val max_width : int
 (** Nets wider than this (62 bits) are rejected: the interpreter packs

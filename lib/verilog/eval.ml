@@ -1,6 +1,4 @@
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"verilog-eval" fmt
 
 let mask width v = if width >= 63 then v else v land ((1 lsl width) - 1)
 

@@ -7,7 +7,6 @@
 
 type t
 
-exception Error of string
 
 val create : Elab.t -> t
 

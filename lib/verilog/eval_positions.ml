@@ -2,9 +2,7 @@
     (net, storage bit) positions, LSB first, used identically by the
     interpreter and the synthesizer. *)
 
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"verilog-elab" fmt
 
 let rec positions (m : Elab.t) (lv : Ast.lvalue) =
   match lv with

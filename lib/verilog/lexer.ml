@@ -8,9 +8,7 @@ type token =
   | Sym of string  (** operator or punctuation *)
   | Eof
 
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"verilog-lex" fmt
 
 let keywords =
   [ "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "reg"; "integer";

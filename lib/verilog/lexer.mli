@@ -8,7 +8,6 @@ type token =
   | Sym of string  (** operator or punctuation *)
   | Eof
 
-exception Error of string
 
 val keywords : string list
 

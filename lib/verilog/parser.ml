@@ -1,8 +1,6 @@
 (** Recursive-descent parser for the Verilog subset.  Produces [Ast.design]. *)
 
-exception Error of string
-
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let error fmt = Qac_diag.Diag.error ~stage:"verilog-parse" fmt
 
 type t = {
   tokens : (Lexer.token * int) array;

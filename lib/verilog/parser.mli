@@ -1,6 +1,5 @@
 (** Recursive-descent parser for the Verilog subset (section 4.1). *)
 
-exception Error of string
 
 val parse_design : string -> Ast.design
 (** Parses every module in the source.  Raises [Error] with a line number on

@@ -7,7 +7,6 @@
     become D flip-flops; combinational blocks become mux-merged dataflow
     (incomplete assignments — latches — are rejected). *)
 
-exception Error of string
 
 type result = {
   netlist : Qac_netlist.Netlist.t;

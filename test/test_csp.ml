@@ -137,11 +137,11 @@ let mzn_tests =
         Alcotest.(check int) "two values" 2 (Csp.count_solutions t));
     Alcotest.test_case "unsupported items rejected" `Quick (fun () ->
         match Mzn.parse "array[1..3] of var int: xs;\nsolve satisfy;" with
-        | exception Mzn.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "missing solve rejected" `Quick (fun () ->
         match Mzn.parse "var 1..2: A;" with
-        | exception Mzn.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
   ]
 

@@ -1,0 +1,83 @@
+(** Unified diagnostics: stage provenance, line attachment, and the
+    result-capture API, end to end through the pipeline. *)
+
+module Diag = Qac_diag.Diag
+module P = Qac_core.Pipeline
+
+let diag_of f =
+  match f () with
+  | _ -> Alcotest.fail "expected a diagnostic"
+  | exception Diag.Error d -> d
+
+let suite =
+  [ Alcotest.test_case "error carries stage and message" `Quick (fun () ->
+        let d = diag_of (fun () -> Diag.error ~stage:"synth" "bad %s #%d" "gate" 3) in
+        Alcotest.(check string) "stage" "synth" d.Diag.stage;
+        Alcotest.(check string) "message" "bad gate #3" d.Diag.message;
+        Alcotest.(check string) "rendered" "synth: bad gate #3" (Diag.to_string d));
+    Alcotest.test_case "to_string includes the line when present" `Quick (fun () ->
+        let d = Diag.make ~line:12 ~stage:"qmasm-parse" "bad weight" in
+        Alcotest.(check string) "rendered" "qmasm-parse: line 12: bad weight"
+          (Diag.to_string d));
+    Alcotest.test_case "locate attaches a line, inner line wins" `Quick (fun () ->
+        let d =
+          diag_of (fun () ->
+              Diag.locate ~line:7 (fun () -> Diag.error ~stage:"s" "oops"))
+        in
+        Alcotest.(check (option int)) "attached" (Some 7) d.Diag.line;
+        let d =
+          diag_of (fun () ->
+              Diag.locate ~line:7 (fun () -> Diag.error ~line:3 ~stage:"s" "oops"))
+        in
+        Alcotest.(check (option int)) "inner wins" (Some 3) d.Diag.line);
+    Alcotest.test_case "protect captures, get re-raises" `Quick (fun () ->
+        (match Diag.protect (fun () -> 41 + 1) with
+         | Ok v -> Alcotest.(check int) "value" 42 v
+         | Error _ -> Alcotest.fail "unexpected diagnostic");
+        let r = Diag.protect (fun () -> Diag.error ~stage:"s" "no") in
+        (match r with
+         | Ok _ -> Alcotest.fail "expected a diagnostic"
+         | Error d -> Alcotest.(check string) "stage" "s" d.Diag.stage);
+        match Diag.get r with
+        | _ -> Alcotest.fail "expected re-raise"
+        | exception Diag.Error d -> Alcotest.(check string) "stage" "s" d.Diag.stage);
+    Alcotest.test_case "parse failure tagged verilog-parse" `Quick (fun () ->
+        let d = diag_of (fun () -> P.compile "module t (o; endmodule") in
+        Alcotest.(check string) "stage" "verilog-parse" d.Diag.stage);
+    Alcotest.test_case "elaboration failure tagged verilog-elab" `Quick (fun () ->
+        let d =
+          diag_of (fun () ->
+              P.compile "module t (o); output o; assign o = ghost; endmodule")
+        in
+        Alcotest.(check string) "stage" "verilog-elab" d.Diag.stage);
+    Alcotest.test_case "missing ~steps tagged pipeline" `Quick (fun () ->
+        let d =
+          diag_of (fun () ->
+              P.compile
+                "module t (c, q); input c; output q; reg q; \
+                 always @(posedge c) q <= ~q; endmodule")
+        in
+        Alcotest.(check string) "stage" "pipeline" d.Diag.stage);
+    Alcotest.test_case "qmasm parse failure carries the line" `Quick (fun () ->
+        let d =
+          diag_of (fun () -> Qac_qmasm.Parser.parse_string "A B 1.0\nA bogus\n")
+        in
+        Alcotest.(check string) "stage" "qmasm-parse" d.Diag.stage;
+        Alcotest.(check (option int)) "line" (Some 2) d.Diag.line);
+    Alcotest.test_case "bad pin value range check (wide ports)" `Quick (fun () ->
+        let t =
+          P.compile
+            "module t (a, o); input [2:0] a; output [2:0] o; assign o = a; endmodule"
+        in
+        (* 8 does not fit in 3 bits. *)
+        (match P.run t ~pins:[ ("a", 8) ] ~solver:P.Exact_solver ~target:P.Logical with
+         | _ -> Alcotest.fail "expected a pin range diagnostic"
+         | exception Diag.Error d ->
+           Alcotest.(check string) "stage" "pipeline" d.Diag.stage);
+        (* 7 does. *)
+        let r = P.run t ~pins:[ ("a", 7) ] ~solver:P.Exact_solver ~target:P.Logical in
+        match P.valid_solutions r with
+        | { P.ports; _ } :: _ ->
+          Alcotest.(check (option int)) "o" (Some 7) (List.assoc_opt "o" ports)
+        | [] -> Alcotest.fail "no valid solution");
+  ]

@@ -95,7 +95,7 @@ let suite =
         Alcotest.(check int) "no trailing newline" 2 (Edif.line_count "a\nb"));
     Alcotest.test_case "parse rejects non-EDIF" `Quick (fun () ->
         match Edif.of_string "(not_edif)" with
-        | exception Edif.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "paper-style excerpt parses (Figure 3b shape)" `Quick (fun () ->
         (* A handwritten minimal EDIF in the shape of Figure 3(b). *)

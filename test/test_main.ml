@@ -17,4 +17,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("pipeline2", Test_pipeline2.suite);
       ("misc", Test_misc.suite);
+      ("diag", Test_diag.suite);
+      ("trace", Test_trace.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,149 @@
+(** Domain-parallel sampling: the chunk decomposition is a deterministic
+    function of the seed alone, so any thread count must return the exact
+    same sample set as the sequential (num_threads:1) path. *)
+
+module Parallel = Qac_anneal.Parallel
+module Sampler = Qac_anneal.Sampler
+module Rng = Qac_anneal.Rng
+
+(* A random spin glass: ring + random chords, [n] variables. *)
+let spin_glass ?(seed = 1) n =
+  let rng = Rng.create seed in
+  let h = Array.init n (fun _ -> (Rng.float rng *. 2.0) -. 1.0) in
+  let seen = Hashtbl.create 1024 in
+  let j = ref [] in
+  for i = 0 to n - 1 do
+    Hashtbl.replace seen (min i ((i + 1) mod n), max i ((i + 1) mod n)) ();
+    j := ((i, (i + 1) mod n), (Rng.float rng *. 2.0) -. 1.0) :: !j
+  done;
+  let added = ref 0 in
+  while !added < 2 * n do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    let key = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      j := (key, (Rng.float rng *. 2.0) -. 1.0) :: !j;
+      incr added
+    end
+  done;
+  Qac_ising.Problem.create ~num_vars:n ~h ~j:!j ()
+
+let check_same_samples what (a : Sampler.response) (b : Sampler.response) =
+  Alcotest.(check int) (what ^ ": num_reads") a.Sampler.num_reads b.Sampler.num_reads;
+  Alcotest.(check int)
+    (what ^ ": distinct")
+    (Sampler.num_distinct a) (Sampler.num_distinct b);
+  List.iter2
+    (fun (x : Sampler.sample) (y : Sampler.sample) ->
+       Alcotest.(check bool) (what ^ ": spins") true (x.Sampler.spins = y.Sampler.spins);
+       Alcotest.(check (float 0.0)) (what ^ ": energy") x.Sampler.energy y.Sampler.energy;
+       Alcotest.(check int)
+         (what ^ ": occurrences")
+         x.Sampler.num_occurrences y.Sampler.num_occurrences)
+    a.Sampler.samples b.Sampler.samples
+
+let suite =
+  [ Alcotest.test_case "chunk decomposition is deterministic and complete" `Quick
+      (fun () ->
+         let cs = Parallel.chunks ~chunk_size:16 ~seed:42 ~num_reads:100 () in
+         Alcotest.(check int) "chunk count" 7 (List.length cs);
+         Alcotest.(check int) "reads total" 100
+           (List.fold_left (fun acc c -> acc + c.Parallel.chunk_reads) 0 cs);
+         let cs' = Parallel.chunks ~chunk_size:16 ~seed:42 ~num_reads:100 () in
+         Alcotest.(check bool) "reproducible" true (cs = cs');
+         List.iter
+           (fun c -> Alcotest.(check bool) "seed non-negative" true (c.Parallel.chunk_seed >= 0))
+           cs;
+         let seeds = List.map (fun c -> c.Parallel.chunk_seed) cs in
+         Alcotest.(check int) "distinct seeds" (List.length seeds)
+           (List.length (List.sort_uniq compare seeds)));
+    Alcotest.test_case "SA: 4 threads = sequential on a 200-var glass" `Slow (fun () ->
+        let problem = spin_glass 200 in
+        let params =
+          { Qac_anneal.Sa.default_params with
+            Qac_anneal.Sa.num_reads = 64;
+            num_sweeps = 60;
+            seed = 99 }
+        in
+        let sequential = Parallel.sample_sa ~num_threads:1 ~params problem in
+        let parallel = Parallel.sample_sa ~num_threads:4 ~params problem in
+        Alcotest.(check bool) "enough vars" true
+          (problem.Qac_ising.Problem.num_vars >= 200);
+        check_same_samples "sa" sequential parallel);
+    Alcotest.test_case "tabu: thread count does not change the sample set" `Quick
+      (fun () ->
+         let problem = spin_glass ~seed:5 60 in
+         let params =
+           { Qac_anneal.Tabu.default_params with
+             Qac_anneal.Tabu.num_restarts = 12;
+             max_iterations = 80;
+             seed = 3 }
+         in
+         check_same_samples "tabu"
+           (Parallel.sample_tabu ~num_threads:1 ~params problem)
+           (Parallel.sample_tabu ~num_threads:3 ~params problem));
+    Alcotest.test_case "sqa: thread count does not change the sample set" `Quick
+      (fun () ->
+         let problem = spin_glass ~seed:8 40 in
+         let params =
+           { Qac_anneal.Sqa.default_params with
+             Qac_anneal.Sqa.num_reads = 8;
+             num_sweeps = 30;
+             num_slices = 6;
+             seed = 11 }
+         in
+         check_same_samples "sqa"
+           (Parallel.sample_sqa ~num_threads:1 ~params problem)
+           (Parallel.sample_sqa ~num_threads:4 ~params problem));
+    Alcotest.test_case "generic runner respects chunk seeds" `Quick (fun () ->
+        let problem = spin_glass ~seed:2 10 in
+        (* A fake sampler that encodes its seed in the read count: merging
+           must still count every read exactly once. *)
+        let recorded = Atomic.make [] in
+        let sampler ~seed ~num_reads =
+          let rec add () =
+            let old = Atomic.get recorded in
+            if not (Atomic.compare_and_set recorded old (seed :: old)) then add ()
+          in
+          add ();
+          let rng = Rng.create seed in
+          Sampler.response_of_reads problem
+            (List.init num_reads (fun _ -> Rng.spins rng 10))
+        in
+        let r = Parallel.sample ~num_threads:2 ~chunk_size:4 ~seed:7 ~num_reads:10 sampler problem in
+        Alcotest.(check int) "all reads merged" 10 r.Sampler.num_reads;
+        let expected =
+          Parallel.chunks ~chunk_size:4 ~seed:7 ~num_reads:10 ()
+          |> List.map (fun c -> c.Parallel.chunk_seed)
+        in
+        Alcotest.(check bool) "chunk seeds used" true
+          (List.sort compare (Atomic.get recorded) = List.sort compare expected));
+    Alcotest.test_case "zero reads" `Quick (fun () ->
+        let problem = spin_glass ~seed:3 10 in
+        let params = { Qac_anneal.Sa.default_params with Qac_anneal.Sa.num_reads = 0 } in
+        let r = Parallel.sample_sa ~num_threads:4 ~params problem in
+        Alcotest.(check int) "no reads" 0 r.Sampler.num_reads;
+        Alcotest.(check int) "no samples" 0 (Sampler.num_distinct r));
+    Alcotest.test_case "pipeline dispatch: threaded solve still verifies" `Quick
+      (fun () ->
+         let module P = Qac_core.Pipeline in
+         let t =
+           P.compile
+             "module add (a, b, s); input [1:0] a; input [1:0] b; output [2:0] s; \
+              assign s = a + b; endmodule"
+         in
+         let params =
+           { Qac_anneal.Sa.default_params with
+             Qac_anneal.Sa.num_reads = 48;
+             num_sweeps = 150;
+             seed = 17 }
+         in
+         let r =
+           P.run t ~pins:[ ("a", 2); ("b", 3) ] ~num_threads:4 ~solver:(P.Sa params)
+             ~target:P.Logical
+         in
+         match P.valid_solutions r with
+         | { P.ports; _ } :: _ ->
+           Alcotest.(check (option int)) "sum" (Some 5) (List.assoc_opt "s" ports)
+         | [] -> Alcotest.fail "no valid solution from threaded solve");
+  ]

@@ -78,7 +78,7 @@ let compile_tests =
         Alcotest.(check bool) "has logical vars" true (props.P.logical_vars > 5));
     Alcotest.test_case "sequential module without steps is rejected" `Quick (fun () ->
         match P.compile counter_src with
-        | exception P.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "port widths known" `Quick (fun () ->
         let t = P.compile fig2_src in

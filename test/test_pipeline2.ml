@@ -28,12 +28,12 @@ let suite =
     Alcotest.test_case "bad pin_source reported" `Quick (fun () ->
         let t = P.compile fig2_src in
         match P.run t ~pin_source:"!garbage x" ~solver:P.Exact_solver ~target:P.Logical with
-        | exception P.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "out-of-range integer pin rejected" `Quick (fun () ->
         let t = P.compile fig2_src in
         match P.run t ~pins:[ ("c", 4) ] ~solver:P.Exact_solver ~target:P.Logical with
-        | exception P.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "SQA solver through the pipeline" `Quick (fun () ->
         let t = P.compile fig2_src in

@@ -61,7 +61,7 @@ let parser_tests =
         | _ -> Alcotest.fail "assertion");
     Alcotest.test_case "bad directive rejected" `Quick (fun () ->
         match Parser.parse_string "!frobnicate x" with
-        | exception Parser.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "line_count skips blanks and comments" `Quick (fun () ->
         Alcotest.(check int) "2" 2 (Parser.line_count "A 1\n\n# c\nB 2\n"));
@@ -100,11 +100,11 @@ let macro_tests =
           | _ -> None
         in
         match Macro.expand ~resolve (Parser.parse_string "!include \"a\"") with
-        | exception Macro.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "undefined macro rejected" `Quick (fun () ->
         match Macro.expand ~resolve:(fun _ -> None) (Parser.parse_string "!use_macro NO i") with
-        | exception Macro.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
   ]
 
@@ -529,7 +529,7 @@ let qmasm_edge_tests =
             ~options:{ Assemble.default_options with Assemble.merge_chains = true }
             "A = B\nA /= B\n"
         with
-        | exception Qmasm.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "pin of unknown-but-fresh symbol creates it" `Quick (fun () ->
         let a = Qmasm.load "fresh := true\n" in

@@ -1,0 +1,119 @@
+(** Span tracing: the mechanism itself, plus the per-stage spans and size
+    counters recorded by [Pipeline.compile] and [Pipeline.run]. *)
+
+module Trace = Qac_diag.Trace
+module Diag = Qac_diag.Diag
+module P = Qac_core.Pipeline
+
+let span_names t = List.map (fun s -> s.Trace.name) (Trace.spans t)
+
+let counter_exn t span key =
+  match Trace.find_counter t span key with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "no counter %s on span %s" key span)
+
+let mult_src =
+  "module mult (a, b, p); input [2:0] a; input [2:0] b; output [5:0] p; \
+   assign p = a * b; endmodule"
+
+let suite =
+  [ Alcotest.test_case "spans record order, nesting and counters" `Quick (fun () ->
+        let t = Trace.create () in
+        let v =
+          Trace.with_span t "outer" (fun () ->
+              Trace.counter t "a" 1;
+              Trace.with_span t "inner" (fun () -> Trace.counter t "b" 2);
+              Trace.counter t "a" 3;
+              17)
+        in
+        Alcotest.(check int) "value" 17 v;
+        (* Inner completes first; counters attach to the open span. *)
+        Alcotest.(check (list string)) "order" [ "inner"; "outer" ] (span_names t);
+        Alcotest.(check int) "inner counter" 2 (counter_exn t "inner" "b");
+        Alcotest.(check int) "overwritten" 3 (counter_exn t "outer" "a");
+        List.iter
+          (fun s ->
+             Alcotest.(check bool) "non-negative time" true (s.Trace.elapsed_seconds >= 0.0))
+          (Trace.spans t));
+    Alcotest.test_case "span recorded when the callback raises" `Quick (fun () ->
+        let t = Trace.create () in
+        (match Trace.with_span t "failing" (fun () -> Diag.error ~stage:"s" "no") with
+         | _ -> Alcotest.fail "expected raise"
+         | exception Diag.Error _ -> ());
+        Alcotest.(check (list string)) "recorded" [ "failing" ] (span_names t));
+    Alcotest.test_case "compile records every stage with counters" `Quick (fun () ->
+        let trace = Trace.create () in
+        let t = P.compile ~trace mult_src in
+        Alcotest.(check (list string)) "stages"
+          [ "parse"; "elab"; "synth"; "unroll"; "edif-roundtrip"; "e2q"; "expand";
+            "assemble" ]
+          (span_names trace);
+        Alcotest.(check bool) "gates" true (counter_exn trace "synth" "gates" > 0);
+        Alcotest.(check bool) "nets" true (counter_exn trace "synth" "nets" > 0);
+        Alcotest.(check bool) "edif lines" true
+          (counter_exn trace "edif-roundtrip" "edif-lines" > 0);
+        Alcotest.(check bool) "statements" true
+          (counter_exn trace "expand" "statements" > 0);
+        Alcotest.(check int) "logical vars counter matches program"
+          t.P.program.Qac_qmasm.Assemble.problem.Qac_ising.Problem.num_vars
+          (counter_exn trace "assemble" "logical-vars"));
+    Alcotest.test_case "sequential compile records the unroll depth" `Quick (fun () ->
+        let trace = Trace.create () in
+        let (_ : P.t) =
+          P.compile ~trace ~steps:2
+            "module c (clk, q); input clk; output q; reg q; \
+             always @(posedge clk) q <= ~q; endmodule"
+        in
+        Alcotest.(check int) "steps" 2 (counter_exn trace "unroll" "steps"));
+    Alcotest.test_case "logical run records assemble/solve/verify" `Quick (fun () ->
+        let t = P.compile mult_src in
+        let trace = Trace.create () in
+        let params =
+          { Qac_anneal.Sa.default_params with Qac_anneal.Sa.num_reads = 20; num_sweeps = 50 }
+        in
+        let (_ : P.run_result) =
+          P.run t ~pins:[ ("a", 3); ("b", 5) ] ~trace ~solver:(P.Sa params)
+            ~target:P.Logical
+        in
+        Alcotest.(check (list string)) "stages" [ "assemble"; "solve"; "verify" ]
+          (span_names trace);
+        Alcotest.(check int) "reads" 20 (counter_exn trace "solve" "reads");
+        Alcotest.(check bool) "solutions counted" true
+          (counter_exn trace "verify" "distinct-solutions" > 0));
+    Alcotest.test_case "physical run records qpbo/embed/unembed with counters" `Quick
+      (fun () ->
+         let t =
+           P.compile
+             "module t (a, b, o); input a, b; output o; assign o = a & b; endmodule"
+         in
+         let trace = Trace.create () in
+         let target =
+           P.Physical
+             { graph = Qac_chimera.Chimera.create 4;
+               embed_params = None;
+               chain_strength = None;
+               roof_duality = false }
+         in
+         let r = P.run t ~trace ~solver:P.Exact_solver ~target in
+         Alcotest.(check (list string)) "stages"
+           [ "assemble"; "qpbo"; "embed"; "solve"; "unembed"; "verify" ]
+           (span_names trace);
+         let qubits = counter_exn trace "embed" "physical-qubits" in
+         Alcotest.(check bool) "qubits >= logical vars" true
+           (qubits >= r.P.num_logical_vars);
+         Alcotest.(check (option int)) "matches run_result" (Some qubits)
+           r.P.num_physical_qubits;
+         Alcotest.(check bool) "max chain length" true
+           (counter_exn trace "embed" "max-chain-length" >= 1));
+    Alcotest.test_case "json export" `Quick (fun () ->
+        let trace = Trace.create () in
+        let (_ : P.t) = P.compile ~trace mult_src in
+        let json = Trace.to_json trace in
+        let contains needle =
+          Qac_qmasm.Str_split.find_substring json needle <> None
+        in
+        Alcotest.(check bool) "has spans" true (contains "\"spans\":[");
+        Alcotest.(check bool) "has total" true (contains "\"total_seconds\":");
+        Alcotest.(check bool) "has a stage" true (contains "\"name\":\"synth\"");
+        Alcotest.(check bool) "has a counter" true (contains "\"gates\":"));
+  ]

@@ -192,15 +192,13 @@ let error_tests =
   let expect_elab_error name src =
     Alcotest.test_case name `Quick (fun () ->
         match Verilog.elaborate src with
-        | exception Elab.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected elaboration error")
   in
   let expect_front_error name src =
     Alcotest.test_case name `Quick (fun () ->
         match Eval.comb_outputs (Verilog.interpreter src) ~inputs:[] with
-        | exception Eval.Error _ -> ()
-        | exception Elab.Error _ -> ()
-        | exception Parser.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected an error")
   in
   [ expect_elab_error "unknown module instantiated"
@@ -219,14 +217,12 @@ let error_tests =
     Alcotest.test_case "out-of-range bit select rejected" `Quick (fun () ->
         let src = "module t (a, o); input [1:0] a; output o; assign o = a[5]; endmodule" in
         match Eval.comb_outputs (Verilog.interpreter src) ~inputs:[ ("a", 0) ] with
-        | exception Eval.Error _ -> ()
-        | exception Elab.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "part-select direction mismatch rejected" `Quick (fun () ->
         let src = "module t (a, o); input [3:0] a; output [1:0] o; assign o = a[0:1]; endmodule" in
         match Eval.comb_outputs (Verilog.interpreter src) ~inputs:[ ("a", 0) ] with
-        | exception Eval.Error _ -> ()
-        | exception Elab.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
   ]
 
@@ -375,7 +371,7 @@ let generate_tests =
                assign o = 0;
              endmodule|}
         with
-        | exception Elab.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
     Alcotest.test_case "generate unroll limit enforced" `Quick (fun () ->
         match
@@ -389,7 +385,7 @@ let generate_tests =
                endgenerate
              endmodule|}
         with
-        | exception Elab.Error _ -> ()
+        | exception Qac_diag.Diag.Error _ -> ()
         | _ -> Alcotest.fail "expected error");
   ]
 
