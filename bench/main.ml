@@ -9,7 +9,11 @@
     - [dune exec bench/main.exe -- trace] prints the per-stage span
       breakdown (times + size counters) for a compile+run of a multiplier.
     - [dune exec bench/main.exe -- parallel] measures domain-parallel SA
-      read-batch scaling on a 300-variable spin glass. *)
+      read-batch scaling on a 300-variable spin glass.
+    - [dune exec bench/main.exe -- kernel [smoke]] compares the list-walking
+      baseline sweep kernel against the CSR + incremental-field kernel on
+      Chimera-structured spin glasses and writes [BENCH_ANNEAL.json].
+      [smoke] restricts to small sizes/sweep counts for CI. *)
 
 let run_experiments ids =
   let selected =
@@ -177,10 +181,141 @@ let parallel_scaling () =
          (Qac_anneal.Sampler.best r).Qac_anneal.Sampler.energy)
     [ 1; 2; 4; 8 ]
 
+(* --- Annealing kernel microbenchmark ---------------------------------------- *)
+
+(* A Chimera-structured spin glass: the native topology of the paper's
+   target hardware, so degrees (5-6) match what embedded problems see. *)
+let chimera_glass ~m ~seed =
+  let module Rng = Qac_anneal.Rng in
+  let module Chimera = Qac_chimera.Chimera in
+  let g = Chimera.create m in
+  let n = Chimera.num_qubits g in
+  let rng = Rng.create seed in
+  let h = Array.init n (fun _ -> (Rng.float rng *. 2.0) -. 1.0) in
+  let j =
+    List.map
+      (fun (a, b) -> ((a, b), (Rng.float rng *. 2.0) -. 1.0))
+      (Chimera.edges g)
+  in
+  Qac_ising.Problem.create ~num_vars:n ~h ~j ()
+
+(* The pre-CSR kernel, verbatim: adjacency as a boxed [(int * float) list]
+   per spin (built by prepending, as [adjacency_of_couplers] did), local
+   field re-derived by a list fold on every proposal. *)
+let baseline_sweeps (p : Qac_ising.Problem.t) ~rng ~schedule ~num_sweeps =
+  let n = p.Qac_ising.Problem.num_vars in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun ((i, j), v) ->
+       adj.(i) <- (j, v) :: adj.(i);
+       adj.(j) <- (i, v) :: adj.(j))
+    p.Qac_ising.Problem.couplers;
+  let module Rng = Qac_anneal.Rng in
+  let spins = Rng.spins rng n in
+  let order = Array.init n (fun i -> i) in
+  for step = 0 to num_sweeps - 1 do
+    let beta = Qac_anneal.Schedule.beta schedule ~step ~num_steps:num_sweeps in
+    Rng.shuffle rng order;
+    Array.iter
+      (fun i ->
+         let field =
+           List.fold_left
+             (fun acc (j, v) -> acc +. (v *. float_of_int spins.(j)))
+             p.Qac_ising.Problem.h.(i) adj.(i)
+         in
+         let delta = -2.0 *. float_of_int spins.(i) *. field in
+         if delta <= 0.0 || Rng.float rng < exp (-.beta *. delta) then
+           spins.(i) <- -spins.(i))
+      order
+  done;
+  Qac_ising.Problem.energy p spins
+
+let csr_sweeps (p : Qac_ising.Problem.t) ~rng ~schedule ~num_sweeps =
+  let module State = Qac_anneal.State in
+  let st = State.random p rng in
+  let order = Array.init (State.num_vars st) (fun i -> i) in
+  Qac_anneal.Rng.shuffle rng order;
+  for step = 0 to num_sweeps - 1 do
+    let beta = Qac_anneal.Schedule.beta schedule ~step ~num_steps:num_sweeps in
+    State.metropolis_sweep st ~beta ~rng ~order
+  done;
+  State.energy st
+
+let kernel_bench ~smoke () =
+  let module Rng = Qac_anneal.Rng in
+  (* (chimera grid size, sweeps): 8*m^2 variables. *)
+  let cases =
+    if smoke then [ (4, 80); (8, 40) ] else [ (4, 3000); (8, 1200); (16, 300) ]
+  in
+  let repeats = if smoke then 1 else 3 in
+  Printf.printf
+    "annealing kernel: list-walking baseline vs CSR + incremental fields\n\
+     (Chimera-structured spin glass, shore 4; identical RNG streams)\n";
+  let rows =
+    List.map
+      (fun (m, num_sweeps) ->
+         let p = chimera_glass ~m ~seed:(100 + m) in
+         let n = p.Qac_ising.Problem.num_vars in
+         let couplers = Qac_ising.Problem.num_interactions p in
+         let schedule = Qac_anneal.Schedule.create p in
+         let time_once f =
+           let rng = Rng.create 7 in
+           let t0 = Unix.gettimeofday () in
+           let energy = f p ~rng ~schedule ~num_sweeps in
+           (Unix.gettimeofday () -. t0, energy)
+         in
+         (* Warm up once, then keep the fastest of [repeats] runs (the
+            least-disturbed measurement on a shared machine). *)
+         let time f =
+           ignore (time_once f);
+           let best = ref (time_once f) in
+           for _ = 2 to repeats do
+             let (seconds, _) as r = time_once f in
+             if seconds < fst !best then best := r
+           done;
+           !best
+         in
+         let baseline_seconds, baseline_energy = time baseline_sweeps in
+         let csr_seconds, csr_energy = time csr_sweeps in
+         let rate seconds = float_of_int num_sweeps /. seconds in
+         let speedup = baseline_seconds /. csr_seconds in
+         Printf.printf
+           "  n=%-5d couplers=%-5d sweeps=%-4d baseline=%8.1f sw/s  csr=%9.1f \
+            sw/s  speedup=%5.2fx  (E_base=%g E_csr=%g)\n"
+           n couplers num_sweeps (rate baseline_seconds) (rate csr_seconds) speedup
+           baseline_energy csr_energy;
+         Printf.sprintf
+           "    { \"num_vars\": %d, \"num_couplers\": %d, \"num_sweeps\": %d,\n\
+           \      \"baseline_seconds\": %.6f, \"csr_seconds\": %.6f,\n\
+           \      \"baseline_sweeps_per_sec\": %.1f, \"csr_sweeps_per_sec\": %.1f,\n\
+           \      \"baseline_spin_updates_per_sec\": %.0f, \"csr_spin_updates_per_sec\": %.0f,\n\
+           \      \"speedup\": %.2f }"
+           n couplers num_sweeps baseline_seconds csr_seconds (rate baseline_seconds)
+           (rate csr_seconds)
+           (float_of_int (n * num_sweeps) /. baseline_seconds)
+           (float_of_int (n * num_sweeps) /. csr_seconds)
+           speedup)
+      cases
+  in
+  let oc = open_out "BENCH_ANNEAL.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"anneal-kernel\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"workload\": \"Metropolis sweeps, Chimera-structured spin glass (shore 4), geometric schedule\",\n\
+    \  \"kernels\": { \"baseline\": \"boxed (int * float) list adjacency, field re-derived per proposal\",\n\
+    \                 \"csr\": \"row_start/col/weight arrays + incremental local-field state\" },\n\
+    \  \"results\": [\n%s\n  ]\n}\n"
+    (if smoke then "smoke" else "full")
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "wrote BENCH_ANNEAL.json\n"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "bechamel" ] -> bechamel ()
   | [ "trace" ] -> trace_breakdown ()
   | [ "parallel" ] -> parallel_scaling ()
+  | "kernel" :: rest -> kernel_bench ~smoke:(rest = [ "smoke" ]) ()
   | ids -> run_experiments ids

@@ -8,4 +8,7 @@ let sample (p : Problem.t) =
   let start = Unix.gettimeofday () in
   let result = Exact.solve p in
   let elapsed_seconds = Unix.gettimeofday () -. start in
-  Sampler.response_of_reads p ~elapsed_seconds result.Exact.ground_states
+  Sampler.response_of_evaluated_reads ~elapsed_seconds
+    (List.map
+       (fun spins -> (spins, result.Exact.ground_energy))
+       result.Exact.ground_states)

@@ -4,23 +4,28 @@
 
 open Qac_ising
 
-(** [descend p spins] mutates [spins] to a local minimum; returns the number
-    of flips performed. *)
-let descend (p : Problem.t) spins =
-  let n = p.Problem.num_vars in
+(** [descend_state st] drives the incremental state to a local minimum;
+    returns the number of flips performed.  Each pass costs O(vars) in
+    proposals plus O(degree) per accepted flip. *)
+let descend_state st =
+  let n = State.num_vars st in
   let flips = ref 0 in
   let improved = ref true in
   while !improved do
     improved := false;
     for i = 0 to n - 1 do
-      if Problem.energy_delta p spins i < -1e-12 then begin
-        spins.(i) <- -spins.(i);
+      if State.delta st i < -1e-12 then begin
+        State.flip st i;
         incr flips;
         improved := true
       end
     done
   done;
   !flips
+
+(** [descend p spins] mutates [spins] to a local minimum; returns the number
+    of flips performed. *)
+let descend (p : Problem.t) spins = descend_state (State.make p spins)
 
 (** Non-mutating variant. *)
 let local_minimum p spins =

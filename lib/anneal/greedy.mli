@@ -1,6 +1,11 @@
 (** Greedy single-spin descent, used standalone and as post-processing for
     stochastic samplers (qmasm-style sample polishing). *)
 
+val descend_state : State.t -> int
+(** Drive an existing incremental state to a single-flip local minimum;
+    returns the number of flips performed.  The state's tracked energy is
+    current afterwards — no re-evaluation needed. *)
+
 val descend : Qac_ising.Problem.t -> Qac_ising.Problem.spin array -> int
 (** Mutates the configuration to a single-flip local minimum; returns the
     number of flips performed. *)

@@ -28,20 +28,22 @@ let subproblem (p : Problem.t) spins vars =
   Array.iteri
     (fun k v ->
        Problem.Builder.add_h b k p.Problem.h.(v);
-       List.iter
-         (fun (j, coupling) ->
-            match Hashtbl.find_opt position j with
-            | Some kj ->
-              (* Internal coupler; add once (when k < kj). *)
-              if k < kj then Problem.Builder.add_j b k kj coupling
-            | None ->
-              (* Frozen neighbor: folds into the field. *)
-              Problem.Builder.add_h b k (coupling *. float_of_int spins.(j)))
-         p.Problem.adj.(v))
+       Problem.iter_neighbors p v (fun j coupling ->
+           match Hashtbl.find_opt position j with
+           | Some kj ->
+             (* Internal coupler; add once (when k < kj). *)
+             if k < kj then Problem.Builder.add_j b k kj coupling
+           | None ->
+             (* Frozen neighbor: folds into the field. *)
+             Problem.Builder.add_h b k (coupling *. float_of_int spins.(j))))
     vars;
   Problem.Builder.build b
 
-let improve_with_subset ~sub_solver (p : Problem.t) spins vars =
+(* Splice the sub-solver's best configuration into the running state.  The
+   tracked energy prices the change in O(flipped vars * degree) — no full
+   Hamiltonian re-evaluation per round. *)
+let improve_with_subset ~sub_solver (p : Problem.t) st vars =
+  let spins = State.spins st in
   let sub = subproblem p spins vars in
   if sub.Problem.num_vars = 0 then false
   else begin
@@ -50,26 +52,33 @@ let improve_with_subset ~sub_solver (p : Problem.t) spins vars =
     | [] -> false
     | best :: _ ->
       let best = best.Sampler.spins in
-      let before = Problem.energy p spins in
-      let saved = Array.map (fun v -> spins.(v)) vars in
-      Array.iteri (fun k v -> spins.(v) <- best.(k)) vars;
-      let after = Problem.energy p spins in
-      if after < before -. 1e-12 then true
+      let before = State.energy st in
+      let flipped =
+        Array.to_list vars
+        |> List.filteri (fun k v ->
+            if spins.(v) <> best.(k) then begin
+              State.flip st v;
+              true
+            end
+            else false)
+      in
+      if State.energy st < before -. 1e-12 then true
       else begin
-        Array.iteri (fun k v -> spins.(v) <- saved.(k)) vars;
+        List.iter (State.flip st) flipped;
         false
       end
   end
 
-let impact_order (p : Problem.t) spins =
-  let n = p.Problem.num_vars in
-  let impacts = Array.init n (fun i -> (Float.abs (Problem.energy_delta p spins i), i)) in
+let impact_order st =
+  let n = State.num_vars st in
+  let impacts = Array.init n (fun i -> (Float.abs (State.delta st i), i)) in
   Array.sort (fun (a, _) (b, _) -> compare b a) impacts;
   Array.map snd impacts
 
 let exact_sub_solver sub =
   let result = Exact.solve ~limit:1 sub in
-  Sampler.response_of_reads sub result.Exact.ground_states
+  Sampler.response_of_evaluated_reads
+    (List.map (fun s -> (s, result.Exact.ground_energy)) result.Exact.ground_states)
 
 let sample ?(params = default_params) ?(sub_solver = exact_sub_solver) (p : Problem.t) =
   let n = p.Problem.num_vars in
@@ -78,14 +87,16 @@ let sample ?(params = default_params) ?(sub_solver = exact_sub_solver) (p : Prob
   else if n <= params.sub_size then begin
     (* Fits the sub-solver: solve directly. *)
     let response = sub_solver p in
-    let reads = List.map (fun s -> s.Sampler.spins) response.Sampler.samples in
+    let reads =
+      List.map (fun s -> (s.Sampler.spins, s.Sampler.energy)) response.Sampler.samples
+    in
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_reads p ~elapsed_seconds reads
+    Sampler.response_of_evaluated_reads ~elapsed_seconds reads
   end
   else begin
     let rng = Rng.create params.seed in
-    let spins = Rng.spins rng n in
-    ignore (Greedy.descend p spins);
+    let st = State.random p rng in
+    ignore (Greedy.descend_state st);
     let stall = ref 0 in
     let round = ref 0 in
     while !stall < params.num_repeats && !round < params.max_rounds do
@@ -96,24 +107,25 @@ let sample ?(params = default_params) ?(sub_solver = exact_sub_solver) (p : Prob
           (* Diversification: a random subset. *)
           let perm = Array.init n (fun i -> i) in
           Rng.shuffle rng perm;
-          improve_with_subset ~sub_solver p spins (Array.sub perm 0 params.sub_size)
+          improve_with_subset ~sub_solver p st (Array.sub perm 0 params.sub_size)
         | 1 ->
           (* Locality: a contiguous index window, which repairs structures
              like domain walls in chain-shaped problems. *)
           let start = Rng.int rng (n - params.sub_size + 1) in
-          improve_with_subset ~sub_solver p spins
+          improve_with_subset ~sub_solver p st
             (Array.init params.sub_size (fun k -> start + k))
         | _ ->
           (* Intensification: highest-impact variables, with a random offset
              so consecutive rounds differ. *)
-          let order = impact_order p spins in
+          let order = impact_order st in
           let offset = if !round <= 2 then 0 else Rng.int rng (max 1 (n - params.sub_size)) in
-          improve_with_subset ~sub_solver p spins
+          improve_with_subset ~sub_solver p st
             (Array.sub order (min offset (n - params.sub_size)) params.sub_size)
       in
       if improved then stall := 0 else incr stall
     done;
-    ignore (Greedy.descend p spins);
+    ignore (Greedy.descend_state st);
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_reads p ~elapsed_seconds [ spins ]
+    Sampler.response_of_evaluated_reads ~elapsed_seconds
+      [ (State.spins st, State.energy st) ]
   end

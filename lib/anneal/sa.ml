@@ -21,19 +21,17 @@ let default_params =
 
 let anneal_one (p : Problem.t) ~rng ~num_sweeps ~schedule =
   let n = p.Problem.num_vars in
-  let spins = Rng.spins rng n in
+  let st = State.random p rng in
+  (* One random visit order per read (sequential-scan SA, as in D-Wave's
+     neal): a per-sweep reshuffle costs more than the O(1) proposals it
+     reorders. *)
   let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
   for step = 0 to num_sweeps - 1 do
     let beta = Schedule.beta schedule ~step ~num_steps:num_sweeps in
-    Rng.shuffle rng order;
-    Array.iter
-      (fun i ->
-         let delta = Problem.energy_delta p spins i in
-         if delta <= 0.0 || Rng.float rng < exp (-.beta *. delta) then
-           spins.(i) <- -spins.(i))
-      order
+    State.metropolis_sweep st ~beta ~rng ~order
   done;
-  spins
+  st
 
 let sample ?(params = default_params) (p : Problem.t) =
   if p.Problem.num_vars = 0 then
@@ -47,10 +45,10 @@ let sample ?(params = default_params) (p : Problem.t) =
     let start = Unix.gettimeofday () in
     let reads =
       List.init params.num_reads (fun _ ->
-          let spins = anneal_one p ~rng ~num_sweeps:params.num_sweeps ~schedule in
-          if params.greedy_postprocess then ignore (Greedy.descend p spins);
-          spins)
+          let st = anneal_one p ~rng ~num_sweeps:params.num_sweeps ~schedule in
+          if params.greedy_postprocess then ignore (Greedy.descend_state st);
+          (State.spins st, State.energy st))
     in
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_reads p ~elapsed_seconds reads
+    Sampler.response_of_evaluated_reads ~elapsed_seconds reads
   end

@@ -24,10 +24,10 @@ val default_params : params
 val sample : ?params:params -> Qac_ising.Problem.t -> Sampler.response
 
 (** [anneal_one p ~rng ~num_sweeps ~schedule] runs a single read and returns
-    its final configuration. *)
+    the final annealing state (configuration + tracked energy). *)
 val anneal_one :
   Qac_ising.Problem.t ->
   rng:Rng.t ->
   num_sweeps:int ->
   schedule:Schedule.t ->
-  Qac_ising.Problem.spin array
+  State.t

@@ -16,28 +16,40 @@ type response = {
   elapsed_seconds : float;
 }
 
-(** Aggregate raw reads into a response: duplicates are merged with
-    occurrence counts, samples sorted by energy then configuration. *)
-let response_of_reads problem ?(elapsed_seconds = 0.0) reads =
+(* Dedup key: one byte per spin.  Bytes compare/hash without the per-element
+   boxing an [int list] key pays. *)
+let pack spins =
+  Bytes.init (Array.length spins) (fun i -> if spins.(i) > 0 then '\001' else '\000')
+
+let sorted_samples tbl =
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b ->
+      match compare a.energy b.energy with
+      | 0 -> compare a.spins b.spins
+      | c -> c)
+
+(** Aggregate reads whose energies the solver already tracked (e.g. via
+    [State.energy]): no re-evaluation of the Hamiltonian per read. *)
+let response_of_evaluated_reads ?(elapsed_seconds = 0.0) reads =
   let tbl = Hashtbl.create 64 in
+  let num_reads = ref 0 in
   List.iter
-    (fun spins ->
-       let key = Array.to_list spins in
+    (fun (spins, energy) ->
+       incr num_reads;
+       let key = pack spins in
        match Hashtbl.find_opt tbl key with
        | Some (sample : sample) ->
          Hashtbl.replace tbl key { sample with num_occurrences = sample.num_occurrences + 1 }
        | None ->
-         Hashtbl.replace tbl key
-           { spins = Array.copy spins; energy = Problem.energy problem spins; num_occurrences = 1 })
+         Hashtbl.add tbl key { spins = Array.copy spins; energy; num_occurrences = 1 })
     reads;
-  let samples =
-    Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
-    |> List.sort (fun a b ->
-        match compare a.energy b.energy with
-        | 0 -> compare a.spins b.spins
-        | c -> c)
-  in
-  { samples; num_reads = List.length reads; elapsed_seconds }
+  { samples = sorted_samples tbl; num_reads = !num_reads; elapsed_seconds }
+
+(** Aggregate raw reads into a response: duplicates are merged with
+    occurrence counts, samples sorted by energy then configuration. *)
+let response_of_reads problem ?elapsed_seconds reads =
+  response_of_evaluated_reads ?elapsed_seconds
+    (List.map (fun spins -> (spins, Problem.energy problem spins)) reads)
 
 let best response =
   match response.samples with
@@ -74,18 +86,27 @@ let time_to_solution ?(confidence = 0.99) response ~target_energy =
     Some (per_read *. Float.max 1.0 reads_needed)
   end
 
-(** Merge responses from several solver invocations. *)
-let merge problem responses =
-  let reads =
-    List.concat_map
-      (fun r ->
-         List.concat_map
-           (fun s -> List.init s.num_occurrences (fun _ -> s.spins))
-           r.samples)
-      responses
-  in
+(** Merge responses from several solver invocations: occurrence counts add
+    directly (no re-materialized per-read lists, no energy re-evaluation). *)
+let merge _problem responses =
+  let tbl = Hashtbl.create 64 in
+  let num_reads = ref 0 in
+  List.iter
+    (fun r ->
+       num_reads := !num_reads + r.num_reads;
+       List.iter
+         (fun s ->
+            let key = pack s.spins in
+            match Hashtbl.find_opt tbl key with
+            | Some existing ->
+              Hashtbl.replace tbl key
+                { existing with
+                  num_occurrences = existing.num_occurrences + s.num_occurrences }
+            | None -> Hashtbl.add tbl key s)
+         r.samples)
+    responses;
   let elapsed = List.fold_left (fun acc r -> acc +. r.elapsed_seconds) 0.0 responses in
-  response_of_reads problem ~elapsed_seconds:elapsed reads
+  { samples = sorted_samples tbl; num_reads = !num_reads; elapsed_seconds = elapsed }
 
 let pp_histogram ?(buckets = 10) fmt response =
   match response.samples with

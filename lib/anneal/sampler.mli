@@ -14,12 +14,21 @@ type response = {
   elapsed_seconds : float;
 }
 
-(** Aggregate raw reads: duplicates merge with occurrence counts; samples
-    sort by energy, then configuration. *)
+(** Aggregate raw reads: duplicates merge with occurrence counts (keyed on a
+    packed byte string of the configuration); samples sort by energy, then
+    configuration. *)
 val response_of_reads :
   Qac_ising.Problem.t ->
   ?elapsed_seconds:float ->
   Qac_ising.Problem.spin array list ->
+  response
+
+(** Same aggregation for [(spins, energy)] pairs whose energies the solver
+    already tracked incrementally (see {!State.energy}) — the Hamiltonian is
+    never re-evaluated. *)
+val response_of_evaluated_reads :
+  ?elapsed_seconds:float ->
+  (Qac_ising.Problem.spin array * float) list ->
   response
 
 val best : response -> sample
@@ -31,7 +40,8 @@ val ground_samples : ?tolerance:float -> response -> sample list
 (** Samples within [tolerance] (default 1e-9) of the best energy. *)
 
 val merge : Qac_ising.Problem.t -> response list -> response
-(** Combine responses from several invocations (elapsed times add). *)
+(** Combine responses from several invocations: occurrence counts aggregate
+    directly, elapsed times add. *)
 
 val success_probability : response -> target_energy:float -> float
 (** Fraction of reads at or below [target_energy] (+1e-9 tolerance). *)

@@ -21,13 +21,9 @@ let default_range (p : Problem.t) =
     let max_field = ref 0.0 in
     let min_coeff = ref infinity in
     for i = 0 to n - 1 do
-      let field =
-        List.fold_left
-          (fun acc (_, j) -> acc +. Float.abs j)
-          (Float.abs p.Problem.h.(i))
-          p.Problem.adj.(i)
-      in
-      max_field := Float.max !max_field field
+      let field = ref (Float.abs p.Problem.h.(i)) in
+      Problem.iter_neighbors p i (fun _ j -> field := !field +. Float.abs j);
+      max_field := Float.max !max_field !field
     done;
     Array.iter
       (fun v -> if v <> 0.0 then min_coeff := Float.min !min_coeff (Float.abs v))

@@ -35,8 +35,8 @@ let anneal_one (p : Problem.t) ~params ~rng =
   let n = p.Problem.num_vars in
   let slices = params.num_slices in
   let beta = 1.0 /. params.temperature in
-  (* slices x n spin configurations *)
-  let replicas = Array.init slices (fun _ -> Rng.spins rng n) in
+  (* One incremental state per Trotter slice. *)
+  let replicas = Array.init slices (fun _ -> State.random p rng) in
   for sweep = 0 to params.num_sweeps - 1 do
     let fraction =
       if params.num_sweeps <= 1 then 1.0
@@ -50,48 +50,42 @@ let anneal_one (p : Problem.t) ~params ~rng =
     let slice_weight = 1.0 /. float_of_int slices in
     (* Local moves. *)
     for k = 0 to slices - 1 do
-      let sigma = replicas.(k) in
-      let up = replicas.((k + 1) mod slices) in
-      let down = replicas.((k + slices - 1) mod slices) in
+      let st = replicas.(k) in
+      let sigma = State.spins st in
+      let up = State.spins replicas.((k + 1) mod slices) in
+      let down = State.spins replicas.((k + slices - 1) mod slices) in
       for i = 0 to n - 1 do
-        let classical = slice_weight *. Problem.energy_delta p sigma i in
+        let classical = slice_weight *. State.delta st i in
         let quantum =
           2.0 *. coupling *. float_of_int sigma.(i)
           *. float_of_int (up.(i) + down.(i))
         in
         let delta = classical +. quantum in
         if delta <= 0.0 || Rng.float rng < exp (-.beta *. delta) then
-          sigma.(i) <- -sigma.(i)
+          State.flip st i
       done
     done;
     (* Global (all-slice) moves: the inter-slice term cancels, so the
-       acceptance test uses the mean classical delta. *)
+       acceptance test uses the mean classical delta — O(slices) from the
+       cached fields. *)
     for i = 0 to n - 1 do
       if Rng.float rng < params.global_move_probability then begin
         let delta =
           slice_weight
-          *. Array.fold_left
-               (fun acc sigma -> acc +. Problem.energy_delta p sigma i)
-               0.0 replicas
+          *. Array.fold_left (fun acc st -> acc +. State.delta st i) 0.0 replicas
         in
         if delta <= 0.0 || Rng.float rng < exp (-.beta *. delta) then
-          Array.iter (fun sigma -> sigma.(i) <- -sigma.(i)) replicas
+          Array.iter (fun st -> State.flip st i) replicas
       end
     done
   done;
-  (* Read out the best slice. *)
+  (* Read out the best slice (tracked energies; no re-evaluation). *)
   let best = ref replicas.(0) in
-  let best_energy = ref (Problem.energy p replicas.(0)) in
   Array.iter
-    (fun sigma ->
-       let e = Problem.energy p sigma in
-       if e < !best_energy then begin
-         best_energy := e;
-         best := sigma
-       end)
+    (fun st -> if State.energy st < State.energy !best then best := st)
     replicas;
-  let result = Array.copy !best in
-  ignore (Greedy.descend p result);
+  let result = State.copy !best in
+  ignore (Greedy.descend_state result);
   result
 
 let sample ?(params = default_params) (p : Problem.t) =
@@ -100,7 +94,11 @@ let sample ?(params = default_params) (p : Problem.t) =
   else begin
     let rng = Rng.create params.seed in
     let start = Unix.gettimeofday () in
-    let reads = List.init params.num_reads (fun _ -> anneal_one p ~params ~rng) in
+    let reads =
+      List.init params.num_reads (fun _ ->
+          let st = anneal_one p ~params ~rng in
+          (State.spins st, State.energy st))
+    in
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_reads p ~elapsed_seconds reads
+    Sampler.response_of_evaluated_reads ~elapsed_seconds reads
   end

@@ -16,35 +16,35 @@ let default_params = { num_restarts = 10; max_iterations = 500; tenure = None; s
 
 let search_one (p : Problem.t) ~rng ~max_iterations ~tenure =
   let n = p.Problem.num_vars in
-  let spins = Rng.spins rng n in
-  let energy = ref (Problem.energy p spins) in
-  let best = Array.copy spins in
-  let best_energy = ref !energy in
+  let st = State.random p rng in
+  let best = Array.copy (State.spins st) in
+  let best_energy = ref (State.energy st) in
   let tabu_until = Array.make n (-1) in
   for iteration = 0 to max_iterations - 1 do
-    (* Best admissible flip. *)
+    (* Best admissible flip: O(1) delta per candidate from the cached
+       fields. *)
     let chosen = ref (-1) in
     let chosen_delta = ref infinity in
+    let energy = State.energy st in
     for i = 0 to n - 1 do
-      let delta = Problem.energy_delta p spins i in
+      let delta = State.delta st i in
       let is_tabu = tabu_until.(i) > iteration in
-      let aspirated = !energy +. delta < !best_energy -. 1e-12 in
+      let aspirated = energy +. delta < !best_energy -. 1e-12 in
       if ((not is_tabu) || aspirated) && delta < !chosen_delta then begin
         chosen := i;
         chosen_delta := delta
       end
     done;
     if !chosen >= 0 then begin
-      spins.(!chosen) <- -spins.(!chosen);
-      energy := !energy +. !chosen_delta;
+      State.flip st !chosen;
       tabu_until.(!chosen) <- iteration + tenure;
-      if !energy < !best_energy then begin
-        best_energy := !energy;
-        Array.blit spins 0 best 0 n
+      if State.energy st < !best_energy then begin
+        best_energy := State.energy st;
+        Array.blit (State.spins st) 0 best 0 n
       end
     end
   done;
-  best
+  (best, !best_energy)
 
 let sample ?(params = default_params) (p : Problem.t) =
   let n = p.Problem.num_vars in
@@ -62,5 +62,5 @@ let sample ?(params = default_params) (p : Problem.t) =
           search_one p ~rng ~max_iterations:params.max_iterations ~tenure)
     in
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_reads p ~elapsed_seconds reads
+    Sampler.response_of_evaluated_reads ~elapsed_seconds reads
   end

@@ -8,17 +8,45 @@ type t = {
   offset : float;
   h : float array;
   couplers : ((int * int) * float) array;
-  adj : (int * float) list array;
+  row_start : int array;
+  col : int array;
+  weight : float array;
 }
 
-let adjacency_of_couplers num_vars couplers =
-  let adj = Array.make num_vars [] in
+(* Compressed-sparse-row adjacency: row [i] occupies
+   [row_start.(i), row_start.(i+1)) of [col]/[weight].  Each coupler (i, j)
+   appears twice, once per endpoint.  Couplers arrive sorted by (i, j), so
+   within a row the neighbor indices come out sorted too: for row [i] the
+   couplers (j, i) with j < i precede the couplers (i, j) with j > i. *)
+let csr_of_couplers num_vars couplers =
+  let degree = Array.make num_vars 0 in
+  Array.iter
+    (fun ((i, j), _) ->
+       degree.(i) <- degree.(i) + 1;
+       degree.(j) <- degree.(j) + 1)
+    couplers;
+  let row_start = Array.make (num_vars + 1) 0 in
+  for i = 0 to num_vars - 1 do
+    row_start.(i + 1) <- row_start.(i) + degree.(i)
+  done;
+  let nnz = row_start.(num_vars) in
+  let col = Array.make nnz 0 in
+  let weight = Array.make nnz 0.0 in
+  let cursor = Array.sub row_start 0 num_vars in
   Array.iter
     (fun ((i, j), v) ->
-       adj.(i) <- (j, v) :: adj.(i);
-       adj.(j) <- (i, v) :: adj.(j))
+       col.(cursor.(i)) <- j;
+       weight.(cursor.(i)) <- v;
+       cursor.(i) <- cursor.(i) + 1;
+       col.(cursor.(j)) <- i;
+       weight.(cursor.(j)) <- v;
+       cursor.(j) <- cursor.(j) + 1)
     couplers;
-  adj
+  (row_start, col, weight)
+
+let of_parts ~num_vars ~offset ~h ~couplers =
+  let row_start, col, weight = csr_of_couplers num_vars couplers in
+  { num_vars; offset; h; couplers; row_start; col; weight }
 
 let normalize_couplers pairs =
   let tbl = Hashtbl.create 64 in
@@ -43,9 +71,9 @@ let create ~num_vars ~h ~j ?(offset = 0.0) () =
        if jj >= num_vars then invalid_arg "Problem.create: coupler index out of range";
        ignore i)
     couplers;
-  { num_vars; offset; h = Array.copy h; couplers; adj = adjacency_of_couplers num_vars couplers }
+  of_parts ~num_vars ~offset ~h:(Array.copy h) ~couplers
 
-let empty = { num_vars = 0; offset = 0.0; h = [||]; couplers = [||]; adj = [||] }
+let empty = of_parts ~num_vars:0 ~offset:0.0 ~h:[||] ~couplers:[||]
 
 module Builder = struct
   type problem = t
@@ -91,11 +119,7 @@ module Builder = struct
     let couplers =
       normalize_couplers (Hashtbl.fold (fun key v acc -> (key, v) :: acc) b.quad [])
     in
-    { num_vars = b.n;
-      offset = b.off;
-      h;
-      couplers;
-      adj = adjacency_of_couplers b.n couplers }
+    of_parts ~num_vars:b.n ~offset:b.off ~h ~couplers
 end
 
 let check_spins p sigma =
@@ -114,11 +138,20 @@ let energy p sigma =
   !e
 
 let local_field p sigma i =
-  List.fold_left
-    (fun acc (j, v) -> acc +. (v *. float_of_int sigma.(j)))
-    p.h.(i) p.adj.(i)
+  let f = ref p.h.(i) in
+  for k = p.row_start.(i) to p.row_start.(i + 1) - 1 do
+    f := !f +. (p.weight.(k) *. float_of_int sigma.(p.col.(k)))
+  done;
+  !f
 
 let energy_delta p sigma i = -2.0 *. float_of_int sigma.(i) *. local_field p sigma i
+
+let degree p i = p.row_start.(i + 1) - p.row_start.(i)
+
+let iter_neighbors p i f =
+  for k = p.row_start.(i) to p.row_start.(i + 1) - 1 do
+    f p.col.(k) p.weight.(k)
+  done
 
 let add a b =
   let builder = Builder.create ~num_vars:(max a.num_vars b.num_vars) () in
@@ -129,12 +162,12 @@ let add a b =
 
 let scale p factor =
   if factor <= 0.0 then invalid_arg "Problem.scale: factor must be positive";
-  let couplers = Array.map (fun (key, v) -> (key, v *. factor)) p.couplers in
+  (* row_start/col are layout-only; share them and scale the values. *)
   { p with
     offset = p.offset *. factor;
     h = Array.map (fun v -> v *. factor) p.h;
-    couplers;
-    adj = adjacency_of_couplers p.num_vars couplers }
+    couplers = Array.map (fun (key, v) -> (key, v *. factor)) p.couplers;
+    weight = Array.map (fun v -> v *. factor) p.weight }
 
 let relabel p map ~num_vars =
   if Array.length map < p.num_vars then invalid_arg "Problem.relabel: map too short";
@@ -145,12 +178,13 @@ let relabel p map ~num_vars =
   (* Builder only grows to the largest touched index; pad back out. *)
   if result.num_vars = num_vars then result
   else
+    let nnz = Array.length result.col in
     { result with
       num_vars;
       h = Array.init num_vars (fun i -> if i < result.num_vars then result.h.(i) else 0.0);
-      adj =
-        Array.init num_vars (fun i ->
-            if i < Array.length result.adj then result.adj.(i) else []) }
+      row_start =
+        Array.init (num_vars + 1) (fun i ->
+            if i <= result.num_vars then result.row_start.(i) else nnz) }
 
 let num_interactions p = Array.length p.couplers
 
@@ -160,8 +194,18 @@ let num_terms p =
 
 let max_abs_h p = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 p.h
 
-let max_j p = Array.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 p.couplers
-let min_j p = Array.fold_left (fun acc (_, v) -> Float.min acc v) 0.0 p.couplers
+(* Fold from the first coupler, not from 0.0: an all-negative problem must
+   report a negative max_j (and symmetrically for min_j), or downstream
+   scale/schedule estimates silently include a phantom zero coefficient. *)
+let fold_j ~combine p =
+  match Array.length p.couplers with
+  | 0 -> 0.0
+  | _ ->
+    let (_, first) = p.couplers.(0) in
+    Array.fold_left (fun acc (_, v) -> combine acc v) first p.couplers
+
+let max_j p = fold_j ~combine:Float.max p
+let min_j p = fold_j ~combine:Float.min p
 
 let get_j p i j =
   if i = j then invalid_arg "Problem.get_j: same variable";

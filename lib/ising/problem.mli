@@ -19,9 +19,14 @@ type t = private {
   couplers : ((int * int) * float) array;
       (** quadratic coefficients with [i < j], strictly ordered by [(i, j)],
           no duplicates, no zero entries *)
-  adj : (int * float) list array;
-      (** adjacency view of [couplers]: [adj.(i)] lists [(j, J_ij)] for every
-          coupler touching [i] *)
+  row_start : int array;
+      (** CSR adjacency row table, length [num_vars + 1]: the neighbors of
+          variable [i] occupy [col]/[weight] slots
+          [row_start.(i) .. row_start.(i+1) - 1], neighbor indices ascending *)
+  col : int array;
+      (** CSR neighbor indices; every coupler appears twice (once per
+          endpoint), so [Array.length col = 2 * Array.length couplers] *)
+  weight : float array;  (** CSR coupling values, parallel to [col] *)
 }
 
 (** {1 Construction} *)
@@ -64,7 +69,15 @@ val energy_delta : t -> spin array -> int -> float
     computed in O(degree of i). *)
 
 val local_field : t -> spin array -> int -> float
-(** [h.(i) + sum_j J_ij * sigma_j]: the effective field seen by spin [i]. *)
+(** [h.(i) + sum_j J_ij * sigma_j]: the effective field seen by spin [i].
+    A flat CSR walk over [row_start]/[col]/[weight], O(degree of i). *)
+
+val degree : t -> int -> int
+(** Number of couplers touching variable [i]. *)
+
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+(** [iter_neighbors p i f] calls [f j J_ij] for every coupler touching [i],
+    in ascending neighbor order. *)
 
 (** {1 Algebra and transforms} *)
 
@@ -86,8 +99,11 @@ val num_terms : t -> int
     section 6.1). *)
 
 val max_abs_h : t -> float
+
 val max_j : t -> float
 val min_j : t -> float
+(** Largest/smallest coupler value; [0.0] only for a problem with no
+    couplers (an all-negative problem has a negative [max_j]). *)
 
 val get_j : t -> int -> int -> float
 

@@ -12,6 +12,7 @@ let () =
       ("chimera", Test_chimera.suite);
       ("embed", Test_embed.suite);
       ("anneal", Test_anneal.suite);
+      ("state", Test_state.suite);
       ("roofdual", Test_roofdual.suite);
       ("csp", Test_csp.suite);
       ("pipeline", Test_pipeline.suite);

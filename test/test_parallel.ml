@@ -81,7 +81,36 @@ let suite =
          in
          check_same_samples "tabu"
            (Parallel.sample_tabu ~num_threads:1 ~params problem)
-           (Parallel.sample_tabu ~num_threads:3 ~params problem));
+           (Parallel.sample_tabu ~num_threads:4 ~params problem));
+    Alcotest.test_case
+      "incremental-state kernels keep the chunked-seed determinism contract" `Quick
+      (fun () ->
+         (* Regression for the CSR/state rewrite: each solver's incremental
+            inner loop must stay a pure function of its chunk seed, so a
+            fixed base seed gives identical sample sets at any thread
+            count. *)
+         let problem = spin_glass ~seed:14 80 in
+         let sa =
+           { Qac_anneal.Sa.default_params with
+             Qac_anneal.Sa.num_reads = 24; num_sweeps = 40; seed = 123 }
+         in
+         check_same_samples "sa/state"
+           (Parallel.sample_sa ~num_threads:1 ~params:sa problem)
+           (Parallel.sample_sa ~num_threads:4 ~params:sa problem);
+         let sqa =
+           { Qac_anneal.Sqa.default_params with
+             Qac_anneal.Sqa.num_reads = 6; num_sweeps = 20; num_slices = 4; seed = 123 }
+         in
+         check_same_samples "sqa/state"
+           (Parallel.sample_sqa ~num_threads:1 ~params:sqa problem)
+           (Parallel.sample_sqa ~num_threads:4 ~params:sqa problem);
+         let tabu =
+           { Qac_anneal.Tabu.default_params with
+             Qac_anneal.Tabu.num_restarts = 8; max_iterations = 60; seed = 123 }
+         in
+         check_same_samples "tabu/state"
+           (Parallel.sample_tabu ~num_threads:1 ~params:tabu problem)
+           (Parallel.sample_tabu ~num_threads:4 ~params:tabu problem));
     Alcotest.test_case "sqa: thread count does not change the sample set" `Quick
       (fun () ->
          let problem = spin_glass ~seed:8 40 in
