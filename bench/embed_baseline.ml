@@ -1,0 +1,324 @@
+(** The pre-CSR minor embedder, preserved verbatim as the benchmark baseline
+    for [main.exe -- embed].
+
+    This is the CMR implementation as it stood before the CSR/scratch-reuse
+    rewrite of [Qac_embed.Cmr]: a polymorphic tuple-boxed heap, fresh
+    [dist]/[parent]/[is_source] arrays allocated per Dijkstra, a fresh jitter
+    array per route, and Hashtbl-based chain trimming that re-runs a full
+    connectivity check per removal candidate.  The only change from the
+    original is that the [int list] adjacency is precomputed once at state
+    creation — the old [Topology.t] stored adjacency lists directly, so a
+    per-call [Chimera.neighbors] on today's CSR topology would unfairly slow
+    this baseline down.
+
+    Do not "improve" this module; its entire value is staying fixed. *)
+
+module Chimera = Qac_chimera.Chimera
+module Rng = Qac_anneal.Rng
+open Qac_ising
+
+type params = {
+  tries : int;
+  max_passes : int;
+  alpha : float;
+  seed : int;
+}
+
+let default_params = { tries = 8; max_passes = 24; alpha = 4.0; seed = 0 }
+
+(* The old polymorphic (priority, payload) binary heap, minus its
+   [Obj.magic] empty-slot trick (the array starts empty and the first push
+   supplies the fill element). *)
+module Heap = struct
+  type 'a t = {
+    mutable items : (float * 'a) array;
+    mutable size : int;
+  }
+
+  let create () = { items = [||]; size = 0 }
+
+  let swap h i j =
+    let tmp = h.items.(i) in
+    h.items.(i) <- h.items.(j);
+    h.items.(j) <- tmp
+
+  let push h priority payload =
+    if h.size = Array.length h.items then begin
+      let bigger = Array.make (max 16 (2 * h.size)) (priority, payload) in
+      Array.blit h.items 0 bigger 0 h.size;
+      h.items <- bigger
+    end;
+    h.items.(h.size) <- (priority, payload);
+    h.size <- h.size + 1;
+    let rec up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if fst h.items.(i) < fst h.items.(parent) then begin
+          swap h i parent;
+          up parent
+        end
+      end
+    in
+    up (h.size - 1)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.items.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.items.(0) <- h.items.(h.size);
+        let rec down i =
+          let left = (2 * i) + 1 and right = (2 * i) + 2 in
+          let smallest = ref i in
+          if left < h.size && fst h.items.(left) < fst h.items.(!smallest) then
+            smallest := left;
+          if right < h.size && fst h.items.(right) < fst h.items.(!smallest) then
+            smallest := right;
+          if !smallest <> i then begin
+            swap h i !smallest;
+            down !smallest
+          end
+        in
+        down 0
+      end;
+      Some top
+    end
+end
+
+exception Route_failed
+
+type state = {
+  graph : Chimera.t;
+  num_qubits : int;
+  adjacency : int list array;  (* what the old Topology.t stored *)
+  logical_neighbors : int list array;
+  chains : int list array;
+  usage : int array;
+  mutable alpha : float;
+}
+
+let qubit_cost st ~jitter q =
+  (st.alpha ** float_of_int (min st.usage.(q) 8)) *. jitter.(q)
+
+let distances_from_chain st ~jitter u =
+  let dist = Array.make st.num_qubits infinity in
+  let parent = Array.make st.num_qubits (-1) in
+  let is_source = Array.make st.num_qubits false in
+  let heap = Heap.create () in
+  List.iter
+    (fun q ->
+       dist.(q) <- 0.0;
+       is_source.(q) <- true;
+       Heap.push heap 0.0 q)
+    st.chains.(u);
+  let rec run () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, q) ->
+      if d <= dist.(q) then begin
+        let step = if is_source.(q) then 0.0 else qubit_cost st ~jitter q in
+        List.iter
+          (fun n ->
+             let nd = d +. step in
+             if nd < dist.(n) -. 1e-12 && not is_source.(n) then begin
+               dist.(n) <- nd;
+               parent.(n) <- q;
+               Heap.push heap nd n
+             end)
+          st.adjacency.(q)
+      end;
+      run ()
+  in
+  run ();
+  (dist, parent, is_source)
+
+let route_chain st rng v =
+  let jitter = Array.init st.num_qubits (fun _ -> 1.0 +. (0.5 *. Rng.float rng)) in
+  List.iter (fun q -> st.usage.(q) <- st.usage.(q) - 1) st.chains.(v);
+  st.chains.(v) <- [];
+  let embedded_neighbors =
+    List.filter (fun u -> st.chains.(u) <> []) st.logical_neighbors.(v)
+  in
+  if embedded_neighbors = [] then begin
+    let candidates = ref [] in
+    let best_usage = ref max_int in
+    for q = 0 to st.num_qubits - 1 do
+      if Chimera.is_working st.graph q then begin
+        if st.usage.(q) < !best_usage then begin
+          best_usage := st.usage.(q);
+          candidates := [ q ]
+        end
+        else if st.usage.(q) = !best_usage then candidates := q :: !candidates
+      end
+    done;
+    let pick = List.nth !candidates (Rng.int rng (List.length !candidates)) in
+    st.chains.(v) <- [ pick ];
+    st.usage.(pick) <- st.usage.(pick) + 1
+  end
+  else begin
+    let results =
+      List.map (fun u -> (u, distances_from_chain st ~jitter u)) embedded_neighbors
+    in
+    let best_root = ref (-1) in
+    let best_score = ref infinity in
+    for q = 0 to st.num_qubits - 1 do
+      if Chimera.is_working st.graph q then begin
+        let total =
+          List.fold_left (fun acc (_, (dist, _, _)) -> acc +. dist.(q)) 0.0 results
+        in
+        if total < infinity then begin
+          let score = total +. qubit_cost st ~jitter q in
+          if score < !best_score then begin
+            best_score := score;
+            best_root := q
+          end
+        end
+      end
+    done;
+    if !best_root < 0 then raise Route_failed;
+    let chain = Hashtbl.create 16 in
+    Hashtbl.replace chain !best_root ();
+    List.iter
+      (fun (_, (_, parent, is_source)) ->
+         let rec walk q =
+           if not is_source.(q) then begin
+             Hashtbl.replace chain q ();
+             let p = parent.(q) in
+             if p >= 0 then walk p
+           end
+         in
+         walk !best_root)
+      results;
+    let members = Hashtbl.fold (fun q () acc -> q :: acc) chain [] in
+    st.chains.(v) <- members;
+    List.iter (fun q -> st.usage.(q) <- st.usage.(q) + 1) members
+  end
+
+let trim_chain st v =
+  let members = Hashtbl.create 16 in
+  List.iter (fun q -> Hashtbl.replace members q ()) st.chains.(v);
+  let embedded_neighbors =
+    List.filter (fun u -> u <> v && st.chains.(u) <> []) st.logical_neighbors.(v)
+  in
+  let still_valid () =
+    let member_list = Hashtbl.fold (fun q () acc -> q :: acc) members [] in
+    match member_list with
+    | [] -> false
+    | first :: _ ->
+      let visited = Hashtbl.create 16 in
+      let rec dfs q =
+        if not (Hashtbl.mem visited q) then begin
+          Hashtbl.replace visited q ();
+          List.iter (fun n -> if Hashtbl.mem members n then dfs n) st.adjacency.(q)
+        end
+      in
+      dfs first;
+      Hashtbl.length visited = Hashtbl.length members
+      && List.for_all
+           (fun u ->
+              List.exists
+                (fun qu -> List.exists (fun n -> Hashtbl.mem members n) st.adjacency.(qu))
+                st.chains.(u))
+           embedded_neighbors
+  in
+  let removed_any = ref true in
+  while !removed_any do
+    removed_any := false;
+    let candidates = Hashtbl.fold (fun q () acc -> q :: acc) members [] in
+    let candidates =
+      List.sort (fun a b -> compare (st.usage.(b), b) (st.usage.(a), a)) candidates
+    in
+    List.iter
+      (fun q ->
+         if Hashtbl.length members > 1 then begin
+           Hashtbl.remove members q;
+           if still_valid () then begin
+             st.usage.(q) <- st.usage.(q) - 1;
+             removed_any := true
+           end
+           else Hashtbl.replace members q ()
+         end)
+      candidates
+  done;
+  st.chains.(v) <- Hashtbl.fold (fun q () acc -> q :: acc) members []
+
+let route_and_trim st rng v =
+  route_chain st rng v;
+  trim_chain st v
+
+let overfull st =
+  let count = ref 0 in
+  Array.iter (fun u -> if u > 1 then incr count) st.usage;
+  !count
+
+let total_chain_length st =
+  Array.fold_left (fun acc chain -> acc + List.length chain) 0 st.chains
+
+let find ?(params = default_params) graph (p : Problem.t) =
+  let n = p.Problem.num_vars in
+  if n = 0 then Some { Qac_embed.Embedding.chains = [||] }
+  else begin
+    let num_qubits = Chimera.num_qubits graph in
+    let adjacency = Array.init num_qubits (fun q -> Chimera.neighbors graph q) in
+    let logical_neighbors = Array.make n [] in
+    Array.iter
+      (fun ((u, v), _) ->
+         logical_neighbors.(u) <- v :: logical_neighbors.(u);
+         logical_neighbors.(v) <- u :: logical_neighbors.(v))
+      p.Problem.couplers;
+    let rng = Rng.create params.seed in
+    let best = ref None in
+    let consider st =
+      if overfull st = 0 then begin
+        let length = total_chain_length st in
+        match !best with
+        | Some (best_length, _) when best_length <= length -> ()
+        | _ ->
+          best :=
+            Some
+              ( length,
+                { Qac_embed.Embedding.chains =
+                    Array.map
+                      (fun chain -> Array.of_list (List.sort compare chain))
+                      st.chains
+                } )
+      end
+    in
+    for _try = 1 to params.tries do
+      let try_rng = Rng.split rng in
+      let st =
+        { graph;
+          num_qubits;
+          adjacency;
+          logical_neighbors;
+          chains = Array.make n [];
+          usage = Array.make num_qubits 0;
+          alpha = params.alpha }
+      in
+      let order = Array.init n (fun i -> i) in
+      Rng.shuffle try_rng order;
+      (try
+         Array.iter (fun v -> route_and_trim st try_rng v) order;
+         for pass = 1 to params.max_passes do
+           st.alpha <- Float.min 1e6 (params.alpha *. (2.0 ** float_of_int pass));
+           Rng.shuffle try_rng order;
+           Array.iter (fun v -> route_and_trim st try_rng v) order;
+           if overfull st = 0 then begin
+             consider st;
+             st.alpha <- 1e6;
+             for _shorten = 1 to 3 do
+               Rng.shuffle try_rng order;
+               Array.iter (fun v -> route_and_trim st try_rng v) order;
+               if overfull st = 0 then consider st
+             done;
+             raise Exit
+           end
+         done
+       with
+       | Exit -> ()
+       | Route_failed -> ());
+      consider st
+    done;
+    Option.map snd !best
+  end

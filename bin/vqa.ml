@@ -136,8 +136,9 @@ let all_arg =
 
 let threads_arg =
   let doc =
-    "Split annealing reads across $(docv) OCaml domains (SA/SQA/tabu).  \
-     Results are deterministic for a given seed, whatever the thread count."
+    "Split annealing reads (SA/SQA/tabu) and minor-embedding tries \
+     (--physical) across $(docv) OCaml domains.  Results are deterministic \
+     for a given seed, whatever the thread count."
   in
   Arg.(value & opt int 1 & info [ "threads" ] ~docv:"N" ~doc)
 

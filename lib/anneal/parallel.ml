@@ -25,29 +25,41 @@ let chunks ?(chunk_size = default_chunk_size) ~seed ~num_reads () =
   in
   go num_reads []
 
+(* Shared domain pool: run [f 0 .. f (n-1)], work-stealing task indices off
+   a shared atomic counter across [num_workers] domains (the calling domain
+   included).  [f] must tolerate concurrent execution of distinct indices;
+   index results land wherever [f] writes them, so completion order cannot
+   leak into the output.  Used by the read-batch samplers below and by the
+   minor embedder's parallel tries ([Qac_embed.Cmr]). *)
+let run_tasks ?(num_workers = 1) n f =
+  if n > 0 then begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          f i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let workers = max 1 (min num_workers n) in
+    if workers <= 1 then worker ()
+    else begin
+      let others = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join others
+    end
+  end
+
 let sample ?(num_threads = 1) ?chunk_size ~seed ~num_reads sample_chunk problem =
   let chunks = Array.of_list (chunks ?chunk_size ~seed ~num_reads ()) in
   let results = Array.make (Array.length chunks) None in
   let start = Unix.gettimeofday () in
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < Array.length chunks then begin
-        let c = chunks.(i) in
-        results.(i) <- Some (sample_chunk ~seed:c.chunk_seed ~num_reads:c.chunk_reads);
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let workers = max 1 (min num_threads (Array.length chunks)) in
-  if workers <= 1 then worker ()
-  else begin
-    let others = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join others
-  end;
+  run_tasks ~num_workers:num_threads (Array.length chunks) (fun i ->
+      let c = chunks.(i) in
+      results.(i) <- Some (sample_chunk ~seed:c.chunk_seed ~num_reads:c.chunk_reads));
   let elapsed_seconds = Unix.gettimeofday () -. start in
   let responses = Array.to_list results |> List.filter_map Fun.id in
   (* Merge re-aggregates and sorts by (energy, spins): chunk execution

@@ -12,6 +12,15 @@ type chunk = { chunk_seed : int; chunk_reads : int }
 val chunks : ?chunk_size:int -> seed:int -> num_reads:int -> unit -> chunk list
 (** The deterministic chunk decomposition. *)
 
+(** [run_tasks ~num_workers n f] runs [f 0 .. f (n-1)] across at most
+    [num_workers] OCaml domains (the caller included), pulling task indices
+    off a shared atomic counter.  [f] must be safe to run concurrently for
+    distinct indices and must write its result somewhere index-addressed:
+    which domain runs which index is nondeterministic, so determinism must
+    come from the index, never from execution order.  [num_workers <= 1]
+    degrades to a plain sequential loop with no domain spawns. *)
+val run_tasks : ?num_workers:int -> int -> (int -> unit) -> unit
+
 (** [sample ~num_threads ~seed ~num_reads f problem] calls
     [f ~seed:chunk_seed ~num_reads:chunk_reads] once per chunk, across
     [num_threads] domains, and merges the responses ({!Sampler.merge}).

@@ -222,8 +222,12 @@ let verify_ports t ports =
   Sim.check_relation t.netlist ~assignment
 
 (* Run stages, each a traced span: assemble -> (qpbo -> embed) -> solve
-   -> unembed -> verify.  Logical targets skip the embedding spans. *)
-let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1) ~solver ~target t =
+   -> unembed -> verify.  Logical targets skip the embedding spans.  The
+   embed stage consults [embed_cache] first (keyed on problem structure +
+   topology identity + embedder params): a hit skips the embed span
+   entirely and records the [embed-cache-hit] counter instead. *)
+let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
+    ?(embed_cache = Qac_embed.Cache.shared ()) ~solver ~target t =
   let span name f = Trace.with_span_opt trace name f in
   let count key v = Trace.counter_opt trace key v in
   let source_pins =
@@ -278,22 +282,43 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1) ~solver ~targe
             simplified)
       in
       let to_embed = simplified.Qpbo.reduced in
+      (* vqa's --threads reaches the embedder here: an explicit embed_params
+         wins, otherwise the run-level thread count parallelizes the tries
+         (which by contract cannot change the embedding found). *)
+      let eparams =
+        match embed_params with
+        | Some p -> p
+        | None -> { Cmr.default_params with Cmr.num_threads }
+      in
+      let cache_key = Qac_embed.Cache.key graph to_embed ~params:eparams in
       let embedding =
-        span "embed" (fun () ->
-            let embedding =
-              match Cmr.find ?params:embed_params graph to_embed with
-              | Some e -> e
-              | None ->
-                (* Dense interaction graphs defeat the path-based heuristic;
-                   fall back to the deterministic clique template when it
-                   applies. *)
-                (match (try Qac_embed.Clique.find graph to_embed with Not_found -> None) with
-                 | Some e -> e
-                 | None -> error "no minor embedding found (problem too large for the topology?)")
-            in
-            count "physical-qubits" (Embedding.num_physical_qubits embedding);
-            count "max-chain-length" (Embedding.max_chain_length embedding);
-            embedding)
+        match Qac_embed.Cache.find embed_cache cache_key with
+        | Some embedding ->
+          count "embed-cache-hit" 1;
+          count "physical-qubits" (Embedding.num_physical_qubits embedding);
+          embedding
+        | None ->
+          let embedding =
+            span "embed" (fun () ->
+                count "embed-cache-miss" 1;
+                let embedding =
+                  match Cmr.find ~params:eparams graph to_embed with
+                  | Some e -> e
+                  | None ->
+                    (* Dense interaction graphs defeat the path-based heuristic;
+                       fall back to the deterministic clique template when it
+                       applies. *)
+                    (match (try Qac_embed.Clique.find graph to_embed with Not_found -> None) with
+                     | Some e -> e
+                     | None ->
+                       error "no minor embedding found (problem too large for the topology?)")
+                in
+                count "physical-qubits" (Embedding.num_physical_qubits embedding);
+                count "max-chain-length" (Embedding.max_chain_length embedding);
+                embedding)
+          in
+          Qac_embed.Cache.add embed_cache cache_key embedding;
+          embedding
       in
       let physical = Embedding.apply ?chain_strength graph to_embed embedding in
       let compacted, old_of_new = Embedding.compact physical in

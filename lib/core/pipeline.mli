@@ -113,12 +113,18 @@ type run_result = {
     line); [pins] is the programmatic integer form.
     [trace] records the spans assemble, (qpbo, embed — physical targets
     only,) solve, unembed, verify.  [num_threads] is forwarded to
-    {!dispatch_solver}. *)
+    {!dispatch_solver} and — when [embed_params] is not given — to the
+    embedder's parallel tries ({!Qac_embed.Cmr.params.num_threads}).
+    Physical targets consult [embed_cache] (default: the process-wide
+    {!Qac_embed.Cache.shared}) before embedding: a hit returns the cached
+    embedding, skips the [embed] span, and records an [embed-cache-hit]
+    counter; a miss records [embed-cache-miss] and populates the cache. *)
 val run :
   ?pins:(string * int) list ->
   ?pin_source:string ->
   ?trace:Qac_diag.Trace.t ->
   ?num_threads:int ->
+  ?embed_cache:Qac_embed.Cache.t ->
   solver:solver ->
   target:target ->
   t ->

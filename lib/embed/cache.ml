@@ -1,0 +1,121 @@
+module Topology = Qac_chimera.Topology
+open Qac_ising
+
+(* An embedding depends only on (a) the structure of the logical interaction
+   graph — which variables couple, never the coefficient values —, (b) the
+   identity of the hardware graph, and (c) the embedder parameters that
+   steer the search.  The key digests exactly those three, so time-unrolled
+   reruns, bench sweeps and qbsolv-style repeated subproblems with fresh
+   coefficients all hit. *)
+let key graph (p : Problem.t) ~(params : Cmr.params) =
+  let b = Buffer.create 1024 in
+  let add_int v =
+    (* 63-bit ints, little-endian, fixed width: unambiguous concatenation. *)
+    Buffer.add_int64_le b (Int64.of_int v)
+  in
+  Buffer.add_string b graph.Topology.name;
+  Buffer.add_char b '\000';
+  List.iter
+    (fun (name, v) ->
+       Buffer.add_string b name;
+       Buffer.add_char b '\000';
+       add_int v)
+    graph.Topology.params;
+  add_int (Topology.num_qubits graph);
+  Array.iteri (fun q w -> if not w then add_int q) graph.Topology.working;
+  add_int (-1);
+  add_int p.Problem.num_vars;
+  Array.iter
+    (fun ((i, j), _) ->
+       add_int i;
+       add_int j)
+    p.Problem.couplers;
+  add_int params.Cmr.tries;
+  add_int params.Cmr.max_passes;
+  add_int (Int64.to_int (Int64.bits_of_float params.Cmr.alpha));
+  add_int params.Cmr.seed;
+  (* num_threads deliberately excluded: the embedder result is independent
+     of the thread count by contract. *)
+  Digest.string (Buffer.contents b)
+
+type entry = {
+  embedding : Embedding.t;
+  mutable last_used : int;
+}
+
+type t = {
+  capacity : int;
+  table : (Digest.t, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  { capacity;
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let find t key =
+  with_lock t (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+        entry.last_used <- t.tick;
+        t.hits <- t.hits + 1;
+        Some entry.embedding
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key embedding =
+  with_lock t (fun () ->
+      t.tick <- t.tick + 1;
+      (match Hashtbl.find_opt t.table key with
+       | Some entry -> entry.last_used <- t.tick
+       | None ->
+         Hashtbl.replace t.table key { embedding; last_used = t.tick };
+         if Hashtbl.length t.table > t.capacity then begin
+           (* Evict the least recently used entry.  Linear in the (small,
+              bounded) table; keeps the structure a plain Hashtbl. *)
+           let victim = ref None in
+           Hashtbl.iter
+             (fun k e ->
+                match !victim with
+                | Some (_, age) when age <= e.last_used -> ()
+                | _ -> victim := Some (k, e.last_used))
+             t.table;
+           match !victim with
+           | Some (k, _) -> Hashtbl.remove t.table k
+           | None -> ()
+         end))
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let stats t = with_lock t (fun () -> (t.hits, t.misses))
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.tick <- 0;
+      t.hits <- 0;
+      t.misses <- 0)
+
+(* Process-wide default, shared by every [Pipeline.run] that is not handed
+   an explicit cache. *)
+let shared_cache = lazy (create ~capacity:64 ())
+let shared () = Lazy.force shared_cache

@@ -1,0 +1,42 @@
+(** LRU cache of minor embeddings.
+
+    Pakin reports embedding dominating compile time (section 4.4: CMR "can
+    take seconds to minutes"); reruns of the same circuit shape — unrolled
+    sequential designs re-executed with new pins, bench sweeps, qbsolv-style
+    repeated subproblems — re-embed an identical interaction graph every
+    time.  The cache keys on exactly what the embedder reads:
+
+    - the {b structure} of the logical problem (variable count + coupler
+      pairs; coefficient values do not affect the embedding),
+    - the topology identity (name, structural params, broken-qubit set),
+    - the {!Cmr.params} that steer the search ([tries], [max_passes],
+      [alpha], [seed] — but not [num_threads], which by contract cannot
+      change the result).
+
+    All operations are mutex-guarded, so a cache may be shared across
+    domains. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** LRU over [capacity] entries (default 64). *)
+
+val key : Qac_chimera.Topology.t -> Qac_ising.Problem.t -> params:Cmr.params -> Digest.t
+(** Content hash of the (topology, problem structure, params) triple. *)
+
+val find : t -> Digest.t -> Embedding.t option
+(** Hit refreshes recency and bumps the hit counter; miss bumps the miss
+    counter. *)
+
+val add : t -> Digest.t -> Embedding.t -> unit
+(** Inserts (or refreshes) and evicts the least recently used entry beyond
+    capacity. *)
+
+val length : t -> int
+val stats : t -> int * int
+(** [(hits, misses)] since creation (or {!clear}). *)
+
+val clear : t -> unit
+
+val shared : unit -> t
+(** The process-wide cache {!Qac_core.Pipeline.run} defaults to. *)

@@ -1,5 +1,6 @@
-module Chimera = Qac_chimera.Chimera
+module Topology = Qac_chimera.Topology
 module Rng = Qac_anneal.Rng
+module Parallel = Qac_anneal.Parallel
 open Qac_ising
 
 type params = {
@@ -7,107 +8,205 @@ type params = {
   max_passes : int;
   alpha : float;
   seed : int;
+  num_threads : int;
 }
 
-let default_params = { tries = 8; max_passes = 24; alpha = 4.0; seed = 0 }
+(* Per-try success on C8-class netlists is ~15-20% (for the old router
+   too), so the old default of 8 tries failed a third of the seeds.  The
+   CSR/scratch router is >3x faster per try, so 32 restarts cost about what
+   8 used to while dropping the per-seed failure rate to well under 1% --
+   and the best-of-32 embedding is usually smaller. *)
+let default_params =
+  { tries = 32; max_passes = 24; alpha = 4.0; seed = 0; num_threads = 1 }
 
 exception Route_failed
 (* A variable could not reach every embedded neighbor chain (disconnected
    region, or every path blocked); the current try is abandoned. *)
 
+(* Reusable Dijkstra result.  The embedder's Dijkstras explore the whole
+   (connected) topology, so validity tracking per entry would cost more than
+   it saves: a run just refills [dist] with infinity (one vectorized
+   [Array.fill]) and overwrites [parent] as it relaxes.  A qubit is a
+   multi-source *source* iff [parent.(q) = -1] after a run — sources are
+   seeded that way and every relaxed qubit records a real predecessor, so no
+   separate source mask is needed in the hot loop. *)
+type scratch = {
+  dist : float array;
+  parent : int array;
+}
+
+let make_scratch n = { dist = Array.make n infinity; parent = Array.make n (-1) }
+
+let scratch_dist s q = s.dist.(q)
+
 type state = {
-  graph : Chimera.t;
+  graph : Topology.t;
   num_qubits : int;
-  logical_neighbors : int list array;
+  (* CSR aliases for the unsafe inner-loop walks. *)
+  row_start : int array;
+  col : int array;
+  working : bool array;
+  logical_neighbors : int array array;  (* deduped, sorted *)
   chains : int list array;  (* physical qubits per logical variable *)
   usage : int array;  (* how many chains cover each qubit *)
+  cost : float array;
+      (* qubit_cost memoized per route: usage is constant from the moment the
+         old chain is ripped until the new chain is committed, so the
+         alpha^usage * jitter weight of every qubit can be computed once per
+         route instead of per Dijkstra pop (libm [pow] dominates otherwise) *)
+  heap : Heap.t;  (* reused across every Dijkstra of the try *)
+  mutable scratches : scratch array;  (* one per simultaneous Dijkstra *)
+  in_chain : bool array;  (* chain membership mask; always cleared after use *)
+  visit_stamp : int array;  (* trim DFS visited mask, epoch-invalidated *)
+  mutable visit_epoch : int;
+  dfs_stack : int array;
   mutable alpha : float;
       (* overuse penalty base; escalated every refinement pass so stable
          overlap deadlocks (cheap shared qubit vs. many detours) eventually
          break *)
 }
 
-(* Cost of stepping on [q]: ~1 for a free qubit, alpha^usage otherwise, with
-   per-route jitter to diversify tie-breaking. *)
-let qubit_cost st ~jitter q =
-  (st.alpha ** float_of_int (min st.usage.(q) 8)) *. jitter.(q)
-
-(* Multi-source Dijkstra from the chain of [u].  [dist.(q)] is the cheapest
-   cost of the *intermediate* qubits on a path from the chain to [q]
-   (excluding both the chain's qubits and [q] itself), so a candidate root's
-   own weight can be counted exactly once by the caller.  [parent] allows
-   path reconstruction; [is_source] marks the chain's own qubits. *)
-let distances_from_chain st ~jitter u =
-  let dist = Array.make st.num_qubits infinity in
-  let parent = Array.make st.num_qubits (-1) in
-  let is_source = Array.make st.num_qubits false in
+let make_state graph logical_neighbors alpha =
+  let n = Topology.num_qubits graph in
   let heap = Heap.create () in
+  Heap.ensure heap n;
+  { graph;
+    num_qubits = n;
+    row_start = graph.Topology.row_start;
+    col = graph.Topology.col;
+    working = graph.Topology.working;
+    logical_neighbors;
+    chains = Array.make (Array.length logical_neighbors) [];
+    usage = Array.make n 0;
+    cost = Array.make n 1.0;
+    heap;
+    scratches = [||];
+    in_chain = Array.make n false;
+    visit_stamp = Array.make n 0;
+    visit_epoch = 0;
+    dfs_stack = Array.make n 0;
+    alpha }
+
+let ensure_scratches st k =
+  let have = Array.length st.scratches in
+  if have < k then
+    st.scratches <-
+      Array.append st.scratches
+        (Array.init (k - have) (fun _ -> make_scratch st.num_qubits))
+
+(* Fill [st.cost] for this route: ~1 (+ jitter) for a free qubit,
+   alpha^usage otherwise, with per-route jitter to diversify tie-breaking.
+   alpha^u is looked up from a 9-entry table rather than recomputed. *)
+let fill_costs st rng =
+  let pow = Array.make 9 1.0 in
+  for u = 1 to 8 do
+    pow.(u) <- pow.(u - 1) *. st.alpha
+  done;
+  let usage = st.usage and cost = st.cost in
+  for q = 0 to st.num_qubits - 1 do
+    let jitter = 1.0 +. (0.5 *. Rng.float rng) in
+    let u = Array.unsafe_get usage q in
+    let u = if u > 8 then 8 else u in
+    Array.unsafe_set cost q (Array.unsafe_get pow u *. jitter)
+  done
+
+let qubit_cost st q = Array.unsafe_get st.cost q
+
+(* Multi-source Dijkstra from the chain of [u] into scratch [s].
+   [scratch_dist s q] is the cheapest cost of the *intermediate* qubits on a
+   path from the chain to [q] (excluding both the chain's qubits and [q]
+   itself), so a candidate root's own weight can be counted exactly once by
+   the caller.  [parent] allows path reconstruction; [source] marks the
+   chain's own qubits. *)
+let dijkstra st s u =
+  let dist = s.dist and parent = s.parent in
+  let row_start = st.row_start and col = st.col in
+  let heap = st.heap in
+  Heap.clear heap;
+  Array.fill dist 0 st.num_qubits infinity;
   List.iter
     (fun q ->
        dist.(q) <- 0.0;
-       is_source.(q) <- true;
+       parent.(q) <- -1;
        Heap.push heap 0.0 q)
     st.chains.(u);
-  let rec run () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (d, q) ->
-      if d <= dist.(q) then begin
-        (* Stepping past [q] costs its weight, unless [q] is in the source
-           chain (whose qubits are already paid for). *)
-        let step = if is_source.(q) then 0.0 else qubit_cost st ~jitter q in
-        List.iter
-          (fun n ->
-             let nd = d +. step in
-             if nd < dist.(n) -. 1e-12 && not is_source.(n) then begin
-               dist.(n) <- nd;
-               parent.(n) <- q;
-               Heap.push heap nd n
-             end)
-          (Chimera.neighbors st.graph q)
-      end;
-      run ()
-  in
-  run ();
-  (dist, parent, is_source)
+  while not (Heap.is_empty heap) do
+    let d = Heap.min_priority heap in
+    let q = Heap.min_payload heap in
+    Heap.remove_min heap;
+    (* Decrease-key heap: every pop is settled, never stale.  Stepping past
+       [q] costs its weight, unless [q] is a source (already paid for). *)
+    let step = if Array.unsafe_get parent q < 0 then 0.0 else qubit_cost st q in
+    let nd = d +. step in
+    for k = Array.unsafe_get row_start q to Array.unsafe_get row_start (q + 1) - 1 do
+      let n = Array.unsafe_get col k in
+      (* Sources sit at distance 0, so they can never be relaxed: no
+         separate source test is needed. *)
+      if nd < Array.unsafe_get dist n -. 1e-12 then begin
+        Array.unsafe_set dist n nd;
+        Array.unsafe_set parent n q;
+        Heap.push heap nd n
+      end
+    done
+  done
+
+(* The embedded logical neighbors of [v], in ascending variable order. *)
+let embedded_neighbors st v =
+  let ns = st.logical_neighbors.(v) in
+  let acc = ref [] in
+  for i = Array.length ns - 1 downto 0 do
+    let u = ns.(i) in
+    if u <> v && st.chains.(u) <> [] then acc := u :: !acc
+  done;
+  !acc
 
 (* Rebuild the chain of [v] from scratch. *)
 let route_chain st rng v =
-  let jitter = Array.init st.num_qubits (fun _ -> 1.0 +. (0.5 *. Rng.float rng)) in
-  (* Rip the old chain. *)
+  (* Rip the old chain, then weight the qubits as the route will see them. *)
   List.iter (fun q -> st.usage.(q) <- st.usage.(q) - 1) st.chains.(v);
   st.chains.(v) <- [];
-  let embedded_neighbors = List.filter (fun u -> st.chains.(u) <> []) st.logical_neighbors.(v) in
-  if embedded_neighbors = [] then begin
+  fill_costs st rng;
+  let embedded = embedded_neighbors st v in
+  if embedded = [] then begin
     (* No constraints yet: claim a random least-used working qubit. *)
-    let candidates = ref [] in
     let best_usage = ref max_int in
+    let count = ref 0 in
     for q = 0 to st.num_qubits - 1 do
-      if Chimera.is_working st.graph q then begin
+      if st.working.(q) then
         if st.usage.(q) < !best_usage then begin
           best_usage := st.usage.(q);
-          candidates := [ q ]
+          count := 1
         end
-        else if st.usage.(q) = !best_usage then candidates := q :: !candidates
+        else if st.usage.(q) = !best_usage then incr count
+    done;
+    let target = Rng.int rng !count in
+    let pick = ref (-1) in
+    let seen = ref 0 in
+    for q = 0 to st.num_qubits - 1 do
+      if !pick < 0 && st.working.(q) && st.usage.(q) = !best_usage then begin
+        if !seen = target then pick := q;
+        incr seen
       end
     done;
-    let pick = List.nth !candidates (Rng.int rng (List.length !candidates)) in
-    st.chains.(v) <- [ pick ];
-    st.usage.(pick) <- st.usage.(pick) + 1
+    st.chains.(v) <- [ !pick ];
+    st.usage.(!pick) <- st.usage.(!pick) + 1
   end
   else begin
-    let results = List.map (fun u -> (u, distances_from_chain st ~jitter u)) embedded_neighbors in
+    let k = List.length embedded in
+    ensure_scratches st k;
+    List.iteri (fun i u -> dijkstra st st.scratches.(i) u) embedded;
     (* Root choice: the chain rooted at [q] costs q's own weight once plus
        the intermediate-qubit cost of each path to a neighbor chain. *)
     let best_root = ref (-1) in
     let best_score = ref infinity in
     for q = 0 to st.num_qubits - 1 do
-      if Chimera.is_working st.graph q then begin
-        let total =
-          List.fold_left (fun acc (_, (dist, _, _)) -> acc +. dist.(q)) 0.0 results
-        in
-        if total < infinity then begin
-          let score = total +. qubit_cost st ~jitter q in
+      if st.working.(q) then begin
+        let total = ref 0.0 in
+        for i = 0 to k - 1 do
+          total := !total +. scratch_dist st.scratches.(i) q
+        done;
+        if !total < infinity then begin
+          let score = !total +. qubit_cost st q in
           if score < !best_score then begin
             best_score := score;
             best_root := q
@@ -116,84 +215,126 @@ let route_chain st rng v =
       end
     done;
     if !best_root < 0 then raise Route_failed;
-    let chain = Hashtbl.create 16 in
-    Hashtbl.replace chain !best_root ();
     (* Walk parents back from the root toward each neighbor chain, adding the
        intermediate qubits (sources themselves stay with their owner). *)
+    let members = ref [] in
+    let add q =
+      if not st.in_chain.(q) then begin
+        st.in_chain.(q) <- true;
+        members := q :: !members
+      end
+    in
+    add !best_root;
+    for i = 0 to k - 1 do
+      let s = st.scratches.(i) in
+      (* Stop on reaching the neighbor chain: its qubits have parent -1. *)
+      let rec walk q =
+        if s.parent.(q) >= 0 then begin
+          add q;
+          walk s.parent.(q)
+        end
+      in
+      walk !best_root
+    done;
+    st.chains.(v) <- !members;
     List.iter
-      (fun (_, (_, parent, is_source)) ->
-         let rec walk q =
-           if not is_source.(q) then begin
-             Hashtbl.replace chain q ();
-             let p = parent.(q) in
-             if p >= 0 then walk p
-           end
-         in
-         walk !best_root)
-      results;
-    let members = Hashtbl.fold (fun q () acc -> q :: acc) chain [] in
-    st.chains.(v) <- members;
-    List.iter (fun q -> st.usage.(q) <- st.usage.(q) + 1) members
+      (fun q ->
+         st.usage.(q) <- st.usage.(q) + 1;
+         st.in_chain.(q) <- false)
+      !members
   end
 
+(* Chain connectivity restricted to the [in_chain] mask: iterative DFS from
+   [first], counting reachable members. *)
+let connected_members st first =
+  st.visit_epoch <- st.visit_epoch + 1;
+  let epoch = st.visit_epoch in
+  let stack = st.dfs_stack in
+  let row_start = st.row_start and col = st.col in
+  stack.(0) <- first;
+  st.visit_stamp.(first) <- epoch;
+  let top = ref 1 in
+  let visited = ref 1 in
+  while !top > 0 do
+    decr top;
+    let q = stack.(!top) in
+    for k = row_start.(q) to row_start.(q + 1) - 1 do
+      let n = Array.unsafe_get col k in
+      if st.in_chain.(n) && st.visit_stamp.(n) <> epoch then begin
+        st.visit_stamp.(n) <- epoch;
+        incr visited;
+        stack.(!top) <- n;
+        incr top
+      end
+    done
+  done;
+  !visited
+
+let touches_chain st q =
+  let found = ref false in
+  let lo = st.row_start.(q) and hi = st.row_start.(q + 1) in
+  let k = ref lo in
+  while (not !found) && !k < hi do
+    if st.in_chain.(st.col.(!k)) then found := true;
+    incr k
+  done;
+  !found
 
 (* Remove redundant qubits from a freshly routed chain: a member can go if
    the chain stays connected and every embedded logical neighbor is still
    reachable through some physical edge.  Union-of-shortest-paths routing
    leaves such slack whenever paths to different neighbors diverge. *)
 let trim_chain st v =
-  let members = Hashtbl.create 16 in
-  List.iter (fun q -> Hashtbl.replace members q ()) st.chains.(v);
-  let embedded_neighbors =
-    List.filter (fun u -> u <> v && st.chains.(u) <> []) st.logical_neighbors.(v)
-  in
+  let members = ref st.chains.(v) in
+  let member_count = ref 0 in
+  List.iter
+    (fun q ->
+       st.in_chain.(q) <- true;
+       incr member_count)
+    !members;
+  let embedded = embedded_neighbors st v in
   let still_valid () =
-    let member_list = Hashtbl.fold (fun q () acc -> q :: acc) members [] in
-    match member_list with
+    match !members with
     | [] -> false
-    | first :: _ ->
-      (* Connectivity. *)
-      let visited = Hashtbl.create 16 in
-      let rec dfs q =
-        if not (Hashtbl.mem visited q) then begin
-          Hashtbl.replace visited q ();
-          List.iter (fun n -> if Hashtbl.mem members n then dfs n) (Chimera.neighbors st.graph q)
-        end
+    | _ ->
+      let first =
+        (* Any member still in the chain anchors the connectivity DFS. *)
+        List.find (fun q -> st.in_chain.(q)) !members
       in
-      dfs first;
-      Hashtbl.length visited = Hashtbl.length members
-      (* Adjacency to each embedded neighbor chain. *)
+      connected_members st first = !member_count
       && List.for_all
-           (fun u ->
-              List.exists
-                (fun qu ->
-                   List.exists (fun n -> Hashtbl.mem members n) (Chimera.neighbors st.graph qu))
-                st.chains.(u))
-           embedded_neighbors
+           (fun u -> List.exists (fun qu -> touches_chain st qu) st.chains.(u))
+           embedded
   in
   let removed_any = ref true in
   while !removed_any do
     removed_any := false;
-    let candidates = Hashtbl.fold (fun q () acc -> q :: acc) members [] in
+    let candidates = Array.of_list !members in
     (* Prefer dropping overused qubits, then high-cost ones. *)
-    let candidates =
-      List.sort
-        (fun a b -> compare (st.usage.(b), b) (st.usage.(a), a))
-        candidates
-    in
-    List.iter
+    Array.sort
+      (fun a b ->
+         let c = compare (st.usage.(b) : int) st.usage.(a) in
+         if c <> 0 then c else compare (b : int) a)
+      candidates;
+    Array.iter
       (fun q ->
-         if Hashtbl.length members > 1 then begin
-           Hashtbl.remove members q;
+         if !member_count > 1 then begin
+           st.in_chain.(q) <- false;
+           decr member_count;
            if still_valid () then begin
              st.usage.(q) <- st.usage.(q) - 1;
              removed_any := true
            end
-           else Hashtbl.replace members q ()
+           else begin
+             st.in_chain.(q) <- true;
+             incr member_count
+           end
          end)
-      candidates
+      candidates;
+    members := List.filter (fun q -> st.in_chain.(q)) !members
   done;
-  st.chains.(v) <- Hashtbl.fold (fun q () acc -> q :: acc) members []
+  List.iter (fun q -> st.in_chain.(q) <- false) !members;
+  st.chains.(v) <- !members
 
 let route_and_trim st rng v =
   route_chain st rng v;
@@ -207,70 +348,92 @@ let overfull st =
 let total_chain_length st =
   Array.fold_left (fun acc chain -> acc + List.length chain) 0 st.chains
 
+(* One independent restart.  Entirely a function of [try_seed] (plus the
+   graph/problem), so tries can run on any domain in any order: the caller
+   recombines per-try results by (total chain length, try index), which
+   reproduces the sequential earliest-minimum selection exactly. *)
+let run_try ~graph ~logical_neighbors ~(params : params) ~try_seed =
+  let n = Array.length logical_neighbors in
+  let try_rng = Rng.create try_seed in
+  let st = make_state graph logical_neighbors params.alpha in
+  let best = ref None in
+  let consider () =
+    if overfull st = 0 then begin
+      let length = total_chain_length st in
+      match !best with
+      | Some (best_length, _) when best_length <= length -> ()
+      | _ ->
+        best :=
+          Some
+            ( length,
+              { Embedding.chains =
+                  Array.map (fun chain -> Array.of_list (List.sort compare chain)) st.chains
+              } )
+    end
+  in
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle try_rng order;
+  (try
+     (* Initial placement pass. *)
+     Array.iter (fun v -> route_and_trim st try_rng v) order;
+     (* Refinement passes, escalating the overuse penalty so stable
+        overlap deadlocks eventually break. *)
+     for pass = 1 to params.max_passes do
+       st.alpha <- Float.min 1e6 (params.alpha *. (2.0 ** float_of_int pass));
+       Rng.shuffle try_rng order;
+       Array.iter (fun v -> route_and_trim st try_rng v) order;
+       if overfull st = 0 then begin
+         consider ();
+         (* Shortening passes: keep rerouting with overlap effectively
+            forbidden, keeping the best (shortest) valid embedding. *)
+         st.alpha <- 1e6;
+         for _shorten = 1 to 3 do
+           Rng.shuffle try_rng order;
+           Array.iter (fun v -> route_and_trim st try_rng v) order;
+           if overfull st = 0 then consider ()
+         done;
+         raise Exit
+       end
+     done
+   with
+   | Exit -> ()
+   | Route_failed -> ());
+  consider ();
+  !best
+
 let find ?(params = default_params) graph (p : Problem.t) =
   let n = p.Problem.num_vars in
   if n = 0 then Some { Embedding.chains = [||] }
   else begin
-    let logical_neighbors = Array.make n [] in
-    Array.iter
-      (fun ((u, v), _) ->
-         logical_neighbors.(u) <- v :: logical_neighbors.(u);
-         logical_neighbors.(v) <- u :: logical_neighbors.(v))
-      p.Problem.couplers;
-    let rng = Rng.create params.seed in
-    let best = ref None in
-    let consider st =
-      if overfull st = 0 then begin
-        let length = total_chain_length st in
-        match !best with
-        | Some (best_length, _) when best_length <= length -> ()
-        | _ ->
-          best :=
-            Some
-              ( length,
-                { Embedding.chains =
-                    Array.map (fun chain -> Array.of_list (List.sort compare chain)) st.chains
-                } )
-      end
+    let logical_neighbors =
+      let tmp = Array.make n [] in
+      Array.iter
+        (fun ((u, v), _) ->
+           tmp.(u) <- v :: tmp.(u);
+           tmp.(v) <- u :: tmp.(v))
+        p.Problem.couplers;
+      (* Dedup so duplicate couplers between one variable pair cannot
+         trigger a redundant multi-source Dijkstra per route. *)
+      Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) tmp
     in
-    for _try = 1 to params.tries do
-      let try_rng = Rng.split rng in
-      let st =
-        { graph;
-          num_qubits = Chimera.num_qubits graph;
-          logical_neighbors;
-          chains = Array.make n [];
-          usage = Array.make (Chimera.num_qubits graph) 0;
-          alpha = params.alpha }
-      in
-      let order = Array.init n (fun i -> i) in
-      Rng.shuffle try_rng order;
-      (* Initial placement. *)
-      (try
-         Array.iter (fun v -> route_and_trim st try_rng v) order;
-         (* Refinement passes, escalating the overuse penalty so stable
-            overlap deadlocks eventually break. *)
-         for pass = 1 to params.max_passes do
-           st.alpha <- Float.min 1e6 (params.alpha *. (2.0 ** float_of_int pass));
-           Rng.shuffle try_rng order;
-           Array.iter (fun v -> route_and_trim st try_rng v) order;
-           if overfull st = 0 then begin
-             consider st;
-             (* Shortening passes: keep rerouting with overlap effectively
-                forbidden, keeping the best (shortest) valid embedding. *)
-             st.alpha <- 1e6;
-             for _shorten = 1 to 3 do
-               Rng.shuffle try_rng order;
-               Array.iter (fun v -> route_and_trim st try_rng v) order;
-               if overfull st = 0 then consider st
-             done;
-             raise Exit
-           end
-         done
-       with
-       | Exit -> ()
-       | Route_failed -> ());
-      consider st
-    done;
+    let tries = max 0 params.tries in
+    (* Seeds derive sequentially from the base seed before any domain runs,
+       so the set of tries — and therefore the result — is identical at
+       every thread count. *)
+    let rng = Rng.create params.seed in
+    let try_seeds = Array.init tries (fun _ -> Rng.next_seed rng) in
+    let results = Array.make tries None in
+    Parallel.run_tasks ~num_workers:params.num_threads tries (fun i ->
+        results.(i) <- run_try ~graph ~logical_neighbors ~params ~try_seed:try_seeds.(i));
+    (* Deterministic recombination: minimum total chain length, ties broken
+       by the lowest try index (strict [<] keeps the earliest minimum). *)
+    let best = ref None in
+    Array.iter
+      (fun r ->
+         match (r, !best) with
+         | Some (len, _), Some (best_len, _) when len < best_len -> best := r
+         | Some _, None -> best := r
+         | _ -> ())
+      results;
     Option.map snd !best
   end

@@ -9,13 +9,23 @@
     weights grow exponentially with how many chains already use them, so
     refinement passes drive overlaps to zero.  The process is randomized;
     repeated calls with different seeds yield different qubit counts
-    (section 6.1 reports 369 +/- 26 qubits over 25 runs). *)
+    (section 6.1 reports 369 +/- 26 qubits over 25 runs).
+
+    The hot path walks the topology's CSR adjacency with reusable Dijkstra
+    scratch and an indexed decrease-key heap (see [lib/embed/README.md] for
+    the contracts).  Restarts ([tries]) can run across OCaml domains; the result
+    is a deterministic function of the seed alone — identical at every
+    [num_threads]. *)
 
 type params = {
   tries : int;  (** independent restarts with different orderings *)
   max_passes : int;  (** improvement passes per try *)
-  alpha : float;  (** overuse penalty base (default 16) *)
+  alpha : float;  (** overuse penalty base (default 4) *)
   seed : int;
+  num_threads : int;
+      (** OCaml domains for the restarts; per-try seeds derive from [seed]
+          up front and results recombine by (total chain length, try index),
+          so any thread count returns the same embedding (default 1) *)
 }
 
 val default_params : params

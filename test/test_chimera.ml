@@ -122,6 +122,32 @@ let topology_tests =
         Alcotest.(check int) "qubits" (2 * 6 * 9) (Chimera.num_qubits g);
         Alcotest.(check int) "max degree" 8 (Topology.max_degree g);
         Alcotest.(check int) "shore" 6 (Chimera.shore g));
+    Alcotest.test_case "CSR invariants on a broken Chimera" `Quick (fun () ->
+        (* The embedder walks row_start/col directly, so the representation
+           is a contract: rows sorted ascending, symmetric, broken rows
+           empty, and num_edges = |col| / 2. *)
+        let g = Chimera.create 3 ~broken:[ 0; 17; 40 ] in
+        let n = Topology.num_qubits g in
+        Alcotest.(check int) "row table spans col" (Array.length g.Topology.col)
+          g.Topology.row_start.(n);
+        for q = 0 to n - 1 do
+          let lo = g.Topology.row_start.(q) and hi = g.Topology.row_start.(q + 1) in
+          Alcotest.(check bool) "monotone" true (lo <= hi);
+          if not (Topology.is_working g q) then
+            Alcotest.(check int) "broken row empty" lo hi;
+          for k = lo to hi - 1 do
+            let p = g.Topology.col.(k) in
+            if k > lo then
+              Alcotest.(check bool) "sorted strictly" true (g.Topology.col.(k - 1) < p);
+            Alcotest.(check bool) "symmetric" true (Topology.adjacent g p q)
+          done
+        done;
+        Alcotest.(check int) "each edge stored twice"
+          (2 * Topology.num_edges g) (Array.length g.Topology.col));
+    Alcotest.test_case "num_edges memo matches a recount" `Quick (fun () ->
+        let g = Chimera.create 2 ~broken:[ 5 ] in
+        Alcotest.(check int) "recount" (List.length (Topology.edges g))
+          (Topology.num_edges g));
   ]
 
 let pegasus_tests =

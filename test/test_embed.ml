@@ -142,25 +142,28 @@ let embedding_tests =
         Alcotest.(check (array int)) "map" [| 3; 7 |] old_of_new);
   ]
 
+let random_problem st =
+  let n = 4 + Random.State.int st 5 in
+  let j = ref [] in
+  for i = 0 to n - 1 do
+    for k = i + 1 to n - 1 do
+      if Random.State.int st 3 = 0 then
+        j := ((i, k), float_of_int (1 + Random.State.int st 3) /. 2.0) :: !j
+    done
+  done;
+  (* Ensure connectivity-ish: chain all consecutive. *)
+  for i = 0 to n - 2 do
+    j := ((i, i + 1), -1.0) :: !j
+  done;
+  Problem.create ~num_vars:n ~h:(Array.make n 0.25) ~j:!j ()
+
 let property_tests =
   let random_embeds =
     QCheck.Test.make ~name:"random sparse graphs embed into C4 and verify" ~count:10
       QCheck.(int_bound 10000)
       (fun seed ->
          let st = Random.State.make [| seed |] in
-         let n = 4 + Random.State.int st 5 in
-         let j = ref [] in
-         for i = 0 to n - 1 do
-           for k = i + 1 to n - 1 do
-             if Random.State.int st 3 = 0 then
-               j := ((i, k), float_of_int (1 + Random.State.int st 3) /. 2.0) :: !j
-           done
-         done;
-         (* Ensure connectivity-ish: chain all consecutive. *)
-         for i = 0 to n - 2 do
-           j := ((i, i + 1), -1.0) :: !j
-         done;
-         let p = Problem.create ~num_vars:n ~h:(Array.make n 0.25) ~j:!j () in
+         let p = random_problem st in
          let graph = Chimera.create 4 in
          match Cmr.find ~params:{ Cmr.default_params with Cmr.seed = seed } graph p with
          | None -> false
@@ -169,9 +172,115 @@ let property_tests =
             | Ok () -> true
             | Error _ -> false))
   in
-  [ QCheck_alcotest.to_alcotest random_embeds ]
+  let random_embeds_broken =
+    (* Same property on a degraded chip: chains must verify AND avoid every
+       broken qubit (verify checks this, but assert it independently too). *)
+    QCheck.Test.make
+      ~name:"random graphs embed into C4 with broken qubits and verify" ~count:10
+      QCheck.(int_bound 10000)
+      (fun seed ->
+         let st = Random.State.make [| seed + 7919 |] in
+         let p = random_problem st in
+         let broken =
+           List.init (1 + Random.State.int st 6) (fun _ -> Random.State.int st 128)
+           |> List.sort_uniq compare
+         in
+         let graph = Chimera.create 4 ~broken in
+         match Cmr.find ~params:{ Cmr.default_params with Cmr.seed = seed } graph p with
+         | None -> true (* a degraded chip may genuinely lack room *)
+         | Some e ->
+           let ok = Embedding.verify graph p e = Ok () in
+           let avoids =
+             Array.for_all
+               (fun chain -> Array.for_all (fun q -> not (List.mem q broken)) chain)
+               e.Embedding.chains
+           in
+           ok && avoids)
+  in
+  [ QCheck_alcotest.to_alcotest random_embeds;
+    QCheck_alcotest.to_alcotest random_embeds_broken ]
 
-let suite = embedding_tests @ property_tests
+let parallel_tests =
+  [ Alcotest.test_case "tries are thread-count invariant" `Quick (fun () ->
+        (* The contract behind [Cache.key] ignoring [num_threads]: any domain
+           count must return the identical embedding. *)
+        let st = Random.State.make [| 42 |] in
+        let graph = Chimera.create 4 ~broken:[ 3; 77 ] in
+        for _ = 1 to 3 do
+          let p = random_problem st in
+          let find threads =
+            Cmr.find
+              ~params:{ Cmr.default_params with Cmr.tries = 4; seed = 9; num_threads = threads }
+              graph p
+          in
+          Alcotest.(check bool) "1 thread = 4 threads" true (find 1 = find 4)
+        done);
+  ]
+
+module Cache = Qac_embed.Cache
+
+let cache_tests =
+  let graph = Chimera.create 4 in
+  let params = { Cmr.default_params with Cmr.seed = 3 } in
+  [ Alcotest.test_case "hit returns the identical embedding" `Quick (fun () ->
+        let cache = Cache.create () in
+        let p = random_problem (Random.State.make [| 1 |]) in
+        let key = Cache.key graph p ~params in
+        Alcotest.(check bool) "cold miss" true (Cache.find cache key = None);
+        let e = find_exn ~params graph p in
+        Cache.add cache key e;
+        (match Cache.find cache key with
+         | Some e' -> Alcotest.(check bool) "same embedding" true (e = e')
+         | None -> Alcotest.fail "expected a hit");
+        Alcotest.(check (pair int int)) "one hit, one miss" (1, 1) (Cache.stats cache));
+    Alcotest.test_case "key reads structure, not coefficients" `Quick (fun () ->
+        let p1 =
+          Problem.create ~num_vars:3 ~h:[| 0.5; 0.0; -0.5 |]
+            ~j:[ ((0, 1), 1.0); ((1, 2), -1.0) ] ()
+        in
+        let p2 =
+          Problem.create ~num_vars:3 ~h:[| 0.0; 0.0; 0.0 |]
+            ~j:[ ((0, 1), 0.25); ((1, 2), 0.75) ] ()
+        in
+        let p3 =
+          Problem.create ~num_vars:3 ~h:[| 0.0; 0.0; 0.0 |]
+            ~j:[ ((0, 1), 0.25); ((0, 2), 0.75) ] ()
+        in
+        Alcotest.(check bool) "values ignored" true
+          (Cache.key graph p1 ~params = Cache.key graph p2 ~params);
+        Alcotest.(check bool) "couplers matter" false
+          (Cache.key graph p1 ~params = Cache.key graph p3 ~params));
+    Alcotest.test_case "key separates topology, params, and broken sets" `Quick
+      (fun () ->
+         let p = random_problem (Random.State.make [| 2 |]) in
+         let k = Cache.key graph p ~params in
+         Alcotest.(check bool) "other grid" false
+           (k = Cache.key (Chimera.create 8) p ~params);
+         Alcotest.(check bool) "broken qubit" false
+           (k = Cache.key (Chimera.create 4 ~broken:[ 0 ]) p ~params);
+         Alcotest.(check bool) "other seed" false
+           (k = Cache.key graph p ~params:{ params with Cmr.seed = 4 });
+         Alcotest.(check bool) "num_threads cannot matter" true
+           (k = Cache.key graph p ~params:{ params with Cmr.num_threads = 4 }));
+    Alcotest.test_case "LRU evicts the coldest entry" `Quick (fun () ->
+        let cache = Cache.create ~capacity:2 () in
+        let e = { Embedding.chains = [| [| 0 |] |] } in
+        let key i =
+          Cache.key graph
+            (Problem.create ~num_vars:(i + 1) ~h:(Array.make (i + 1) 0.0) ~j:[] ())
+            ~params
+        in
+        Cache.add cache (key 0) e;
+        Cache.add cache (key 1) e;
+        ignore (Cache.find cache (key 0));  (* refresh 0: now 1 is coldest *)
+        Cache.add cache (key 2) e;
+        Alcotest.(check int) "capacity" 2 (Cache.length cache);
+        Alcotest.(check bool) "0 kept" true (Cache.find cache (key 0) <> None);
+        Alcotest.(check bool) "1 evicted" true (Cache.find cache (key 1) = None);
+        Alcotest.(check bool) "2 kept" true (Cache.find cache (key 2) <> None));
+  ]
+
+let suite = embedding_tests @ property_tests @ parallel_tests @ cache_tests
 
 module Clique = Qac_embed.Clique
 

@@ -94,10 +94,16 @@ let suite =
                chain_strength = None;
                roof_duality = false }
          in
-         let r = P.run t ~trace ~solver:P.Exact_solver ~target in
+         (* A private cache keeps the embed span present whatever ran before. *)
+         let r =
+           P.run t ~trace ~embed_cache:(Qac_embed.Cache.create ()) ~solver:P.Exact_solver
+             ~target
+         in
          Alcotest.(check (list string)) "stages"
            [ "assemble"; "qpbo"; "embed"; "solve"; "unembed"; "verify" ]
            (span_names trace);
+         Alcotest.(check int) "cold run misses the cache" 1
+           (counter_exn trace "embed" "embed-cache-miss");
          let qubits = counter_exn trace "embed" "physical-qubits" in
          Alcotest.(check bool) "qubits >= logical vars" true
            (qubits >= r.P.num_logical_vars);
@@ -105,6 +111,38 @@ let suite =
            r.P.num_physical_qubits;
          Alcotest.(check bool) "max chain length" true
            (counter_exn trace "embed" "max-chain-length" >= 1));
+    Alcotest.test_case "warm embed cache skips the embed span" `Quick (fun () ->
+        let t =
+          P.compile
+            "module t (a, b, o); input a, b; output o; assign o = a | b; endmodule"
+        in
+        let target =
+          P.Physical
+            { graph = Qac_chimera.Chimera.create 4;
+              embed_params = None;
+              chain_strength = None;
+              roof_duality = false }
+        in
+        let cache = Qac_embed.Cache.create () in
+        let run () =
+          let trace = Trace.create () in
+          let r = P.run t ~trace ~embed_cache:cache ~solver:P.Exact_solver ~target in
+          (trace, r)
+        in
+        let cold_trace, cold = run () in
+        let warm_trace, warm = run () in
+        Alcotest.(check int) "cold miss" 1
+          (counter_exn cold_trace "embed" "embed-cache-miss");
+        Alcotest.(check bool) "warm run has no embed span" true
+          (not (List.mem "embed" (span_names warm_trace)));
+        (* The hit counter lands outside any stage span (recorded as its own
+           zero-duration mark). *)
+        Alcotest.(check int) "warm hit" 1
+          (counter_exn warm_trace "embed-cache-hit" "embed-cache-hit");
+        Alcotest.(check (option int)) "same qubit count" cold.P.num_physical_qubits
+          warm.P.num_physical_qubits;
+        Alcotest.(check bool) "same solutions" true
+          (cold.P.solutions = warm.P.solutions));
     Alcotest.test_case "json export" `Quick (fun () ->
         let trace = Trace.create () in
         let (_ : P.t) = P.compile ~trace mult_src in
