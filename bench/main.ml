@@ -18,7 +18,11 @@
       embedder ({!Embed_baseline}) against the CSR + scratch-reusing
       [Qac_embed.Cmr] on spin-glass and multiplier interaction graphs,
       measures the embedding cache cold/warm behaviour, and writes
-      [BENCH_EMBED.json]. *)
+      [BENCH_EMBED.json].
+    - [dune exec bench/main.exe -- batch [smoke]] compares batched-tiled
+      serving ([Qac_serve] packing jobs onto one C16 via [Qac_embed.Tiler])
+      against sequential [Pipeline.run] per job on a fleet of small
+      circuits, and writes [BENCH_BATCH.json]. *)
 
 let run_experiments ids =
   let selected =
@@ -523,6 +527,167 @@ let embed_bench ~smoke () =
   close_out oc;
   Printf.printf "wrote BENCH_EMBED.json\n"
 
+(* --- Batch serving benchmark ------------------------------------------------ *)
+
+(* Both arms solve the same fleet of pinned adder/logic circuits against a
+   C16: the sequential arm embeds each job into the full 2048-qubit graph
+   (Pipeline.run, one job at a time); the batched arm hands all jobs to the
+   serve scheduler, which embeds each into a small local C_k, tiles them
+   side by side, and solves them concurrently.  Compilation is hoisted out
+   of both timings — the comparison is about serving, not the front end. *)
+let batch_bench ~smoke () =
+  let module P = Qac_core.Pipeline in
+  let module Serve = Qac_serve.Serve in
+  let module Tiler = Qac_embed.Tiler in
+  let module Sampler = Qac_anneal.Sampler in
+  let widths = if smoke then [ 1; 2 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let ops = [ ("add", "+"); ("xor", "^"); ("and", "&"); ("or", "|") ] in
+  let circuits =
+    List.concat_map
+      (fun w ->
+         List.map
+           (fun (opname, op) ->
+              let name = Printf.sprintf "j%d_%s" w opname in
+              let src =
+                Printf.sprintf
+                  "module %s (a, b, y); input [%d:0] a; input [%d:0] b; \
+                   output [%d:0] y; assign y = a %s b; endmodule"
+                  name (w - 1) (w - 1) w op
+              in
+              (name, w, P.compile src))
+           ops)
+      widths
+  in
+  let jobs =
+    List.mapi
+      (fun i (name, w, t) ->
+         let pins = [ ("a", i mod (1 lsl w)); ("b", ((3 * i) + 1) mod (1 lsl w)) ] in
+         (i, name, t, pins))
+      circuits
+  in
+  let n = List.length jobs in
+  let tries = if smoke then 2 else 8 in
+  let sa_params =
+    { Qac_anneal.Sa.default_params with
+      Qac_anneal.Sa.num_reads = (if smoke then 10 else 50);
+      num_sweeps = (if smoke then 50 else 200);
+      seed = 42 }
+  in
+  let threads = min 8 (Domain.recommended_domain_count ()) in
+  let graph = Qac_chimera.Chimera.create 16 in
+  Printf.printf
+    "batch serving: sequential Pipeline.run vs tiled Serve on %s\n\
+     (%d circuits, SA %d reads x %d sweeps, embed tries=%d, %d threads)\n"
+    graph.Qac_chimera.Topology.name n sa_params.Qac_anneal.Sa.num_reads
+    sa_params.Qac_anneal.Sa.num_sweeps tries threads;
+  let count_valid t program (resp : Sampler.response) =
+    List.exists
+      (fun (s : Sampler.sample) ->
+         (P.solution_of_spins t ~program s.Sampler.spins).P.valid)
+      resp.Sampler.samples
+  in
+  (* Sequential arm: one full-graph embed + solve per job. *)
+  let seq_cache = Qac_embed.Cache.create () in
+  let seq_valid = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (_, _, t, pins) ->
+       let r =
+         P.run t ~pins ~num_threads:threads ~embed_cache:seq_cache
+           ~solver:(P.Sa sa_params)
+           ~target:
+             (P.Physical
+                { graph;
+                  embed_params =
+                    Some { Qac_embed.Cmr.default_params with tries; num_threads = threads };
+                  chain_strength = None;
+                  roof_duality = false })
+       in
+       if P.valid_solutions r <> [] then incr seq_valid)
+    jobs;
+  let sequential_seconds = Unix.gettimeofday () -. t0 in
+  (* Batched arm: submit everything, let the scheduler tile and solve. *)
+  let batch_cache = Qac_embed.Cache.create () in
+  (* CMR wants generous headroom on Chimera (chains eat qubits): slack 6
+     makes the ladder's first block size succeed for nearly every job, so
+     tiling pays one cheap local embed per job instead of climbing through
+     failed attempts at tight sizes. *)
+  let tiler_params =
+    { Tiler.default_params with
+      Tiler.slack = 6.0;
+      Tiler.embed_params = Some { Qac_embed.Cmr.default_params with tries } }
+  in
+  let solver ~deadline p = P.dispatch_solver ~num_threads:1 ?deadline (P.Sa sa_params) p in
+  let programs = Hashtbl.create n in
+  let t0 = Unix.gettimeofday () in
+  let service =
+    Serve.create ~batch_jobs:n ~num_threads:threads ~tiler_params
+      ~embed_cache:batch_cache ~solver ~graph ()
+  in
+  List.iter
+    (fun (i, name, t, pins) ->
+       let program = P.assemble_with_pins ~pins t in
+       let id = Printf.sprintf "%s#%d" name i in
+       Hashtbl.replace programs id (t, program);
+       Serve.submit service
+         { Serve.id; problem = program.Qac_qmasm.Assemble.problem; timeout_ms = None })
+    jobs;
+  let results = Serve.drain service in
+  let batched_seconds = Unix.gettimeofday () -. t0 in
+  let batch_valid = ref 0 and batch_done = ref 0 in
+  List.iter
+    (fun (r : Serve.result) ->
+       (match r.Serve.status with Serve.Done -> incr batch_done | _ -> ());
+       match r.Serve.response with
+       | Some resp ->
+         let t, program = Hashtbl.find programs r.Serve.id in
+         if count_valid t program resp then incr batch_valid
+       | None -> ())
+    results;
+  let st = Serve.stats service in
+  let hits, misses = Qac_embed.Cache.stats batch_cache in
+  let jps seconds = float_of_int n /. seconds in
+  let speedup = sequential_seconds /. batched_seconds in
+  Printf.printf
+    "  sequential: %7.2fs (%5.2f jobs/s, %d/%d valid)\n\
+    \  batched:    %7.2fs (%5.2f jobs/s, %d/%d done, %d/%d valid)\n\
+    \  speedup=%5.2fx  batches=%d  occupancy=%.1f%%  deferrals=%d  cache=%d hit/%d miss\n"
+    sequential_seconds (jps sequential_seconds) !seq_valid n batched_seconds
+    (jps batched_seconds) !batch_done n !batch_valid n speedup st.Serve.batches
+    (100.0 *. st.Serve.mean_occupancy) st.Serve.deferrals hits misses;
+  let oc = open_out "BENCH_BATCH.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"batch-serving\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"workload\": \"pinned adder/xor/and/or circuits, SA %d reads x %d sweeps, embed tries=%d\",\n\
+    \  \"topology\": %S,\n\
+    \  \"num_jobs\": %d,\n\
+    \  \"threads\": %d,\n\
+    \  \"sequential_seconds\": %.6f,\n\
+    \  \"batched_seconds\": %.6f,\n\
+    \  \"sequential_jobs_per_sec\": %.3f,\n\
+    \  \"batched_jobs_per_sec\": %.3f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"sequential_valid\": %d,\n\
+    \  \"batched_done\": %d,\n\
+    \  \"batched_valid\": %d,\n\
+    \  \"batches\": %d,\n\
+    \  \"mean_occupancy_pct\": %.1f,\n\
+    \  \"deferrals\": %d,\n\
+    \  \"embed_cache_hits\": %d,\n\
+    \  \"embed_cache_misses\": %d\n\
+     }\n"
+    (if smoke then "smoke" else "full")
+    sa_params.Qac_anneal.Sa.num_reads sa_params.Qac_anneal.Sa.num_sweeps tries
+    graph.Qac_chimera.Topology.name n threads sequential_seconds batched_seconds
+    (jps sequential_seconds) (jps batched_seconds) speedup !seq_valid !batch_done
+    !batch_valid st.Serve.batches
+    (100.0 *. st.Serve.mean_occupancy)
+    st.Serve.deferrals hits misses;
+  close_out oc;
+  Printf.printf "wrote BENCH_BATCH.json\n"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
@@ -531,4 +696,5 @@ let () =
   | [ "parallel" ] -> parallel_scaling ()
   | "kernel" :: rest -> kernel_bench ~smoke:(rest = [ "smoke" ]) ()
   | "embed" :: rest -> embed_bench ~smoke:(rest = [ "smoke" ]) ()
+  | "batch" :: rest -> batch_bench ~smoke:(rest = [ "smoke" ]) ()
   | ids -> run_experiments ids

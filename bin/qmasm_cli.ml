@@ -43,7 +43,14 @@ let threads_arg =
   let doc = "Split annealing reads across $(docv) OCaml domains (SA/SQA/tabu)." in
   Arg.(value & opt int 1 & info [ "threads" ] ~docv:"N" ~doc)
 
-let main src pins solver reads minizinc merge threads =
+let timeout_arg =
+  let doc =
+    "Solve deadline in milliseconds; annealers check it between sweeps and \
+     return best-so-far partial results (flagged on the output)."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
+let main src pins solver reads minizinc merge threads timeout_ms =
   try
     let pin_lines = String.concat "\n" pins in
     let source = read_file src ^ "\n" ^ pin_lines ^ "\n" in
@@ -65,19 +72,29 @@ let main src pins solver reads minizinc merge threads =
       let sqa_params =
         { Qac_anneal.Sqa.default_params with Qac_anneal.Sqa.num_reads = reads }
       in
+      (* The deadline is absolute, fixed when solving starts; the exact
+         solver ignores it (its size cap already bounds runtime). *)
+      let deadline =
+        Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) timeout_ms
+      in
       let response =
         match solver with
         | `Exact -> Qac_anneal.Exact_sampler.sample problem
-        | `Sa -> Qac_anneal.Parallel.sample_sa ~num_threads:threads ~params:sa_params problem
+        | `Sa ->
+          Qac_anneal.Parallel.sample_sa ~num_threads:threads ?deadline ~params:sa_params
+            problem
         | `Sqa ->
-          Qac_anneal.Parallel.sample_sqa ~num_threads:threads ~params:sqa_params problem
+          Qac_anneal.Parallel.sample_sqa ~num_threads:threads ?deadline ~params:sqa_params
+            problem
         | `Tabu ->
-          Qac_anneal.Parallel.sample_tabu ~num_threads:threads
+          Qac_anneal.Parallel.sample_tabu ~num_threads:threads ?deadline
             ~params:Qac_anneal.Tabu.default_params problem
-        | `Qbsolv -> Qac_anneal.Qbsolv.sample problem
+        | `Qbsolv -> Qac_anneal.Qbsolv.sample ?deadline problem
       in
       Printf.printf "# %d reads in %.3fs\n" response.Qac_anneal.Sampler.num_reads
         response.Qac_anneal.Sampler.elapsed_seconds;
+      if response.Qac_anneal.Sampler.timed_out then
+        print_endline "# timed out: solutions are best-so-far";
       Format.printf "%a" (Qac_anneal.Sampler.pp_histogram ?buckets:None) response;
       List.iteri
         (fun i sample ->
@@ -108,6 +125,6 @@ let () =
   let info = Cmd.info "qmasm_cli" ~version:"1.0.0" ~doc in
   let term =
     Term.(ret (const main $ src_arg $ pin_arg $ solver_arg $ reads_arg $ minizinc_arg $ merge_arg
-               $ threads_arg))
+               $ threads_arg $ timeout_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

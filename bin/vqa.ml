@@ -3,6 +3,7 @@
     Subcommands:
     - [compile]: Verilog -> EDIF / QMASM / MiniZinc on stdout;
     - [run]: compile and execute, forward or backward, with [--pin];
+    - [serve]: batch-serve a job file, tiling jobs together onto one graph;
     - [cells]: print the Table 5 standard-cell library with verification;
     - [stats]: the section 6.1 static properties of a module. *)
 
@@ -115,6 +116,14 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
+let timeout_arg =
+  let doc =
+    "Deadline for the solve stage, in milliseconds.  Samplers check it \
+     between sweeps and return best-so-far partial results; a hit is \
+     reported on the output and in the trace."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
 let physical_arg =
   let doc =
     "Minor-embed into a Chimera C$(docv) topology before solving (0 = solve the \
@@ -142,6 +151,18 @@ let threads_arg =
   in
   Arg.(value & opt int 1 & info [ "threads" ] ~docv:"N" ~doc)
 
+let make_solver solver ~reads ~sweeps ~seed =
+  match solver with
+  | `Exact -> P.Exact_solver
+  | `Sa ->
+    P.Sa { Qac_anneal.Sa.default_params with
+           Qac_anneal.Sa.num_reads = reads; num_sweeps = sweeps; seed }
+  | `Sqa ->
+    P.Sqa { Qac_anneal.Sqa.default_params with
+            Qac_anneal.Sqa.num_reads = reads; num_sweeps = sweeps; seed }
+  | `Tabu -> P.Tabu { Qac_anneal.Tabu.default_params with Qac_anneal.Tabu.seed }
+  | `Qbsolv -> P.Qbsolv { Qac_anneal.Qbsolv.default_params with Qac_anneal.Qbsolv.seed }
+
 (* Pins in QMASM syntax ("C[7:0] := 10001111") go to the QMASM parser
    verbatim; the "name=value" shorthand becomes an integer port pin. *)
 let split_pins specs =
@@ -166,25 +187,14 @@ let split_pins specs =
 
 let run_cmd =
   let run src top steps no_optimize pins solver reads sweeps seed physical pegasus roof all
-      threads trace trace_json =
+      threads timeout_ms trace trace_json =
     try
       let tr = make_trace ~trace ~trace_json in
       let t = compile ?top ?steps ~optimize:(not no_optimize) ?trace:tr src in
       let qmasm_pins, int_pins = split_pins pins in
       let pin_source = String.concat "\n" qmasm_pins in
       let pins = int_pins in
-      let solver =
-        match solver with
-        | `Exact -> P.Exact_solver
-        | `Sa ->
-          P.Sa { Qac_anneal.Sa.default_params with
-                 Qac_anneal.Sa.num_reads = reads; num_sweeps = sweeps; seed }
-        | `Sqa ->
-          P.Sqa { Qac_anneal.Sqa.default_params with
-                  Qac_anneal.Sqa.num_reads = reads; num_sweeps = sweeps; seed }
-        | `Tabu -> P.Tabu { Qac_anneal.Tabu.default_params with Qac_anneal.Tabu.seed }
-        | `Qbsolv -> P.Qbsolv { Qac_anneal.Qbsolv.default_params with Qac_anneal.Qbsolv.seed }
-      in
+      let solver = make_solver solver ~reads ~sweeps ~seed in
       let target =
         if physical = 0 then P.Logical
         else
@@ -196,12 +206,31 @@ let run_cmd =
               chain_strength = None;
               roof_duality = roof }
       in
-      let result = P.run t ~pins ~pin_source ?trace:tr ~num_threads:threads ~solver ~target in
+      let cache = Qac_embed.Cache.shared () in
+      let hits0, misses0 = Qac_embed.Cache.stats cache in
+      let result =
+        P.run t ~pins ~pin_source ?trace:tr ~num_threads:threads ~embed_cache:cache
+          ?timeout_ms ~solver ~target
+      in
+      (match tr with
+       | None -> ()
+       | Some trace ->
+         let hits, misses = Qac_embed.Cache.stats cache in
+         Trace.set_summary trace "embed-cache-hits" (hits - hits0);
+         Trace.set_summary trace "embed-cache-misses" (misses - misses0);
+         (match target, result.P.num_physical_qubits with
+          | P.Physical { graph; _ }, Some q ->
+            let working = Qac_chimera.Topology.num_working_qubits graph in
+            if working > 0 then
+              Trace.set_summary trace "occupancy-pct" (100 * q / working)
+          | _ -> ()));
       Printf.printf "# logical variables: %d\n" result.P.num_logical_vars;
       (match result.P.num_physical_qubits with
        | Some q -> Printf.printf "# physical qubits:  %d\n" q
        | None -> ());
       Printf.printf "# reads: %d  elapsed: %.3fs\n" result.P.num_reads result.P.elapsed_seconds;
+      if result.P.timed_out then
+        print_endline "# timed out: solutions are the sampler's best-so-far";
       let shown = if all then result.P.solutions else P.valid_solutions result in
       if shown = [] then print_endline "no valid solutions found (try more reads/sweeps)"
       else
@@ -226,7 +255,184 @@ let run_cmd =
     Term.(ret
             (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ pins_arg
              $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ physical_arg $ pegasus_arg
-             $ roof_arg $ all_arg $ threads_arg $ trace_arg $ trace_json_arg))
+             $ roof_arg $ all_arg $ threads_arg $ timeout_arg $ trace_arg $ trace_json_arg))
+
+(* --- serve ----------------------------------------------------------------- *)
+
+module Serve = Qac_serve.Serve
+
+let jobs_arg =
+  let doc =
+    "Job file: one job per line, $(i,FILE.v) followed by optional \
+     $(i,key=value) tokens.  $(i,port=int) pins a port; the reserved keys \
+     $(i,top=), $(i,steps=) and $(i,deadline_ms=) select the top module, \
+     the unroll depth and a per-job deadline.  Blank lines and lines \
+     starting with # are skipped.  Job ids are $(i,basename#lineno)."
+  in
+  Arg.(required & opt (some file) None & info [ "jobs" ] ~docv:"FILE" ~doc)
+
+let serve_physical_arg =
+  let doc = "Tile jobs onto a Chimera C$(docv) graph." in
+  Arg.(value & opt int 16 & info [ "physical" ] ~docv:"M" ~doc)
+
+let batch_jobs_arg =
+  let doc = "Flush a batch once $(docv) jobs are pending." in
+  Arg.(value & opt int 16 & info [ "batch-jobs" ] ~docv:"K" ~doc)
+
+let batch_window_arg =
+  let doc = "Flush a batch once the oldest pending job has waited $(docv) ms." in
+  Arg.(value & opt float 10.0 & info [ "batch-window-ms" ] ~docv:"MS" ~doc)
+
+let queue_capacity_arg =
+  let doc = "Submission-queue bound; submission blocks (backpressure) beyond it." in
+  Arg.(value & opt int 256 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+
+type parsed_job = {
+  line_no : int;
+  path : string;
+  job_top : string option;
+  job_steps : int option;
+  deadline_ms : float option;
+  job_pins : (string * int) list;
+}
+
+let parse_job_line line_no line =
+  match
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> None
+  | path :: rest ->
+    let top = ref None and steps = ref None and deadline = ref None in
+    let pins = ref [] in
+    let bad tok what =
+      failwith (Printf.sprintf "jobs line %d: %s in %S" line_no what tok)
+    in
+    List.iter
+      (fun tok ->
+         match String.index_opt tok '=' with
+         | None -> bad tok "expected key=value"
+         | Some i ->
+           let k = String.sub tok 0 i in
+           let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+           let as_int () =
+             match int_of_string_opt v with
+             | Some n -> n
+             | None -> bad tok "expected an integer value"
+           in
+           (match k with
+            | "top" -> top := Some v
+            | "steps" -> steps := Some (as_int ())
+            | "deadline_ms" ->
+              (match float_of_string_opt v with
+               | Some f -> deadline := Some f
+               | None -> bad tok "expected a float value")
+            | _ -> pins := (k, as_int ()) :: !pins))
+      rest;
+    Some { line_no; path; job_top = !top; job_steps = !steps;
+           deadline_ms = !deadline; job_pins = List.rev !pins }
+
+let serve_cmd =
+  let run jobs_file physical solver reads sweeps seed threads batch_jobs batch_window_ms
+      queue_capacity trace trace_json =
+    try
+      let parsed =
+        String.split_on_char '\n' (read_file jobs_file)
+        |> List.mapi (fun i line -> (i + 1, String.trim line))
+        |> List.concat_map (fun (n, line) ->
+            if line = "" || line.[0] = '#' then []
+            else match parse_job_line n line with Some j -> [ j ] | None -> [])
+      in
+      if parsed = [] then failwith "no jobs in file";
+      let compiled = Hashtbl.create 8 in
+      let compile_memo path top steps =
+        let key = (path, top, steps) in
+        match Hashtbl.find_opt compiled key with
+        | Some t -> t
+        | None ->
+          let t = compile ?top ?steps ~optimize:true path in
+          Hashtbl.add compiled key t;
+          t
+      in
+      let solver_variant = make_solver solver ~reads ~sweeps ~seed in
+      (* Per-job solves already run concurrently across the service's
+         domains, so each individual solve stays single-threaded. *)
+      let solver ~deadline p = P.dispatch_solver ~num_threads:1 ?deadline solver_variant p in
+      let tr = make_trace ~trace ~trace_json in
+      let cache = Qac_embed.Cache.create () in
+      let graph = Qac_chimera.Chimera.create physical in
+      let service =
+        Serve.create ~queue_capacity ~batch_jobs
+          ~batch_window_s:(batch_window_ms /. 1000.0) ~num_threads:threads
+          ~embed_cache:cache ?trace:tr ~solver ~graph ()
+      in
+      let jobs =
+        List.map
+          (fun pj ->
+             let t = compile_memo pj.path pj.job_top pj.job_steps in
+             let program = P.assemble_with_pins ~pins:pj.job_pins t in
+             let id = Printf.sprintf "%s#%d" (Filename.basename pj.path) pj.line_no in
+             ((t, program),
+              { Serve.id; problem = program.Qac_qmasm.Assemble.problem;
+                timeout_ms = pj.deadline_ms }))
+          parsed
+      in
+      List.iter (fun (_, job) -> Serve.submit service job) jobs;
+      let results = Serve.drain service in
+      (match tr with
+       | None -> ()
+       | Some trace ->
+         let hits, misses = Qac_embed.Cache.stats cache in
+         Trace.set_summary trace "embed-cache-hits" hits;
+         Trace.set_summary trace "embed-cache-misses" misses);
+      List.iter2
+        (fun ((t, program), _) (r : Serve.result) ->
+           let status =
+             match r.Serve.status with
+             | Serve.Done -> "done"
+             | Serve.Timed_out -> "TIMED OUT (best-so-far below, if any)"
+             | Serve.Failed msg -> "FAILED: " ^ msg
+           in
+           Printf.printf "job %s: %s (batch %d, wait %.3fs, solve %.3fs)\n" r.Serve.id
+             status r.Serve.batch r.Serve.wait_seconds r.Serve.solve_seconds;
+           match r.Serve.response with
+           | None -> ()
+           | Some resp ->
+             (match resp.Qac_anneal.Sampler.samples with
+              | [] -> ()
+              | best :: _ ->
+                let s =
+                  P.solution_of_spins t ~program
+                    ~num_occurrences:best.Qac_anneal.Sampler.num_occurrences
+                    best.Qac_anneal.Sampler.spins
+                in
+                Printf.printf "  best: energy %g, %d occurrence(s)%s\n" s.P.energy
+                  s.P.num_occurrences
+                  (if s.P.valid then "" else " [INVALID]");
+                List.iter (fun (name, v) -> Printf.printf "    %s = %d\n" name v) s.P.ports))
+        jobs results;
+      let st = Serve.stats service in
+      Printf.printf
+        "# %d jobs in %d batches: %d placed, %d deferrals, %d retries, %d failures, \
+         %d timeouts\n"
+        st.Serve.jobs_done st.Serve.batches st.Serve.placed st.Serve.deferrals
+        st.Serve.retries st.Serve.failures st.Serve.timeouts;
+      Printf.printf "# mean occupancy %.1f%%  throughput %.1f jobs/s\n"
+        (100.0 *. st.Serve.mean_occupancy) st.Serve.jobs_per_second;
+      emit_trace ~trace_json tr;
+      `Ok ()
+    with
+    | Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
+    | Failure msg -> `Error (false, msg)
+    | Sys_error msg -> `Error (false, msg)
+  in
+  let doc = "serve a batch of jobs, tiled together onto one annealer graph" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(ret
+            (const run $ jobs_arg $ serve_physical_arg $ solver_arg $ reads_arg
+             $ sweeps_arg $ seed_arg $ threads_arg $ batch_jobs_arg $ batch_window_arg
+             $ queue_capacity_arg $ trace_arg $ trace_json_arg))
 
 (* --- cells ----------------------------------------------------------------- *)
 
@@ -300,4 +506,4 @@ let stats_cmd =
 let () =
   let doc = "compile classical Verilog code to a quantum annealer (ASPLOS'19 reproduction)" in
   let info = Cmd.info "vqa" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; cells_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; serve_cmd; cells_cmd; stats_cmd ]))

@@ -53,6 +53,10 @@ let run_tasks ?(num_workers = 1) n f =
     end
   end
 
+(* The deadline is one absolute instant shared by every chunk (not a
+   per-chunk budget): chunks that start after it fall through immediately
+   with their first partial read, so a timed-out batch still returns
+   best-effort results from every chunk that got to run. *)
 let sample ?(num_threads = 1) ?chunk_size ~seed ~num_reads sample_chunk problem =
   let chunks = Array.of_list (chunks ?chunk_size ~seed ~num_reads ()) in
   let results = Array.make (Array.length chunks) None in
@@ -67,19 +71,22 @@ let sample ?(num_threads = 1) ?chunk_size ~seed ~num_reads sample_chunk problem 
      per-chunk times, so thread scaling is visible to benchmarks. *)
   { (Sampler.merge problem responses) with Sampler.elapsed_seconds }
 
-let sample_sa ?num_threads ?chunk_size ~params problem =
+let sample_sa ?num_threads ?chunk_size ?deadline ~params problem =
   sample ?num_threads ?chunk_size ~seed:params.Sa.seed ~num_reads:params.Sa.num_reads
-    (fun ~seed ~num_reads -> Sa.sample ~params:{ params with Sa.seed; num_reads } problem)
+    (fun ~seed ~num_reads ->
+       Sa.sample ~params:{ params with Sa.seed; num_reads } ?deadline problem)
     problem
 
-let sample_sqa ?num_threads ?chunk_size ~params problem =
+let sample_sqa ?num_threads ?chunk_size ?deadline ~params problem =
   sample ?num_threads ?chunk_size ~seed:params.Sqa.seed ~num_reads:params.Sqa.num_reads
-    (fun ~seed ~num_reads -> Sqa.sample ~params:{ params with Sqa.seed; num_reads } problem)
+    (fun ~seed ~num_reads ->
+       Sqa.sample ~params:{ params with Sqa.seed; num_reads } ?deadline problem)
     problem
 
-let sample_tabu ?num_threads ?chunk_size ~params problem =
+let sample_tabu ?num_threads ?chunk_size ?deadline ~params problem =
   sample ?num_threads ?chunk_size ~seed:params.Tabu.seed
     ~num_reads:params.Tabu.num_restarts
     (fun ~seed ~num_reads ->
-       Tabu.sample ~params:{ params with Tabu.seed; num_restarts = num_reads } problem)
+       Tabu.sample ~params:{ params with Tabu.seed; num_restarts = num_reads } ?deadline
+         problem)
     problem

@@ -37,16 +37,19 @@ val sample :
   Sampler.response
 
 (** Per-solver wrappers: the params' own [seed] and [num_reads]
-    (resp. [num_restarts] for tabu) define the batch. *)
+    (resp. [num_restarts] for tabu) define the batch.  [deadline] is one
+    absolute [Unix.gettimeofday] instant shared by every chunk — a
+    timed-out batch merges whatever partial reads the chunks produced and
+    sets [Sampler.response.timed_out]. *)
 
 val sample_sa :
-  ?num_threads:int -> ?chunk_size:int -> params:Sa.params -> Qac_ising.Problem.t ->
-  Sampler.response
+  ?num_threads:int -> ?chunk_size:int -> ?deadline:float -> params:Sa.params ->
+  Qac_ising.Problem.t -> Sampler.response
 
 val sample_sqa :
-  ?num_threads:int -> ?chunk_size:int -> params:Sqa.params -> Qac_ising.Problem.t ->
-  Sampler.response
+  ?num_threads:int -> ?chunk_size:int -> ?deadline:float -> params:Sqa.params ->
+  Qac_ising.Problem.t -> Sampler.response
 
 val sample_tabu :
-  ?num_threads:int -> ?chunk_size:int -> params:Tabu.params -> Qac_ising.Problem.t ->
-  Sampler.response
+  ?num_threads:int -> ?chunk_size:int -> ?deadline:float -> params:Tabu.params ->
+  Qac_ising.Problem.t -> Sampler.response

@@ -80,7 +80,13 @@ let exact_sub_solver sub =
   Sampler.response_of_evaluated_reads
     (List.map (fun s -> (s, result.Exact.ground_energy)) result.Exact.ground_states)
 
-let sample ?(params = default_params) ?(sub_solver = exact_sub_solver) (p : Problem.t) =
+let expired deadline =
+  match deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let sample ?(params = default_params) ?(sub_solver = exact_sub_solver) ?deadline
+    (p : Problem.t) =
   let n = p.Problem.num_vars in
   let start = Unix.gettimeofday () in
   if n = 0 then Sampler.response_of_reads p [ [||] ]
@@ -99,7 +105,19 @@ let sample ?(params = default_params) ?(sub_solver = exact_sub_solver) (p : Prob
     ignore (Greedy.descend_state st);
     let stall = ref 0 in
     let round = ref 0 in
-    while !stall < params.num_repeats && !round < params.max_rounds do
+    (* The deadline check sits between decomposition rounds; the splice-back
+       of the current round always completes, so the configuration returned
+       is coherent. *)
+    let timed_out = ref false in
+    while
+      !stall < params.num_repeats && !round < params.max_rounds
+      &&
+      if expired deadline then begin
+        timed_out := true;
+        false
+      end
+      else true
+    do
       incr round;
       let improved =
         match !round mod 3 with
@@ -126,6 +144,6 @@ let sample ?(params = default_params) ?(sub_solver = exact_sub_solver) (p : Prob
     done;
     ignore (Greedy.descend_state st);
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_evaluated_reads ~elapsed_seconds
+    Sampler.response_of_evaluated_reads ~elapsed_seconds ~timed_out:!timed_out
       [ (State.spins st, State.energy st) ]
   end

@@ -25,5 +25,9 @@ val default_params : params
 val sample :
   ?params:params ->
   ?sub_solver:(Qac_ising.Problem.t -> Sampler.response) ->
+  ?deadline:float ->
   Qac_ising.Problem.t ->
   Sampler.response
+(** [deadline] (absolute [Unix.gettimeofday] instant) is checked between
+    decomposition rounds; hitting it returns the current polished
+    configuration with [Sampler.response.timed_out] set. *)

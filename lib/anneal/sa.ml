@@ -19,7 +19,15 @@ let default_params =
     greedy_postprocess = true;
     seed = 42 }
 
-let anneal_one (p : Problem.t) ~rng ~num_sweeps ~schedule =
+(* Deadline checks sit between sweeps (a sweep is O(vars * degree), so one
+   [gettimeofday] per sweep is noise).  [expired None] is a constant-false
+   branch, keeping the untimed hot path unchanged. *)
+let expired deadline =
+  match deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let anneal_one ?deadline (p : Problem.t) ~rng ~num_sweeps ~schedule =
   let n = p.Problem.num_vars in
   let st = State.random p rng in
   (* One random visit order per read (sequential-scan SA, as in D-Wave's
@@ -27,13 +35,15 @@ let anneal_one (p : Problem.t) ~rng ~num_sweeps ~schedule =
      reorders. *)
   let order = Array.init n (fun i -> i) in
   Rng.shuffle rng order;
-  for step = 0 to num_sweeps - 1 do
-    let beta = Schedule.beta schedule ~step ~num_steps:num_sweeps in
-    State.metropolis_sweep st ~beta ~rng ~order
+  let step = ref 0 in
+  while !step < num_sweeps && not (expired deadline) do
+    let beta = Schedule.beta schedule ~step:!step ~num_steps:num_sweeps in
+    State.metropolis_sweep st ~beta ~rng ~order;
+    incr step
   done;
   st
 
-let sample ?(params = default_params) (p : Problem.t) =
+let sample ?(params = default_params) ?deadline (p : Problem.t) =
   if p.Problem.num_vars = 0 then
     Sampler.response_of_reads p (List.init params.num_reads (fun _ -> [||]))
   else begin
@@ -43,12 +53,26 @@ let sample ?(params = default_params) (p : Problem.t) =
     in
     let rng = Rng.create params.seed in
     let start = Unix.gettimeofday () in
-    let reads =
-      List.init params.num_reads (fun _ ->
-          let st = anneal_one p ~rng ~num_sweeps:params.num_sweeps ~schedule in
-          if params.greedy_postprocess then ignore (Greedy.descend_state st);
-          (State.spins st, State.energy st))
+    (* Best-effort under a deadline: each read checks between sweeps, and the
+       read loop stops early once the deadline passes — whatever state the
+       current read reached is still reported, so a timed-out response
+       carries at least one (partial) read. *)
+    let timed_out = ref false in
+    let rec reads_from k =
+      if k >= params.num_reads then []
+      else begin
+        let st = anneal_one ?deadline p ~rng ~num_sweeps:params.num_sweeps ~schedule in
+        if params.greedy_postprocess && not (expired deadline) then
+          ignore (Greedy.descend_state st);
+        let read = (State.spins st, State.energy st) in
+        if expired deadline then begin
+          timed_out := true;
+          [ read ]
+        end
+        else read :: reads_from (k + 1)
+      end
     in
+    let reads = reads_from 0 in
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_evaluated_reads ~elapsed_seconds reads
+    Sampler.response_of_evaluated_reads ~elapsed_seconds ~timed_out:!timed_out reads
   end

@@ -21,11 +21,19 @@ val default_params : params
 (** 100 reads, 200 sweeps, geometric auto schedule, postprocessing on,
     seed 42. *)
 
-val sample : ?params:params -> Qac_ising.Problem.t -> Sampler.response
+(** [sample ?params ?deadline p] — [deadline] is an absolute
+    [Unix.gettimeofday] instant; the sampler checks it between sweeps and
+    between reads, and a run that hits it returns the reads finished so far
+    (plus the in-flight read's current state) with
+    [Sampler.response.timed_out] set.  Responses without a deadline are
+    bit-identical to previous behaviour. *)
+val sample : ?params:params -> ?deadline:float -> Qac_ising.Problem.t -> Sampler.response
 
 (** [anneal_one p ~rng ~num_sweeps ~schedule] runs a single read and returns
-    the final annealing state (configuration + tracked energy). *)
+    the final annealing state (configuration + tracked energy).  A read that
+    hits [deadline] stops after the current sweep. *)
 val anneal_one :
+  ?deadline:float ->
   Qac_ising.Problem.t ->
   rng:Rng.t ->
   num_sweeps:int ->

@@ -14,6 +14,7 @@ type response = {
   samples : sample list;  (** distinct configurations, ascending energy *)
   num_reads : int;
   elapsed_seconds : float;
+  timed_out : bool;  (** the solver hit its deadline and returned best-so-far *)
 }
 
 (* Dedup key: one byte per spin.  Bytes compare/hash without the per-element
@@ -30,7 +31,7 @@ let sorted_samples tbl =
 
 (** Aggregate reads whose energies the solver already tracked (e.g. via
     [State.energy]): no re-evaluation of the Hamiltonian per read. *)
-let response_of_evaluated_reads ?(elapsed_seconds = 0.0) reads =
+let response_of_evaluated_reads ?(elapsed_seconds = 0.0) ?(timed_out = false) reads =
   let tbl = Hashtbl.create 64 in
   let num_reads = ref 0 in
   List.iter
@@ -43,12 +44,12 @@ let response_of_evaluated_reads ?(elapsed_seconds = 0.0) reads =
        | None ->
          Hashtbl.add tbl key { spins = Array.copy spins; energy; num_occurrences = 1 })
     reads;
-  { samples = sorted_samples tbl; num_reads = !num_reads; elapsed_seconds }
+  { samples = sorted_samples tbl; num_reads = !num_reads; elapsed_seconds; timed_out }
 
 (** Aggregate raw reads into a response: duplicates are merged with
     occurrence counts, samples sorted by energy then configuration. *)
-let response_of_reads problem ?elapsed_seconds reads =
-  response_of_evaluated_reads ?elapsed_seconds
+let response_of_reads problem ?elapsed_seconds ?timed_out reads =
+  response_of_evaluated_reads ?elapsed_seconds ?timed_out
     (List.map (fun spins -> (spins, Problem.energy problem spins)) reads)
 
 let best response =
@@ -106,7 +107,8 @@ let merge _problem responses =
          r.samples)
     responses;
   let elapsed = List.fold_left (fun acc r -> acc +. r.elapsed_seconds) 0.0 responses in
-  { samples = sorted_samples tbl; num_reads = !num_reads; elapsed_seconds = elapsed }
+  let timed_out = List.exists (fun r -> r.timed_out) responses in
+  { samples = sorted_samples tbl; num_reads = !num_reads; elapsed_seconds = elapsed; timed_out }
 
 let pp_histogram ?(buckets = 10) fmt response =
   match response.samples with

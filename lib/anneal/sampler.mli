@@ -12,6 +12,9 @@ type response = {
   samples : sample list;  (** distinct configurations, ascending energy *)
   num_reads : int;
   elapsed_seconds : float;
+  timed_out : bool;
+      (** the solver hit its deadline and returned best-so-far partial
+          results (see the [?deadline] argument of the samplers) *)
 }
 
 (** Aggregate raw reads: duplicates merge with occurrence counts (keyed on a
@@ -20,6 +23,7 @@ type response = {
 val response_of_reads :
   Qac_ising.Problem.t ->
   ?elapsed_seconds:float ->
+  ?timed_out:bool ->
   Qac_ising.Problem.spin array list ->
   response
 
@@ -28,6 +32,7 @@ val response_of_reads :
     never re-evaluated. *)
 val response_of_evaluated_reads :
   ?elapsed_seconds:float ->
+  ?timed_out:bool ->
   (Qac_ising.Problem.spin array * float) list ->
   response
 
@@ -41,7 +46,9 @@ val ground_samples : ?tolerance:float -> response -> sample list
 
 val merge : Qac_ising.Problem.t -> response list -> response
 (** Combine responses from several invocations: occurrence counts aggregate
-    directly, elapsed times add. *)
+    directly, elapsed times add, [timed_out] is the disjunction.  The result
+    is independent of the list order (samples re-sort by energy, then
+    configuration). *)
 
 val success_probability : response -> target_energy:float -> float
 (** Fraction of reads at or below [target_energy] (+1e-9 tolerance). *)

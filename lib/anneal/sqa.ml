@@ -31,13 +31,21 @@ let j_perp ~gamma ~temperature ~num_slices =
   let x = Float.max x 1e-300 in
   -.(pt /. 2.0) *. log x
 
-let anneal_one (p : Problem.t) ~params ~rng =
+let expired deadline =
+  match deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let anneal_one ?deadline (p : Problem.t) ~params ~rng =
   let n = p.Problem.num_vars in
   let slices = params.num_slices in
   let beta = 1.0 /. params.temperature in
   (* One incremental state per Trotter slice. *)
   let replicas = Array.init slices (fun _ -> State.random p rng) in
-  for sweep = 0 to params.num_sweeps - 1 do
+  let step = ref 0 in
+  while !step < params.num_sweeps && not (expired deadline) do
+    let sweep = !step in
+    incr step;
     let fraction =
       if params.num_sweeps <= 1 then 1.0
       else float_of_int sweep /. float_of_int (params.num_sweeps - 1)
@@ -88,17 +96,28 @@ let anneal_one (p : Problem.t) ~params ~rng =
   ignore (Greedy.descend_state result);
   result
 
-let sample ?(params = default_params) (p : Problem.t) =
+let sample ?(params = default_params) ?deadline (p : Problem.t) =
   if p.Problem.num_vars = 0 then
     Sampler.response_of_reads p (List.init params.num_reads (fun _ -> [||]))
   else begin
     let rng = Rng.create params.seed in
     let start = Unix.gettimeofday () in
-    let reads =
-      List.init params.num_reads (fun _ ->
-          let st = anneal_one p ~params ~rng in
-          (State.spins st, State.energy st))
+    (* Best-effort under a deadline: stop the read loop once it passes,
+       keeping the in-flight read's (partial) result. *)
+    let timed_out = ref false in
+    let rec reads_from k =
+      if k >= params.num_reads then []
+      else begin
+        let st = anneal_one ?deadline p ~params ~rng in
+        let read = (State.spins st, State.energy st) in
+        if expired deadline then begin
+          timed_out := true;
+          [ read ]
+        end
+        else read :: reads_from (k + 1)
+      end
     in
+    let reads = reads_from 0 in
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_evaluated_reads ~elapsed_seconds reads
+    Sampler.response_of_evaluated_reads ~elapsed_seconds ~timed_out:!timed_out reads
   end

@@ -30,6 +30,9 @@ type params = {
 val default_params : params
 (** 50 reads, 200 sweeps, 20 slices, Gamma 3.0 -> 0.01, T = 0.1. *)
 
-val sample : ?params:params -> Qac_ising.Problem.t -> Sampler.response
+val sample : ?params:params -> ?deadline:float -> Qac_ising.Problem.t -> Sampler.response
 (** Each read contributes its best slice (by classical energy) after the
-    ramp, polished by greedy descent. *)
+    ramp, polished by greedy descent.  [deadline] (absolute
+    [Unix.gettimeofday] instant) is checked between sweeps and between
+    reads: a run that hits it returns best-so-far with
+    [Sampler.response.timed_out] set. *)

@@ -14,13 +14,27 @@ type params = {
 
 let default_params = { num_restarts = 10; max_iterations = 500; tenure = None; seed = 7 }
 
-let search_one (p : Problem.t) ~rng ~max_iterations ~tenure =
+let expired deadline =
+  match deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let search_one ?deadline (p : Problem.t) ~rng ~max_iterations ~tenure =
   let n = p.Problem.num_vars in
   let st = State.random p rng in
   let best = Array.copy (State.spins st) in
   let best_energy = ref (State.energy st) in
   let tabu_until = Array.make n (-1) in
-  for iteration = 0 to max_iterations - 1 do
+  (* The deadline check sits between iterations (an iteration is O(n)); the
+     mask keeps it off the untimed path every 16 steps only to bound the
+     [gettimeofday] rate on tiny problems. *)
+  let step = ref 0 in
+  while
+    !step < max_iterations
+    && ((!step land 15 <> 0) || not (expired deadline))
+  do
+    let iteration = !step in
+    incr step;
     (* Best admissible flip: O(1) delta per candidate from the cached
        fields. *)
     let chosen = ref (-1) in
@@ -46,7 +60,7 @@ let search_one (p : Problem.t) ~rng ~max_iterations ~tenure =
   done;
   (best, !best_energy)
 
-let sample ?(params = default_params) (p : Problem.t) =
+let sample ?(params = default_params) ?deadline (p : Problem.t) =
   let n = p.Problem.num_vars in
   if n = 0 then Sampler.response_of_reads p (List.init params.num_restarts (fun _ -> [||]))
   else begin
@@ -57,10 +71,21 @@ let sample ?(params = default_params) (p : Problem.t) =
     in
     let rng = Rng.create params.seed in
     let start = Unix.gettimeofday () in
-    let reads =
-      List.init params.num_restarts (fun _ ->
-          search_one p ~rng ~max_iterations:params.max_iterations ~tenure)
+    (* Best-effort under a deadline: the restart loop stops once it passes,
+       keeping the in-flight restart's best-so-far. *)
+    let timed_out = ref false in
+    let rec reads_from k =
+      if k >= params.num_restarts then []
+      else begin
+        let read = search_one ?deadline p ~rng ~max_iterations:params.max_iterations ~tenure in
+        if expired deadline then begin
+          timed_out := true;
+          [ read ]
+        end
+        else read :: reads_from (k + 1)
+      end
     in
+    let reads = reads_from 0 in
     let elapsed_seconds = Unix.gettimeofday () -. start in
-    Sampler.response_of_evaluated_reads ~elapsed_seconds reads
+    Sampler.response_of_evaluated_reads ~elapsed_seconds ~timed_out:!timed_out reads
   end

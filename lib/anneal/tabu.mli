@@ -13,4 +13,7 @@ type params = {
 val default_params : params
 (** 10 restarts x 500 iterations. *)
 
-val sample : ?params:params -> Qac_ising.Problem.t -> Sampler.response
+val sample : ?params:params -> ?deadline:float -> Qac_ising.Problem.t -> Sampler.response
+(** [deadline] (absolute [Unix.gettimeofday] instant) is checked between
+    iterations and restarts; hitting it returns best-so-far with
+    [Sampler.response.timed_out] set. *)

@@ -181,18 +181,21 @@ type run_result = {
   num_logical_vars : int;
   num_physical_qubits : int option;
   assertion_failures : int;
+  timed_out : bool;
 }
 
 (* Read batches for SA/SQA/tabu go through [Anneal.Parallel] at every thread
    count: the chunk decomposition depends only on the seed, so the sample set
-   is identical whether the chunks run on 1 domain or many. *)
-let dispatch_solver ?(num_threads = 1) solver problem =
+   is identical whether the chunks run on 1 domain or many.  [deadline] is an
+   absolute instant; the exact solver ignores it (enumeration is not
+   interruptible mid-subtree, and its size cap already bounds its runtime). *)
+let dispatch_solver ?(num_threads = 1) ?deadline solver problem =
   match solver with
   | Exact_solver -> Anneal.Exact_sampler.sample problem
-  | Sa params -> Anneal.Parallel.sample_sa ~num_threads ~params problem
-  | Sqa params -> Anneal.Parallel.sample_sqa ~num_threads ~params problem
-  | Tabu params -> Anneal.Parallel.sample_tabu ~num_threads ~params problem
-  | Qbsolv params -> Anneal.Qbsolv.sample ~params problem
+  | Sa params -> Anneal.Parallel.sample_sa ~num_threads ?deadline ~params problem
+  | Sqa params -> Anneal.Parallel.sample_sqa ~num_threads ?deadline ~params problem
+  | Tabu params -> Anneal.Parallel.sample_tabu ~num_threads ?deadline ~params problem
+  | Qbsolv params -> Anneal.Qbsolv.sample ~params ?deadline problem
 
 let port_values t assignment =
   let value_of name width =
@@ -221,28 +224,66 @@ let verify_ports t ports =
   in
   Sim.check_relation t.netlist ~assignment
 
-(* Run stages, each a traced span: assemble -> (qpbo -> embed) -> solve
-   -> unembed -> verify.  Logical targets skip the embedding spans.  The
-   embed stage consults [embed_cache] first (keyed on problem structure +
-   topology identity + embedder params): a hit skips the embed span
-   entirely and records the [embed-cache-hit] counter instead. *)
-let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
-    ?(embed_cache = Qac_embed.Cache.shared ()) ~solver ~target t =
-  let span name f = Trace.with_span_opt trace name f in
-  let count key v = Trace.counter_opt trace key v in
+(* Re-assemble with the pins appended (the --pin workflow of section
+   4.3.6: program code stays separate from program inputs), reusing the
+   assembly options the program was compiled with. *)
+let assemble_with_pins ?(pins = []) ?(pin_source = "") t =
   let source_pins =
     if String.trim pin_source = "" then []
     else
       try Qmasm.Parser.parse_string pin_source
       with Diag.Error d -> error "pin parse: %s" (Diag.to_string d)
   in
-  (* Re-assemble with the pins appended (the --pin workflow of section
-     4.3.6: program code stays separate from program inputs), reusing the
-     assembly options the program was compiled with. *)
   let statements = t.statements @ pin_statements t pins @ source_pins in
+  Qmasm.Assemble.assemble ~options:t.options statements
+
+(* Name and verify one logical configuration: port integers, the netlist
+   relation check (section 5.1), assertion and pin checks. *)
+let solution_of_spins t ~program ?(num_occurrences = 1) ?(broken_chains = 0) spins =
+  let assignment = Qmasm.Assemble.visible_assignment program spins in
+  let full_assignment = Qmasm.Assemble.assignment_of_spins program spins in
+  let lookup name =
+    match List.assoc_opt name full_assignment with
+    | Some v -> v
+    | None -> error "assertion references unknown symbol %s" name
+  in
+  let assertions_ok =
+    List.for_all (fun (_, ok) -> ok) (Qmasm.Assemble.check_assertions program lookup)
+  in
+  let ports = port_values t assignment in
+  let valid = verify_ports t ports in
+  let pins_respected =
+    List.for_all
+      (fun (name, expected) -> lookup name = expected)
+      program.Qmasm.Assemble.pins
+  in
+  { ports;
+    assignment;
+    energy = Problem.energy program.Qmasm.Assemble.problem spins;
+    num_occurrences;
+    valid;
+    assertions_ok;
+    pins_respected;
+    broken_chains }
+
+(* Run stages, each a traced span: assemble -> (qpbo -> embed) -> solve
+   -> unembed -> verify.  Logical targets skip the embedding spans.  The
+   embed stage consults [embed_cache] first (keyed on problem structure +
+   topology identity + embedder params): a hit skips the embed span
+   entirely and records the [embed-cache-hit] counter instead.
+   [timeout_ms] bounds the solve stage: the absolute deadline is computed
+   when the solve span opens, the samplers return best-so-far on expiry,
+   and the [timed-out] counter (0/1) lands on the solve span. *)
+let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
+    ?(embed_cache = Qac_embed.Cache.shared ()) ?timeout_ms ~solver ~target t =
+  let span name f = Trace.with_span_opt trace name f in
+  let count key v = Trace.counter_opt trace key v in
+  let deadline_of_timeout () =
+    Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) timeout_ms
+  in
   let program =
     span "assemble" (fun () ->
-        let program = Qmasm.Assemble.assemble ~options:t.options statements in
+        let program = assemble_with_pins ~pins ~pin_source t in
         count "logical-vars" program.Qmasm.Assemble.problem.Problem.num_vars;
         count "logical-terms" (Problem.num_terms program.Qmasm.Assemble.problem);
         program)
@@ -250,13 +291,17 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
   let logical = program.Qmasm.Assemble.problem in
   let num_logical_vars = logical.Problem.num_vars in
   (* Solve, producing logical-level reads plus chain-break counts. *)
-  let reads_logical, num_physical_qubits, num_reads, elapsed =
+  let reads_logical, num_physical_qubits, num_reads, elapsed, timed_out =
     match target with
     | Logical ->
       let response =
         span "solve" (fun () ->
-            let r = dispatch_solver ~num_threads solver logical in
+            let r =
+              dispatch_solver ~num_threads ?deadline:(deadline_of_timeout ()) solver
+                logical
+            in
             count "reads" r.Anneal.Sampler.num_reads;
+            count "timed-out" (if r.Anneal.Sampler.timed_out then 1 else 0);
             r)
       in
       let reads =
@@ -266,7 +311,11 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
                  (s.Anneal.Sampler.spins, 0)))
           response.Anneal.Sampler.samples
       in
-      (reads, None, response.Anneal.Sampler.num_reads, response.Anneal.Sampler.elapsed_seconds)
+      ( reads,
+        None,
+        response.Anneal.Sampler.num_reads,
+        response.Anneal.Sampler.elapsed_seconds,
+        response.Anneal.Sampler.timed_out )
     | Physical { graph; embed_params; chain_strength; roof_duality } ->
       let simplified =
         span "qpbo" (fun () ->
@@ -324,8 +373,12 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
       let compacted, old_of_new = Embedding.compact physical in
       let response =
         span "solve" (fun () ->
-            let r = dispatch_solver ~num_threads solver compacted in
+            let r =
+              dispatch_solver ~num_threads ?deadline:(deadline_of_timeout ()) solver
+                compacted
+            in
             count "reads" r.Anneal.Sampler.num_reads;
+            count "timed-out" (if r.Anneal.Sampler.timed_out then 1 else 0);
             r)
       in
       let reads =
@@ -348,7 +401,8 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
       ( reads,
         Some (Embedding.num_physical_qubits embedding),
         response.Anneal.Sampler.num_reads,
-        response.Anneal.Sampler.elapsed_seconds )
+        response.Anneal.Sampler.elapsed_seconds,
+        response.Anneal.Sampler.timed_out )
   in
   span "verify" (fun () ->
       (* Aggregate logical reads into named solutions. *)
@@ -366,34 +420,12 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
         Hashtbl.fold
           (fun key (count, broken) acc ->
              let spins = Array.of_list key in
-             let assignment = Qmasm.Assemble.visible_assignment program spins in
-             let full_assignment = Qmasm.Assemble.assignment_of_spins program spins in
-             let lookup name =
-               match List.assoc_opt name full_assignment with
-               | Some v -> v
-               | None -> error "assertion references unknown symbol %s" name
+             let s =
+               solution_of_spins t ~program ~num_occurrences:count
+                 ~broken_chains:broken spins
              in
-             let assertions_ok =
-               List.for_all (fun (_, ok) -> ok)
-                 (Qmasm.Assemble.check_assertions program lookup)
-             in
-             if not assertions_ok then incr assertion_failures;
-             let ports = port_values t assignment in
-             let valid = verify_ports t ports in
-             let pins_respected =
-               List.for_all
-                 (fun (name, expected) -> lookup name = expected)
-                 program.Qmasm.Assemble.pins
-             in
-             { ports;
-               assignment;
-               energy = Problem.energy logical spins;
-               num_occurrences = count;
-               valid;
-               assertions_ok;
-               pins_respected;
-               broken_chains = broken }
-             :: acc)
+             if not s.assertions_ok then incr assertion_failures;
+             s :: acc)
           tbl []
         |> List.sort (fun a b ->
             match compare a.energy b.energy with
@@ -408,7 +440,8 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
         elapsed_seconds = elapsed;
         num_logical_vars;
         num_physical_qubits;
-        assertion_failures = !assertion_failures })
+        assertion_failures = !assertion_failures;
+        timed_out })
 
 let valid_solutions result =
   List.filter (fun s -> s.valid && s.pins_respected) result.solutions

@@ -68,13 +68,20 @@ type target =
 val dwave_target : target
 (** C16 Chimera, default embedder, auto chain strength, roof duality off. *)
 
-(** [dispatch_solver ?num_threads solver problem] runs one solver on one
-    problem.  SA/SQA/tabu read batches go through {!Qac_anneal.Parallel} at
-    every thread count, so the sample set depends only on the seed — the
-    same results whether [num_threads] is 1 (the default) or many.  Exact
-    and qbsolv solvers always run sequentially. *)
+(** [dispatch_solver ?num_threads ?deadline solver problem] runs one solver
+    on one problem.  SA/SQA/tabu read batches go through
+    {!Qac_anneal.Parallel} at every thread count, so the sample set depends
+    only on the seed — the same results whether [num_threads] is 1 (the
+    default) or many.  Exact and qbsolv solvers always run sequentially.
+    [deadline] (absolute [Unix.gettimeofday] instant) makes the annealers
+    return best-so-far with [Sampler.response.timed_out] set; the exact
+    solver ignores it (its size cap already bounds runtime). *)
 val dispatch_solver :
-  ?num_threads:int -> solver -> Qac_ising.Problem.t -> Qac_anneal.Sampler.response
+  ?num_threads:int ->
+  ?deadline:float ->
+  solver ->
+  Qac_ising.Problem.t ->
+  Qac_anneal.Sampler.response
 
 type solution = {
   ports : (string * int) list;  (** every module port, as an integer *)
@@ -100,6 +107,9 @@ type run_result = {
   num_logical_vars : int;
   num_physical_qubits : int option;  (** [Some] for physical runs *)
   assertion_failures : int;  (** solutions violating a QMASM [!assert] *)
+  timed_out : bool;
+      (** the solve stage hit its [timeout_ms] deadline; solutions are the
+          sampler's best-so-far partial results *)
 }
 
 (** [run t ~pins ~solver ~target] executes the compiled program.  [pins]
@@ -118,17 +128,40 @@ type run_result = {
     Physical targets consult [embed_cache] (default: the process-wide
     {!Qac_embed.Cache.shared}) before embedding: a hit returns the cached
     embedding, skips the [embed] span, and records an [embed-cache-hit]
-    counter; a miss records [embed-cache-miss] and populates the cache. *)
+    counter; a miss records [embed-cache-miss] and populates the cache.
+    [timeout_ms] bounds the solve stage: the absolute deadline is computed
+    when solving starts, samplers return best-so-far on expiry, and
+    [run_result.timed_out] (plus a [timed-out] counter on the solve span)
+    reports whether it was hit. *)
 val run :
   ?pins:(string * int) list ->
   ?pin_source:string ->
   ?trace:Qac_diag.Trace.t ->
   ?num_threads:int ->
   ?embed_cache:Qac_embed.Cache.t ->
+  ?timeout_ms:float ->
   solver:solver ->
   target:target ->
   t ->
   run_result
+
+val assemble_with_pins :
+  ?pins:(string * int) list -> ?pin_source:string -> t -> Qac_qmasm.Assemble.t
+(** The assemble stage of {!run} alone: re-assemble the program with pins
+    appended, reusing the compile-time assembly options.  Lets callers (the
+    batch server) build the pinned logical problem without solving. *)
+
+val solution_of_spins :
+  t ->
+  program:Qac_qmasm.Assemble.t ->
+  ?num_occurrences:int ->
+  ?broken_chains:int ->
+  Qac_ising.Problem.spin array ->
+  solution
+(** Name and verify one logical configuration against [program] (as built
+    by {!assemble_with_pins}): port integers, the netlist relation check,
+    assertion and pin checks.  The verify stage of {!run} applies this to
+    every distinct read. *)
 
 val valid_solutions : run_result -> solution list
 (** Solutions that satisfy the circuit relation, every assertion, and every

@@ -21,9 +21,10 @@ type frame = {
 type t = {
   mutable completed : span list;  (* reverse order *)
   mutable stack : frame list;  (* innermost first *)
+  mutable summaries : (string * int) list;  (* in the order first set *)
 }
 
-let create () = { completed = []; stack = [] }
+let create () = { completed = []; stack = []; summaries = [] }
 
 let now = Unix.gettimeofday
 
@@ -72,6 +73,19 @@ let find_counter t span_name key =
 let total_seconds t =
   List.fold_left (fun acc s -> acc +. s.elapsed_seconds) 0.0 (spans t)
 
+(* Summaries are trace-wide key/value facts (cache hit totals, occupancy
+   percentages, ...) that belong to the run, not to any one span. *)
+let set_summary t key value =
+  let rec set = function
+    | [] -> [ (key, value) ]
+    | (k, _) :: rest when k = key -> (k, value) :: rest
+    | kv :: rest -> kv :: set rest
+  in
+  t.summaries <- set t.summaries
+
+let summary t = t.summaries
+let find_summary t key = List.assoc_opt key t.summaries
+
 (* --- Optional-trace helpers ------------------------------------------------ *)
 
 let with_span_opt t name f =
@@ -97,7 +111,13 @@ let pp fmt t =
        List.iter (fun (k, v) -> Format.fprintf fmt "  %s=%d" k v) s.counters;
        Format.fprintf fmt "@.")
     spans;
-  Format.fprintf fmt "%-*s %9.3f ms@." width "total" (total_seconds t *. 1000.0)
+  Format.fprintf fmt "%-*s %9.3f ms@." width "total" (total_seconds t *. 1000.0);
+  match t.summaries with
+  | [] -> ()
+  | kvs ->
+    Format.fprintf fmt "summary:";
+    List.iter (fun (k, v) -> Format.fprintf fmt " %s=%d" k v) kvs;
+    Format.fprintf fmt "@."
 
 let to_text t = Format.asprintf "%a" pp t
 
@@ -125,5 +145,11 @@ let to_json t =
     Printf.sprintf "{\"name\":\"%s\",\"elapsed_seconds\":%.6f,\"counters\":{%s}}"
       (json_escape s.name) s.elapsed_seconds counters
   in
-  Printf.sprintf "{\"total_seconds\":%.6f,\"spans\":[%s]}" (total_seconds t)
+  let summary =
+    t.summaries
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+    |> String.concat ","
+  in
+  Printf.sprintf "{\"total_seconds\":%.6f,\"summary\":{%s},\"spans\":[%s]}"
+    (total_seconds t) summary
     (String.concat "," (List.map span_json (spans t)))

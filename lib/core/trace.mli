@@ -30,6 +30,17 @@ val find_span : t -> string -> span option
 val find_counter : t -> string -> string -> int option
 val total_seconds : t -> float
 
+val set_summary : t -> string -> int -> unit
+(** Set (or overwrite) a trace-wide summary value — a fact about the whole
+    run (cache hit totals, tiler occupancy, ...) rather than any one span.
+    Summaries export as a top-level ["summary"] object in {!to_json} and a
+    trailing [summary:] line in {!pp}. *)
+
+val summary : t -> (string * int) list
+(** Summary key/values, in the order first set. *)
+
+val find_summary : t -> string -> int option
+
 (** No-op variants for optionally-traced code paths. *)
 
 val with_span_opt : t option -> string -> (unit -> 'a) -> 'a
@@ -39,5 +50,5 @@ val pp : Format.formatter -> t -> unit
 val to_text : t -> string
 
 val to_json : t -> string
-(** [{"total_seconds":..., "spans":[{"name":..., "elapsed_seconds":...,
-    "counters":{...}}, ...]}]. *)
+(** [{"total_seconds":..., "summary":{...}, "spans":[{"name":...,
+    "elapsed_seconds":..., "counters":{...}}, ...]}]. *)

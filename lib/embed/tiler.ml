@@ -1,0 +1,408 @@
+(** Multi-problem tiling (see tiler.mli for the contract).
+
+    The load-bearing invariant is {e composition invariance}: every job is
+    embedded into a freshly built local [Chimera.create ~shore k] — never
+    into its eventual position on the chip — and only cells with all qubits
+    working enter the pool, so any k x k block of pool cells is isomorphic
+    (by translation, with identical local numbering) to that local graph.
+    The embedding, local physical problem, and demuxed response of a job
+    therefore depend on (job, params) alone, not on what else shares the
+    chip or where the job lands. *)
+
+module Chimera = Qac_chimera.Chimera
+module Topology = Qac_chimera.Topology
+module Sampler = Qac_anneal.Sampler
+module Parallel = Qac_anneal.Parallel
+module Rng = Qac_anneal.Rng
+open Qac_ising
+
+type params = {
+  seed : int;
+  attempts_per_size : int;
+  max_block : int option;
+  slack : float;
+  embed_params : Cmr.params option;
+  chain_strength : float option;
+}
+
+let default_params =
+  { seed = 1;
+    attempts_per_size = 2;
+    max_block = None;
+    slack = 3.0;
+    embed_params = None;
+    chain_strength = None }
+
+type region = {
+  origin_row : int;
+  origin_col : int;
+  block : int;
+  qubits : int array;
+}
+
+type placed = {
+  job : int;
+  region : region;
+  embedding : Embedding.t;
+  physical : Problem.t;
+}
+
+type outcome =
+  | Placed of placed
+  | Deferred
+  | Failed of string
+
+type t = {
+  graph : Chimera.t;
+  problems : Problem.t array;
+  outcomes : outcome array;
+  merged : Problem.t;
+}
+
+(* --- Geometry -------------------------------------------------------------- *)
+
+let chimera_dims graph =
+  match (Topology.param graph "m", Topology.param graph "shore") with
+  | dims -> dims
+  | exception Not_found -> invalid_arg "Tiler: graph is not a Chimera"
+
+(* Cells with every qubit working; broken qubits knock their whole cell out
+   of the pool (that is how the tiler honors hardware drop-out while keeping
+   blocks isomorphic to pristine local Chimeras). *)
+let clean_cells graph ~m ~shore =
+  Array.init m (fun r ->
+      Array.init m (fun c ->
+          let base = 2 * shore * ((r * m) + c) in
+          let ok = ref true in
+          for w = 0 to (2 * shore) - 1 do
+            if not (Topology.is_working graph (base + w)) then ok := false
+          done;
+          !ok))
+
+(* Largest clean square on an empty floor (classic dynamic program): bounds
+   what any single job can ever get, independent of batch composition. *)
+let max_clean_block clean ~m =
+  let dp = Array.make_matrix m m 0 in
+  let best = ref 0 in
+  for r = 0 to m - 1 do
+    for c = 0 to m - 1 do
+      dp.(r).(c) <-
+        (if not clean.(r).(c) then 0
+         else if r = 0 || c = 0 then 1
+         else 1 + min dp.(r - 1).(c) (min dp.(r).(c - 1) dp.(r - 1).(c - 1)));
+      best := max !best dp.(r).(c)
+    done
+  done;
+  !best
+
+(* Global qubit ids of the k x k block at (r0, c0), in local-index order:
+   slot [l] is the qubit playing the role of qubit [l] of the local C_k.
+   Both numberings are [2*shore*cell + within], so only the cell translates. *)
+let region_qubits ~m ~shore ~r0 ~c0 ~block =
+  Array.init (2 * shore * block * block) (fun l ->
+      let cell = l / (2 * shore) in
+      let within = l mod (2 * shore) in
+      let i = cell / block and j = cell mod block in
+      (2 * shore * (((r0 + i) * m) + c0 + j)) + within)
+
+(* First free block in row-major origin order; deterministic in job order. *)
+let first_fit free ~m ~block =
+  let fits r0 c0 =
+    let ok = ref true in
+    for r = r0 to r0 + block - 1 do
+      for c = c0 to c0 + block - 1 do
+        if not free.(r).(c) then ok := false
+      done
+    done;
+    !ok
+  in
+  let found = ref None in
+  (try
+     for r0 = 0 to m - block do
+       for c0 = 0 to m - block do
+         if fits r0 c0 then begin
+           found := Some (r0, c0);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let mark_used free ~r0 ~c0 ~block =
+  for r = r0 to r0 + block - 1 do
+    for c = c0 to c0 + block - 1 do
+      free.(r).(c) <- false
+    done
+  done
+
+(* --- The embedding ladder --------------------------------------------------- *)
+
+(* Seeds are a pure function of (base, block, attempt): which attempt
+   succeeds — and the embedding it finds — cannot depend on other jobs. *)
+let attempt_seed base ~block ~attempt =
+  Rng.next_seed (Rng.create (((base * 1_000_003) + block) * 1_000_003 + attempt))
+
+let try_embed ?cache local problem eparams =
+  let search () =
+    match Cmr.find ~params:eparams local problem with
+    | Some e -> Some e
+    | None -> None
+  in
+  match cache with
+  | None -> search ()
+  | Some c ->
+    let key = Cache.key local problem ~params:eparams in
+    (match Cache.find c key with
+     | Some e -> Some e
+     | None ->
+       (match search () with
+        | Some e ->
+          Cache.add c key e;
+          Some e
+        | None -> None))
+
+(* Find (block, embedding) for one problem — grid-independent.  The ladder
+   starts at the capacity heuristic [2*shore*k^2 >= slack * num_vars] and
+   grows on failure; dense problems get the deterministic clique template as
+   a last resort at each size (mirroring [Pipeline.run]'s fallback). *)
+let ladder ?cache ~params ~seed ~shore ~kmax ~kclean problem =
+  let n = problem.Problem.num_vars in
+  if n = 0 then Ok (0, { Embedding.chains = [||] })
+  else begin
+    let k0 =
+      let cap = int_of_float (ceil (sqrt (params.slack *. float_of_int n /. float_of_int (2 * shore)))) in
+      max 1 (min cap kmax)
+    in
+    let base =
+      match params.embed_params with Some p -> p | None -> Cmr.default_params
+    in
+    let rec grow k =
+      if k > kmax then
+        Error (Printf.sprintf "no embedding found up to block %d" kmax)
+      else if k > kclean then
+        Error
+          (Printf.sprintf
+             "problem too large for the topology (needs a %dx%d clean block; largest is %dx%d)"
+             k k kclean kclean)
+      else begin
+        let local = Chimera.create ~shore k in
+        let rec attempt a =
+          if a >= params.attempts_per_size then
+            (* Dense interaction graphs defeat the path-based heuristic; the
+               clique template is deterministic, so it keeps the invariance. *)
+            match (try Clique.find local problem with Not_found -> None) with
+            | Some e -> Ok (k, e)
+            | None -> grow (k + 1)
+          else
+            let eparams =
+              { base with
+                Cmr.seed = attempt_seed seed ~block:k ~attempt:a;
+                num_threads = 1 }
+            in
+            match try_embed ?cache local problem eparams with
+            | Some e -> Ok (k, e)
+            | None -> attempt (a + 1)
+        in
+        attempt 0
+      end
+    in
+    grow k0
+  end
+
+(* --- Tiling ----------------------------------------------------------------- *)
+
+let tile ?(params = default_params) ?cache ?seeds ?(num_threads = 1) graph problems =
+  let m, shore = chimera_dims graph in
+  let clean = clean_cells graph ~m ~shore in
+  let kclean = max_clean_block clean ~m in
+  let kmax = min m (Option.value params.max_block ~default:m) in
+  let n = Array.length problems in
+  let seed_of i = match seeds with Some s -> s.(i) | None -> params.seed in
+  (* Phase 1 — the per-job ladders are independent of the grid and of each
+     other, so they parallelize freely (the cache is mutex-guarded). *)
+  let ladders = Array.make n (Error "not attempted") in
+  Parallel.run_tasks ~num_workers:num_threads n (fun i ->
+      ladders.(i) <-
+        ladder ?cache ~params ~seed:(seed_of i) ~shore ~kmax ~kclean problems.(i));
+  (* Phase 2 — sequential first-fit placement in job order. *)
+  let free = Array.map Array.copy clean in
+  let locals = Hashtbl.create 4 in
+  let local_chimera k =
+    match Hashtbl.find_opt locals k with
+    | Some g -> g
+    | None ->
+      let g = Chimera.create ~shore k in
+      Hashtbl.add locals k g;
+      g
+  in
+  let outcomes =
+    Array.mapi
+      (fun i lr ->
+         match lr with
+         | Error msg -> Failed msg
+         | Ok (0, embedding) ->
+           Placed
+             { job = i;
+               region = { origin_row = 0; origin_col = 0; block = 0; qubits = [||] };
+               embedding;
+               physical = Problem.empty }
+         | Ok (block, embedding) ->
+           (match first_fit free ~m ~block with
+            | None -> Deferred
+            | Some (r0, c0) ->
+              mark_used free ~r0 ~c0 ~block;
+              let physical =
+                Embedding.apply ?chain_strength:params.chain_strength
+                  (local_chimera block) problems.(i) embedding
+              in
+              Placed
+                { job = i;
+                  region =
+                    { origin_row = r0;
+                      origin_col = c0;
+                      block;
+                      qubits = region_qubits ~m ~shore ~r0 ~c0 ~block };
+                  embedding;
+                  physical }))
+      ladders
+  in
+  let b = Problem.Builder.create ~num_vars:(Topology.num_qubits graph) () in
+  Array.iter
+    (function
+      | Placed p when p.region.block > 0 ->
+        Problem.Builder.add_problem b p.physical ~var_map:p.region.qubits
+      | Placed _ | Deferred | Failed _ -> ())
+    outcomes;
+  { graph; problems; outcomes; merged = Problem.Builder.build b }
+
+let occupancy t =
+  let used =
+    Array.fold_left
+      (fun acc o ->
+         match o with Placed p -> acc + Array.length p.region.qubits | _ -> acc)
+      0 t.outcomes
+  in
+  float_of_int used /. float_of_int (max 1 (Topology.num_working_qubits t.graph))
+
+let counts t =
+  Array.fold_left
+    (fun (p, d, f) o ->
+       match o with
+       | Placed _ -> (p + 1, d, f)
+       | Deferred -> (p, d + 1, f)
+       | Failed _ -> (p, d, f + 1))
+    (0, 0, 0) t.outcomes
+
+(* --- Solving and response plumbing ------------------------------------------ *)
+
+(* Physical-sample list -> logical response for one job: fill the local
+   full-graph array (unused qubits +1), majority-vote the chains, aggregate.
+   Energies re-evaluate against the job's own logical Hamiltonian. *)
+let logical_response problem (p : placed) ~old_of_new ~elapsed_seconds ~timed_out samples =
+  let reads =
+    List.concat_map
+      (fun (s : Sampler.sample) ->
+         let full = Array.make p.physical.Problem.num_vars 1 in
+         Array.iteri (fun k old -> full.(old) <- s.Sampler.spins.(k)) old_of_new;
+         let u = Embedding.unembed p.embedding full in
+         List.init s.Sampler.num_occurrences (fun _ -> u.Embedding.logical))
+      samples
+  in
+  Sampler.response_of_reads problem ~elapsed_seconds ~timed_out reads
+
+let solve ?(num_threads = 1) ?deadline ~solver t =
+  let n = Array.length t.problems in
+  let results = Array.make n None in
+  Parallel.run_tasks ~num_workers:num_threads n (fun i ->
+      match t.outcomes.(i) with
+      | Deferred | Failed _ -> ()
+      | Placed p ->
+        let problem = t.problems.(i) in
+        let response =
+          if p.region.block = 0 then Sampler.response_of_reads problem [ [||] ]
+          else begin
+            let job_deadline =
+              match deadline with None -> None | Some f -> f i
+            in
+            let compacted, old_of_new = Embedding.compact p.physical in
+            let r = solver ~deadline:job_deadline compacted in
+            logical_response problem p ~old_of_new
+              ~elapsed_seconds:r.Sampler.elapsed_seconds
+              ~timed_out:r.Sampler.timed_out r.Sampler.samples
+          end
+        in
+        results.(i) <- Some (i, response));
+  Array.to_list results |> List.filter_map Fun.id
+
+(* Expand a response into its per-read configurations, deterministically:
+   samples in listed (energy-sorted) order, each repeated by occurrence. *)
+let expand_reads (r : Sampler.response) =
+  Array.of_list
+    (List.concat_map
+       (fun (s : Sampler.sample) ->
+          List.init s.Sampler.num_occurrences (fun _ -> s.Sampler.spins))
+       r.Sampler.samples)
+
+let merge_responses t responses =
+  let num_reads =
+    match responses with [] -> 0 | (_, r) :: _ -> r.Sampler.num_reads
+  in
+  let expanded =
+    List.map
+      (fun (i, r) ->
+         if r.Sampler.num_reads <> num_reads then
+           invalid_arg "Tiler.merge_responses: responses have unequal num_reads";
+         let p =
+           match t.outcomes.(i) with
+           | Placed p -> p
+           | Deferred | Failed _ ->
+             invalid_arg "Tiler.merge_responses: job was not placed"
+         in
+         (p, expand_reads r))
+      responses
+  in
+  let reads =
+    List.init num_reads (fun r ->
+        let global = Array.make t.merged.Problem.num_vars 1 in
+        List.iter
+          (fun ((p : placed), reads_of_job) ->
+             let local = reads_of_job.(r) in
+             Array.iteri (fun l q -> global.(q) <- local.(l)) p.region.qubits)
+          expanded;
+        global)
+  in
+  let timed_out = List.exists (fun (_, r) -> r.Sampler.timed_out) responses in
+  Sampler.response_of_reads t.merged ~timed_out reads
+
+let demux t (response : Sampler.response) =
+  let jobs = ref [] in
+  Array.iter
+    (function
+      | Deferred | Failed _ -> ()
+      | Placed p ->
+        let problem = t.problems.(p.job) in
+        let r =
+          if p.region.block = 0 then
+            Sampler.response_of_reads problem ~timed_out:response.Sampler.timed_out
+              (List.concat_map
+                 (fun (s : Sampler.sample) ->
+                    List.init s.Sampler.num_occurrences (fun _ -> [||]))
+                 response.Sampler.samples)
+          else
+            let reads =
+              List.concat_map
+                (fun (s : Sampler.sample) ->
+                   let local =
+                     Array.map (fun q -> s.Sampler.spins.(q)) p.region.qubits
+                   in
+                   let u = Embedding.unembed p.embedding local in
+                   List.init s.Sampler.num_occurrences (fun _ -> u.Embedding.logical))
+                response.Sampler.samples
+            in
+            Sampler.response_of_reads problem ~timed_out:response.Sampler.timed_out
+              reads
+        in
+        jobs := (p.job, r) :: !jobs)
+    t.outcomes;
+  List.rev !jobs

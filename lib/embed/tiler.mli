@@ -1,0 +1,128 @@
+(** Multi-problem tiling: pack N independent logical Ising problems onto one
+    Chimera graph by carving the hardware into disjoint regions, one per
+    problem, and solving them all in a single (merged) physical Hamiltonian
+    or as a batch of per-region subproblems.
+
+    {b Regions are square blocks of clean unit cells.}  A cell containing
+    any broken qubit is excluded from the pool outright, so every k x k
+    block of pool cells induces a subgraph isomorphic — by translation, with
+    identical local numbering — to [Chimera.create ~shore k].  Each problem
+    is therefore embedded into a freshly built local [C_k], never into its
+    eventual position, which buys two properties at once:
+
+    - {b composition invariance}: the embedding, the local physical problem,
+      and hence the demuxed response for a job are pure functions of (job,
+      params) — bit-identical whether the job is solved alone or packed with
+      any other jobs, at any thread count;
+    - {b cache locality}: every job with the same interaction structure and
+      block size shares one {!Cache} entry (the local topology is the same
+      ["chimera-kxkxk"] object for all of them).
+
+    Block sizes climb a deterministic ladder: starting from a capacity
+    heuristic, each size gets a fixed number of embedding attempts with
+    seeds derived from [(seed, size, attempt)]; an embedding failure grows
+    the block, lack of floor space defers the job (the batch server retries
+    it at the front of the next, emptier batch), and a problem too large for
+    even an empty floor fails outright. *)
+
+type params = {
+  seed : int;  (** base seed for the per-(size, attempt) embedding seeds *)
+  attempts_per_size : int;  (** embedding retries before growing the block *)
+  max_block : int option;  (** block-size cap; [None] = the full grid *)
+  slack : float;
+      (** capacity headroom: the starting block size k satisfies
+          [2 * shore * k^2 >= slack * num_vars] *)
+  embed_params : Cmr.params option;
+      (** base CMR parameters; the ladder overrides [seed] per attempt *)
+  chain_strength : float option;  (** [None]: per-problem default *)
+}
+
+val default_params : params
+(** seed 1, 2 attempts per size, no cap, slack 3.0, default CMR params. *)
+
+type region = {
+  origin_row : int;
+  origin_col : int;  (** north-west cell of the block, in grid coordinates *)
+  block : int;  (** the block is [block x block] unit cells *)
+  qubits : int array;
+      (** global qubit ids in local-index order: [qubits.(l)] is the global
+          qubit playing the role of qubit [l] of [Chimera.create ~shore block] *)
+}
+
+type placed = {
+  job : int;  (** index into the problem array passed to {!tile} *)
+  region : region;
+  embedding : Embedding.t;  (** into the local [C_block], not the region *)
+  physical : Qac_ising.Problem.t;  (** local index space, ready to solve *)
+}
+
+type outcome =
+  | Placed of placed
+  | Deferred
+      (** embeddable, and a clean block of the required size exists on an
+          empty floor, but not in this batch's leftover space *)
+  | Failed of string  (** no embedding, or too large for the topology *)
+
+type t = {
+  graph : Qac_chimera.Chimera.t;
+  problems : Qac_ising.Problem.t array;
+  outcomes : outcome array;  (** parallel to [problems] *)
+  merged : Qac_ising.Problem.t;
+      (** all placed jobs' physical problems summed over the global qubit
+          index space; disjoint regions guarantee no cross-job couplers *)
+}
+
+(** [tile ?params ?cache ?seeds ?num_threads graph problems] carves [graph]
+    and embeds every problem.  The per-job ladder runs across [num_threads]
+    domains (placement itself is sequential and deterministic: first-fit,
+    row-major, in job order).  [cache] memoizes embeddings across jobs and
+    batches.  [seeds] overrides [params.seed] per job — the batch server
+    uses it to retry an embedding-failed job with a fresh seed; a job's seed
+    is part of its identity for composition invariance.  [graph] must be a
+    Chimera ({!Qac_chimera.Chimera.create}); raises [Invalid_argument]
+    otherwise.  Problems with zero variables are placed trivially (empty
+    region). *)
+val tile :
+  ?params:params ->
+  ?cache:Cache.t ->
+  ?seeds:int array ->
+  ?num_threads:int ->
+  Qac_chimera.Chimera.t ->
+  Qac_ising.Problem.t array ->
+  t
+
+val occupancy : t -> float
+(** Fraction of the graph's working qubits covered by placed regions. *)
+
+val counts : t -> int * int * int
+(** [(placed, deferred, failed)]. *)
+
+(** [solve ?num_threads ?deadline ~solver t] solves every placed job
+    independently — compact the local physical problem, run [solver], expand
+    and majority-vote the chains back — and returns [(job, response)] pairs
+    in job order, each response in the job's own logical variable space.
+    [solver] receives the per-job deadline ([deadline job], absolute
+    [Unix.gettimeofday] instant, [None] when absent) and must be pure up to
+    its arguments: jobs run concurrently across [num_threads] domains, and
+    composition invariance holds only if the solver output depends on the
+    problem alone. *)
+val solve :
+  ?num_threads:int ->
+  ?deadline:(int -> float option) ->
+  solver:(deadline:float option -> Qac_ising.Problem.t -> Qac_anneal.Sampler.response) ->
+  t ->
+  (int * Qac_anneal.Sampler.response) list
+
+(** [merge_responses t responses] zips per-job responses {e in the local
+    physical index space} into one response over the merged (global)
+    problem: read [r] of the result composes read [r] of every job, with
+    unused qubits at [+1].  Every response must carry the same [num_reads];
+    raises [Invalid_argument] otherwise. *)
+val merge_responses :
+  t -> (int * Qac_anneal.Sampler.response) list -> Qac_anneal.Sampler.response
+
+(** [demux t response] splits a response over the merged problem back into
+    per-job logical responses: each read is restricted to the job's region,
+    translated to local indices, and unembedded (majority vote).  Inverse of
+    {!merge_responses} up to chain repair. *)
+val demux : t -> Qac_anneal.Sampler.response -> (int * Qac_anneal.Sampler.response) list

@@ -1,0 +1,355 @@
+(** Batch solver service (see serve.mli for the contract).
+
+    Concurrency layout: [submit]/[drain]/[stats] run on caller domains; one
+    scheduler domain owns batching, tiling, solving, and the trace.  All
+    shared state (queue, results, counters) is guarded by [mutex];
+    [not_full] wakes blocked submitters when the scheduler takes a batch.
+    The stdlib [Condition] has no timed wait, so the scheduler poll-sleeps
+    (1 ms) while idle — the batching window is a coarse wall-clock bound,
+    not a precise timer. *)
+
+module Trace = Qac_diag.Trace
+module Tiler = Qac_embed.Tiler
+module Cache = Qac_embed.Cache
+module Sampler = Qac_anneal.Sampler
+open Qac_ising
+
+type job = {
+  id : string;
+  problem : Problem.t;
+  timeout_ms : float option;
+}
+
+type status =
+  | Done
+  | Timed_out
+  | Failed of string
+
+type result = {
+  id : string;
+  status : status;
+  response : Sampler.response option;
+  batch : int;
+  wait_seconds : float;
+  solve_seconds : float;
+}
+
+type stats = {
+  batches : int;
+  jobs_done : int;
+  placed : int;
+  deferrals : int;
+  retries : int;
+  failures : int;
+  timeouts : int;
+  mean_occupancy : float;
+  jobs_per_second : float;
+}
+
+type pending = {
+  pjob : job;
+  index : int;  (* submission order *)
+  submitted_at : float;
+  deadline : float option;  (* absolute; fixed at submit *)
+  tries : int;  (* embedding-failure retries so far *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  not_full : Condition.t;
+  queue_capacity : int;
+  batch_jobs : int;
+  batch_window_s : float;
+  num_threads : int;
+  tiler_params : Tiler.params;
+  embed_cache : Cache.t option;
+  max_retries : int;
+  trace : Trace.t option;
+  solver : deadline:float option -> Problem.t -> Sampler.response;
+  graph : Qac_chimera.Chimera.t;
+  mutable queue : pending list;  (* head = next to serve *)
+  mutable next_index : int;
+  mutable draining : bool;
+  results : (int, result) Hashtbl.t;
+  (* counters, all mutex-guarded *)
+  mutable n_batches : int;
+  mutable n_placed : int;
+  mutable n_deferrals : int;
+  mutable n_retries : int;
+  mutable n_failures : int;
+  mutable n_timeouts : int;
+  mutable occupancy_sum : float;
+  mutable busy_seconds : float;
+  mutable scheduler : unit Domain.t option;
+}
+
+let poll_interval = 0.001
+
+let now = Unix.gettimeofday
+
+let expired deadline t =
+  match deadline with None -> false | Some d -> t > d
+
+(* Per-(job, retry) tiling seed: retry 0 is exactly [params.seed], so a
+   never-failing job tiles identically to a plain [Tiler.tile] call — the
+   composition-invariance contract is preserved. *)
+let retry_seed base tries = base + (7919 * tries)
+
+let record t (p : pending) ~status ~response ~batch ~batch_start ~solve_seconds =
+  Hashtbl.replace t.results p.index
+    { id = p.pjob.id;
+      status;
+      response;
+      batch;
+      wait_seconds = batch_start -. p.submitted_at;
+      solve_seconds }
+
+let rec take n = function
+  | [] -> ([], [])
+  | rest when n = 0 -> ([], rest)
+  | x :: rest ->
+    let head, tail = take (n - 1) rest in
+    (x :: head, tail)
+
+(* One flush: already-expired jobs fail fast, the rest tile onto the graph;
+   placed jobs solve with their own deadlines, deferred jobs requeue at the
+   front (first-of-batch always sees an empty floor, so progress is
+   guaranteed), embedding failures retry with a fresh seed. *)
+let process_batch t batch ~queue_depth =
+  let batch_start = now () in
+  let batch_no = t.n_batches in
+  t.n_batches <- batch_no + 1;
+  let stale, live =
+    List.partition (fun p -> expired p.deadline batch_start) batch
+  in
+  Mutex.lock t.mutex;
+  List.iter
+    (fun p ->
+       t.n_timeouts <- t.n_timeouts + 1;
+       record t p ~status:Timed_out ~response:None ~batch:(-1) ~batch_start
+         ~solve_seconds:0.0)
+    stale;
+  Mutex.unlock t.mutex;
+  if live <> [] then begin
+    let jobs = Array.of_list live in
+    let problems = Array.map (fun p -> p.pjob.problem) jobs in
+    let seeds =
+      Array.map (fun p -> retry_seed t.tiler_params.Tiler.seed p.tries) jobs
+    in
+    Trace.with_span_opt t.trace "batch" (fun () ->
+        let count k v = Trace.counter_opt t.trace k v in
+        count "jobs" (Array.length jobs);
+        count "queue-depth" queue_depth;
+        let tiling =
+          Tiler.tile ~params:t.tiler_params ?cache:t.embed_cache ~seeds
+            ~num_threads:t.num_threads t.graph problems
+        in
+        let placed, deferred, failed = Tiler.counts tiling in
+        let occupancy = Tiler.occupancy tiling in
+        count "placed" placed;
+        count "deferred" deferred;
+        count "failed" failed;
+        count "occupancy-pct" (int_of_float (occupancy *. 100.0));
+        let deadline i = jobs.(i).deadline in
+        let responses =
+          Tiler.solve ~num_threads:t.num_threads ~deadline ~solver:t.solver tiling
+        in
+        let requeue = ref [] in
+        Mutex.lock t.mutex;
+        t.occupancy_sum <- t.occupancy_sum +. occupancy;
+        Array.iteri
+          (fun i p ->
+             match tiling.Tiler.outcomes.(i) with
+             | Tiler.Placed _ ->
+               let response = List.assoc i responses in
+               let status =
+                 if response.Sampler.timed_out then begin
+                   t.n_timeouts <- t.n_timeouts + 1;
+                   Timed_out
+                 end
+                 else Done
+               in
+               t.n_placed <- t.n_placed + 1;
+               record t p ~status ~response:(Some response) ~batch:batch_no
+                 ~batch_start ~solve_seconds:response.Sampler.elapsed_seconds
+             | Tiler.Deferred ->
+               t.n_deferrals <- t.n_deferrals + 1;
+               requeue := p :: !requeue
+             | Tiler.Failed msg ->
+               if p.tries < t.max_retries then begin
+                 t.n_retries <- t.n_retries + 1;
+                 requeue := { p with tries = p.tries + 1 } :: !requeue
+               end
+               else begin
+                 t.n_failures <- t.n_failures + 1;
+                 record t p ~status:(Failed msg) ~response:None ~batch:batch_no
+                   ~batch_start ~solve_seconds:0.0
+               end)
+          jobs;
+        (* Requeue at the front, preserving relative order. *)
+        t.queue <- List.rev !requeue @ t.queue;
+        Mutex.unlock t.mutex)
+  end;
+  Mutex.lock t.mutex;
+  t.busy_seconds <- t.busy_seconds +. (now () -. batch_start);
+  Mutex.unlock t.mutex
+
+let stats_locked t =
+  let jobs_done = Hashtbl.length t.results in
+  { batches = t.n_batches;
+    jobs_done;
+    placed = t.n_placed;
+    deferrals = t.n_deferrals;
+    retries = t.n_retries;
+    failures = t.n_failures;
+    timeouts = t.n_timeouts;
+    mean_occupancy =
+      (if t.n_batches = 0 then 0.0
+       else t.occupancy_sum /. float_of_int t.n_batches);
+    jobs_per_second =
+      (if t.busy_seconds <= 0.0 then 0.0
+       else float_of_int jobs_done /. t.busy_seconds) }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = stats_locked t in
+  Mutex.unlock t.mutex;
+  s
+
+(* Final service-wide summary, written from the scheduler domain just
+   before it exits (the trace is single-domain by contract). *)
+let write_summary t =
+  match t.trace with
+  | None -> ()
+  | Some trace ->
+    let s = stats t in
+    Trace.set_summary trace "serve-batches" s.batches;
+    Trace.set_summary trace "serve-jobs" s.jobs_done;
+    Trace.set_summary trace "serve-placed" s.placed;
+    Trace.set_summary trace "serve-deferrals" s.deferrals;
+    Trace.set_summary trace "serve-retries" s.retries;
+    Trace.set_summary trace "serve-failures" s.failures;
+    Trace.set_summary trace "serve-timeouts" s.timeouts;
+    Trace.set_summary trace "serve-occupancy-pct"
+      (int_of_float (s.mean_occupancy *. 100.0));
+    Trace.set_summary trace "serve-jobs-per-sec-x1000"
+      (int_of_float (s.jobs_per_second *. 1000.0))
+
+let rec scheduler_loop t =
+  Mutex.lock t.mutex;
+  match t.queue with
+  | [] ->
+    if t.draining then begin
+      Mutex.unlock t.mutex;
+      write_summary t
+    end
+    else begin
+      Mutex.unlock t.mutex;
+      Unix.sleepf poll_interval;
+      scheduler_loop t
+    end
+  | oldest :: _ ->
+    let depth = List.length t.queue in
+    let flush =
+      depth >= t.batch_jobs || t.draining
+      || now () -. oldest.submitted_at >= t.batch_window_s
+    in
+    if flush then begin
+      let batch, rest = take t.batch_jobs t.queue in
+      t.queue <- rest;
+      Condition.broadcast t.not_full;
+      Mutex.unlock t.mutex;
+      process_batch t batch ~queue_depth:depth;
+      scheduler_loop t
+    end
+    else begin
+      Mutex.unlock t.mutex;
+      Unix.sleepf poll_interval;
+      scheduler_loop t
+    end
+
+let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
+    ?(num_threads = 1) ?(tiler_params = Tiler.default_params) ?embed_cache
+    ?(max_retries = 2) ?trace ~solver ~graph () =
+  if queue_capacity < 1 then invalid_arg "Serve.create: queue_capacity must be >= 1";
+  if batch_jobs < 1 then invalid_arg "Serve.create: batch_jobs must be >= 1";
+  let t =
+    { mutex = Mutex.create ();
+      not_full = Condition.create ();
+      queue_capacity;
+      batch_jobs;
+      batch_window_s;
+      num_threads;
+      tiler_params;
+      embed_cache;
+      max_retries;
+      trace;
+      solver;
+      graph;
+      queue = [];
+      next_index = 0;
+      draining = false;
+      results = Hashtbl.create 64;
+      n_batches = 0;
+      n_placed = 0;
+      n_deferrals = 0;
+      n_retries = 0;
+      n_failures = 0;
+      n_timeouts = 0;
+      occupancy_sum = 0.0;
+      busy_seconds = 0.0;
+      scheduler = None }
+  in
+  t.scheduler <- Some (Domain.spawn (fun () -> scheduler_loop t));
+  t
+
+let submit t job =
+  Mutex.lock t.mutex;
+  if t.draining then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Serve.submit: service is draining"
+  end;
+  while List.length t.queue >= t.queue_capacity && not t.draining do
+    Condition.wait t.not_full t.mutex
+  done;
+  if t.draining then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Serve.submit: service is draining"
+  end;
+  let submitted_at = now () in
+  let pending =
+    { pjob = job;
+      index = t.next_index;
+      submitted_at;
+      deadline = Option.map (fun ms -> submitted_at +. (ms /. 1000.0)) job.timeout_ms;
+      tries = 0 }
+  in
+  t.next_index <- t.next_index + 1;
+  t.queue <- t.queue @ [ pending ];
+  Mutex.unlock t.mutex
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  Condition.broadcast t.not_full;
+  let scheduler = t.scheduler in
+  t.scheduler <- None;
+  Mutex.unlock t.mutex;
+  (match scheduler with Some d -> Domain.join d | None -> ());
+  Mutex.lock t.mutex;
+  let results =
+    List.init t.next_index (fun i ->
+        match Hashtbl.find_opt t.results i with
+        | Some r -> r
+        | None ->
+          (* Unreachable: every submitted job is recorded before the
+             scheduler exits. *)
+          { id = Printf.sprintf "#%d" i;
+            status = Failed "lost";
+            response = None;
+            batch = -1;
+            wait_seconds = 0.0;
+            solve_seconds = 0.0 })
+  in
+  Mutex.unlock t.mutex;
+  results

@@ -1,0 +1,99 @@
+(** Batch solver service: a job scheduler that packs independent Ising
+    problems onto one annealer-shaped graph ({!Qac_embed.Tiler}) and serves
+    them with deadlines.
+
+    Jobs enter a bounded submission queue ({!submit} blocks when it is full
+    — backpressure, not drops).  A scheduler running on its own OCaml domain
+    flushes the queue into batches — when [batch_jobs] jobs are pending,
+    when the oldest pending job has waited [batch_window_s], or at {!drain}
+    — tiles each batch onto the graph, and solves the placed jobs
+    concurrently.  Per-job deadlines are enforced twice: a job whose
+    deadline passes while queued is failed without solving, and the deadline
+    is handed to the solver so an in-flight job returns best-so-far partial
+    results ({!Qac_anneal.Sampler.response.timed_out}).
+
+    Jobs the tiler defers (no floor space in this batch) requeue at the
+    {e front}, which guarantees progress: the first job of a batch always
+    sees an empty floor.  Jobs whose embedding fails retry with a fresh
+    tiling seed up to [max_retries] times before failing for good.
+
+    The solver is a closure so this layer stays independent of the compiler
+    ([Qac_core]); callers typically wrap [Pipeline.dispatch_solver].  For
+    the demuxed responses to be reproducible — bit-identical whether a job
+    runs alone or inside any batch, at any [num_threads] — the solver must
+    be a pure function of its arguments (the stock samplers are, given a
+    fixed seed). *)
+
+type job = {
+  id : string;
+  problem : Qac_ising.Problem.t;
+  timeout_ms : float option;
+      (** relative to submission; the absolute deadline is fixed at
+          {!submit} time, so queueing delay counts against it *)
+}
+
+type status =
+  | Done
+  | Timed_out  (** deadline hit; [response] holds best-so-far when the
+                   solver got to run, [None] when it expired in the queue *)
+  | Failed of string  (** embedding failed after retries, or too large *)
+
+type result = {
+  id : string;
+  status : status;
+  response : Qac_anneal.Sampler.response option;
+      (** in the job's own logical variable space *)
+  batch : int;  (** batch ordinal the job was finally served in, -1 if none *)
+  wait_seconds : float;  (** submission to batch start *)
+  solve_seconds : float;
+}
+
+type stats = {
+  batches : int;
+  jobs_done : int;
+  placed : int;  (** successful placements (= jobs solved) *)
+  deferrals : int;  (** requeues for floor space; can exceed the job count *)
+  retries : int;  (** embedding-failure retries with fresh seeds *)
+  failures : int;
+  timeouts : int;
+  mean_occupancy : float;  (** mean over batches of the tiler's occupancy *)
+  jobs_per_second : float;  (** jobs served / total batch processing time *)
+}
+
+type t
+
+(** [create ~solver ~graph ()] starts the scheduler domain.
+    [queue_capacity] bounds the submission queue (default 256);
+    [batch_jobs] (default 16) and [batch_window_s] (default 0.01) set the
+    flush policy; [num_threads] parallelizes tiling ladders and per-job
+    solves; [tiler_params]/[embed_cache] are handed to {!Qac_embed.Tiler};
+    [max_retries] (default 2) caps embedding-failure retries.
+    [trace] records one ["batch"] span per flush (counters: jobs, placed,
+    deferred, failed, queue-depth, occupancy-pct) plus service-wide summary
+    values; it is written only from the scheduler domain, so read it after
+    {!drain}. *)
+val create :
+  ?queue_capacity:int ->
+  ?batch_jobs:int ->
+  ?batch_window_s:float ->
+  ?num_threads:int ->
+  ?tiler_params:Qac_embed.Tiler.params ->
+  ?embed_cache:Qac_embed.Cache.t ->
+  ?max_retries:int ->
+  ?trace:Qac_diag.Trace.t ->
+  solver:(deadline:float option -> Qac_ising.Problem.t -> Qac_anneal.Sampler.response) ->
+  graph:Qac_chimera.Chimera.t ->
+  unit ->
+  t
+
+val submit : t -> job -> unit
+(** Enqueue; blocks while the queue is at capacity.  Raises
+    [Invalid_argument] after {!drain} has started. *)
+
+val drain : t -> result list
+(** Flush everything still queued, stop the scheduler, and return every
+    job's result in submission order.  Idempotent: later calls return the
+    same list. *)
+
+val stats : t -> stats
+(** Service counters; stable (and final) once {!drain} returns. *)

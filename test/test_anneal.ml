@@ -210,7 +210,7 @@ let histogram_tests =
     Alcotest.test_case "histogram of empty response" `Quick (fun () ->
         let text =
           Format.asprintf "%a" (Sampler.pp_histogram ?buckets:None)
-            { Sampler.samples = []; num_reads = 0; elapsed_seconds = 0.0 }
+            { Sampler.samples = []; num_reads = 0; elapsed_seconds = 0.0; timed_out = false }
         in
         Alcotest.(check bool) "no samples" true
           (Qac_qmasm.Str_split.find_substring text "no samples" <> None));
@@ -256,3 +256,124 @@ let qbsolv_subsolver_tests =
   ]
 
 let suite = suite @ qbsolv_subsolver_tests
+
+(* --- Sampler.merge across multi-batch responses ----------------------------- *)
+
+let merge_batch_tests =
+  [ Alcotest.test_case "merge aggregates occurrences across batches" `Quick
+      (fun () ->
+         let p = random_problem ~seed:9 ~n:6 ~density:0.5 in
+         let batch seed n =
+           Sa.sample
+             ~params:{ Sa.default_params with Sa.num_reads = n; num_sweeps = 30; seed }
+             p
+         in
+         let batches = [ batch 1 10; batch 2 15; batch 3 5 ] in
+         let m = Sampler.merge p batches in
+         Alcotest.(check int) "reads sum" 30 m.Sampler.num_reads;
+         Alcotest.(check int) "occurrences sum" 30
+           (List.fold_left
+              (fun acc s -> acc + s.Sampler.num_occurrences)
+              0 m.Sampler.samples);
+         (* Per-configuration occurrences are the sum over batches. *)
+         let count_in (r : Sampler.response) spins =
+           List.fold_left
+             (fun acc (s : Sampler.sample) ->
+                if s.Sampler.spins = spins then acc + s.Sampler.num_occurrences
+                else acc)
+             0 r.Sampler.samples
+         in
+         List.iter
+           (fun (s : Sampler.sample) ->
+              Alcotest.(check int) "per-config sum" s.Sampler.num_occurrences
+                (List.fold_left
+                   (fun acc b -> acc + count_in b s.Sampler.spins)
+                   0 batches))
+           m.Sampler.samples);
+    Alcotest.test_case "merged energies match the Hamiltonian" `Quick (fun () ->
+        let p = random_problem ~seed:10 ~n:8 ~density:0.4 in
+        let batch seed =
+          Sa.sample
+            ~params:{ Sa.default_params with Sa.num_reads = 8; num_sweeps = 30; seed }
+            p
+        in
+        let m = Sampler.merge p [ batch 4; batch 5 ] in
+        List.iter
+          (fun (s : Sampler.sample) ->
+             Alcotest.(check (float 1e-9)) "energy consistent"
+               (Problem.energy p s.Sampler.spins)
+               s.Sampler.energy)
+          m.Sampler.samples);
+    Alcotest.test_case "merge is order independent" `Quick (fun () ->
+        let p = random_problem ~seed:11 ~n:6 ~density:0.5 in
+        let batch seed =
+          Sa.sample
+            ~params:{ Sa.default_params with Sa.num_reads = 7; num_sweeps = 25; seed }
+            p
+        in
+        let b1 = batch 6 and b2 = batch 7 and b3 = batch 8 in
+        let a = Sampler.merge p [ b1; b2; b3 ] in
+        let b = Sampler.merge p [ b3; b1; b2 ] in
+        Alcotest.(check bool) "same samples" true
+          (a.Sampler.samples = b.Sampler.samples));
+    Alcotest.test_case "read ordering is deterministic under 1 vs 4 domains" `Quick
+      (fun () ->
+         let p = random_problem ~seed:12 ~n:10 ~density:0.3 in
+         let params = { Sa.default_params with Sa.num_reads = 40; num_sweeps = 30 } in
+         let r1 = Parallel.sample_sa ~num_threads:1 ~params p in
+         let r4 = Parallel.sample_sa ~num_threads:4 ~params p in
+         Alcotest.(check int) "reads" r1.Sampler.num_reads r4.Sampler.num_reads;
+         Alcotest.(check bool) "identical ordered samples" true
+           (r1.Sampler.samples = r4.Sampler.samples)) ]
+
+let suite = suite @ merge_batch_tests
+
+(* --- Deadlines: best-so-far partial results --------------------------------- *)
+
+let past = 0.0 (* an absolute deadline that is always already expired *)
+
+let timeout_tests =
+  [ Alcotest.test_case "SA past deadline returns partial reads, flagged" `Quick
+      (fun () ->
+         let p = random_problem ~seed:13 ~n:10 ~density:0.4 in
+         let r = Sa.sample ~deadline:past p in
+         Alcotest.(check bool) "flagged" true r.Sampler.timed_out;
+         Alcotest.(check bool) "kept at least one read" true (r.Sampler.num_reads >= 1);
+         Alcotest.(check bool) "fewer than requested" true
+           (r.Sampler.num_reads < Sa.default_params.Sa.num_reads));
+    Alcotest.test_case "SA future deadline is bit-identical to none" `Quick (fun () ->
+        let p = random_problem ~seed:14 ~n:10 ~density:0.4 in
+        let params = { Sa.default_params with Sa.num_reads = 10; num_sweeps = 40 } in
+        let plain = Sa.sample ~params p in
+        let bounded = Sa.sample ~params ~deadline:(Unix.gettimeofday () +. 3600.0) p in
+        Alcotest.(check bool) "not flagged" false bounded.Sampler.timed_out;
+        Alcotest.(check bool) "same samples" true
+          (plain.Sampler.samples = bounded.Sampler.samples));
+    Alcotest.test_case "SQA and tabu past deadlines flag and stay partial" `Quick
+      (fun () ->
+         let p = random_problem ~seed:15 ~n:8 ~density:0.4 in
+         let sqa = Sqa.sample ~deadline:past p in
+         Alcotest.(check bool) "sqa flagged" true sqa.Sampler.timed_out;
+         Alcotest.(check bool) "sqa has a read" true (sqa.Sampler.num_reads >= 1);
+         let tabu = Tabu.sample ~deadline:past p in
+         Alcotest.(check bool) "tabu flagged" true tabu.Sampler.timed_out;
+         Alcotest.(check bool) "tabu has a read" true (tabu.Sampler.num_reads >= 1));
+    Alcotest.test_case "qbsolv past deadline returns a coherent best-so-far" `Quick
+      (fun () ->
+         let p = random_problem ~seed:16 ~n:40 ~density:0.2 in
+         let r = Qbsolv.sample ~deadline:past p in
+         Alcotest.(check bool) "flagged" true r.Sampler.timed_out;
+         let best = Sampler.best r in
+         Alcotest.(check (float 1e-9)) "energy evaluated"
+           (Problem.energy p best.Sampler.spins)
+           best.Sampler.energy);
+    Alcotest.test_case "parallel batches propagate the flag through merge" `Quick
+      (fun () ->
+         let p = random_problem ~seed:17 ~n:10 ~density:0.4 in
+         let params = { Sa.default_params with Sa.num_reads = 32; num_sweeps = 30 } in
+         let r = Parallel.sample_sa ~num_threads:4 ~deadline:past ~params p in
+         Alcotest.(check bool) "flagged" true r.Sampler.timed_out;
+         Alcotest.(check bool) "partial reads from every chunk" true
+           (r.Sampler.num_reads >= 1 && r.Sampler.num_reads < 32)) ]
+
+let suite = suite @ timeout_tests

@@ -21,4 +21,6 @@ let () =
       ("diag", Test_diag.suite);
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
+      ("tiler", Test_tiler.suite);
+      ("serve", Test_serve.suite);
     ]

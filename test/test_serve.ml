@@ -1,0 +1,242 @@
+(** The batch solver service: ordering, batching, deadlines, retries,
+    backpressure, and reproducibility across thread counts. *)
+
+open Qac_ising
+module Chimera = Qac_chimera.Chimera
+module Tiler = Qac_embed.Tiler
+module Serve = Qac_serve.Serve
+module Sampler = Qac_anneal.Sampler
+module Sa = Qac_anneal.Sa
+module Trace = Qac_diag.Trace
+
+let tiler_params =
+  { Tiler.default_params with
+    Tiler.embed_params = Some { Qac_embed.Cmr.default_params with tries = 4 } }
+
+let solver ~deadline p =
+  Sa.sample
+    ~params:{ Sa.default_params with Sa.num_reads = 6; num_sweeps = 40; seed = 5 }
+    ?deadline p
+
+let chain_problem n =
+  Problem.create ~num_vars:n
+    ~h:(Array.init n (fun i -> if i mod 2 = 0 then 0.5 else -0.25))
+    ~j:(List.init (n - 1) (fun i -> ((i, i + 1), if i mod 3 = 0 then -1.0 else 0.5)))
+    ()
+
+let dense_problem n =
+  let j = ref [] in
+  for i = 0 to n - 1 do
+    for k = i + 1 to n - 1 do
+      j := ((i, k), if (i + k) mod 2 = 0 then 0.5 else -0.5) :: !j
+    done
+  done;
+  Problem.create ~num_vars:n ~h:(Array.make n 0.1) ~j:!j ()
+
+let job ?timeout_ms id problem = { Serve.id; problem; timeout_ms }
+
+let check_sample (a : Sampler.sample) (b : Sampler.sample) =
+  Alcotest.(check (array int)) "spins" a.Sampler.spins b.Sampler.spins;
+  Alcotest.(check (float 1e-9)) "energy" a.Sampler.energy b.Sampler.energy;
+  Alcotest.(check int) "occurrences" a.Sampler.num_occurrences b.Sampler.num_occurrences
+
+let check_response name (a : Sampler.response) (b : Sampler.response) =
+  Alcotest.(check int) (name ^ ": num_reads") a.Sampler.num_reads b.Sampler.num_reads;
+  Alcotest.(check int)
+    (name ^ ": distinct")
+    (List.length a.Sampler.samples)
+    (List.length b.Sampler.samples);
+  List.iter2 check_sample a.Sampler.samples b.Sampler.samples
+
+let response_exn (r : Serve.result) =
+  match r.Serve.response with
+  | Some resp -> resp
+  | None -> Alcotest.fail (r.Serve.id ^ ": no response")
+
+let serve_all ?num_threads ?batch_jobs ?queue_capacity ?trace graph jobs =
+  let t =
+    Serve.create ?num_threads ?batch_jobs ?queue_capacity ?trace
+      ~tiler_params ~solver ~graph ()
+  in
+  List.iter (Serve.submit t) jobs;
+  let results = Serve.drain t in
+  (results, Serve.stats t)
+
+let basic_tests =
+  [ Alcotest.test_case "drain returns every job in submission order" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let jobs =
+           List.init 5 (fun i -> job (Printf.sprintf "j%d" i) (chain_problem (3 + i)))
+         in
+         let results, stats = serve_all graph jobs in
+         Alcotest.(check int) "result count" 5 (List.length results);
+         List.iteri
+           (fun i (r : Serve.result) ->
+              Alcotest.(check string) "order" (Printf.sprintf "j%d" i) r.Serve.id;
+              (match r.Serve.status with
+               | Serve.Done -> ()
+               | _ -> Alcotest.fail (r.Serve.id ^ ": not done"));
+              Alcotest.(check bool) "has response" true (r.Serve.response <> None);
+              Alcotest.(check bool) "batch assigned" true (r.Serve.batch >= 0);
+              Alcotest.(check bool) "wait non-negative" true (r.Serve.wait_seconds >= 0.0))
+           results;
+         Alcotest.(check int) "all placed" 5 stats.Serve.placed;
+         Alcotest.(check bool) "throughput measured" true
+           (stats.Serve.jobs_per_second > 0.0);
+         Alcotest.(check bool) "occupancy measured" true
+           (stats.Serve.mean_occupancy > 0.0));
+    Alcotest.test_case "served responses equal standalone tiled solves" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let problems = [ chain_problem 5; dense_problem 4; chain_problem 3 ] in
+         let results, _ =
+           serve_all graph (List.mapi (fun i p -> job (string_of_int i) p) problems)
+         in
+         List.iteri
+           (fun i p ->
+              let alone = Tiler.tile ~params:tiler_params graph [| p |] in
+              match Tiler.solve ~solver alone with
+              | [ (0, expected) ] ->
+                check_response (string_of_int i) expected
+                  (response_exn (List.nth results i))
+              | _ -> Alcotest.fail "standalone solve failed")
+           problems);
+    Alcotest.test_case "responses are identical at 1 and 4 threads" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let jobs () =
+           List.init 6 (fun i -> job (string_of_int i) (chain_problem (3 + (i mod 3))))
+         in
+         let r1, _ = serve_all ~num_threads:1 graph (jobs ()) in
+         let r4, _ = serve_all ~num_threads:4 graph (jobs ()) in
+         List.iter2
+           (fun (a : Serve.result) (b : Serve.result) ->
+              check_response a.Serve.id (response_exn a) (response_exn b))
+           r1 r4);
+    Alcotest.test_case "small batch limit splits the load" `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        let jobs = List.init 6 (fun i -> job (string_of_int i) (chain_problem 4)) in
+        let results, stats = serve_all ~batch_jobs:2 graph jobs in
+        Alcotest.(check int) "all served" 6 (List.length results);
+        Alcotest.(check bool) "several batches" true (stats.Serve.batches >= 3));
+    Alcotest.test_case "backpressure: tiny queue still serves everything" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let jobs = List.init 8 (fun i -> job (string_of_int i) (chain_problem 3)) in
+         let results, _ = serve_all ~queue_capacity:1 graph jobs in
+         Alcotest.(check int) "all served" 8 (List.length results));
+    Alcotest.test_case "submit after drain raises" `Quick (fun () ->
+        let graph = Chimera.create 4 in
+        let t = Serve.create ~tiler_params ~solver ~graph () in
+        ignore (Serve.drain t);
+        Alcotest.check_raises "submit after drain"
+          (Invalid_argument "Serve.submit: service is draining") (fun () ->
+            Serve.submit t (job "late" (chain_problem 3))));
+    Alcotest.test_case "drain is idempotent" `Quick (fun () ->
+        let graph = Chimera.create 4 in
+        let t = Serve.create ~tiler_params ~solver ~graph () in
+        Serve.submit t (job "a" (chain_problem 3));
+        let first = Serve.drain t in
+        let second = Serve.drain t in
+        Alcotest.(check int) "same count" (List.length first) (List.length second)) ]
+
+let deadline_tests =
+  [ Alcotest.test_case "queue-expired job fails fast without solving" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let results, stats =
+           serve_all graph
+             [ job ~timeout_ms:0.0 "doomed" (chain_problem 4);
+               job "fine" (chain_problem 4) ]
+         in
+         (match (List.nth results 0).Serve.status with
+          | Serve.Timed_out -> ()
+          | _ -> Alcotest.fail "expected queue timeout");
+         Alcotest.(check bool) "no response for expired job" true
+           ((List.nth results 0).Serve.response = None);
+         (match (List.nth results 1).Serve.status with
+          | Serve.Done -> ()
+          | _ -> Alcotest.fail "unexpired job should finish");
+         Alcotest.(check bool) "timeout counted" true (stats.Serve.timeouts >= 1));
+    Alcotest.test_case "solver deadline yields best-effort partial result" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         (* A solver that always overruns its deadline but returns partial
+            reads, as the real samplers do. *)
+         let slow ~deadline p =
+           (match deadline with
+            | Some d ->
+              let remaining = d -. Unix.gettimeofday () in
+              if remaining > 0.0 then Unix.sleepf (min 0.2 (remaining +. 0.01))
+            | None -> ());
+           solver ~deadline p
+         in
+         let t =
+           Serve.create ~tiler_params ~solver:slow ~graph ()
+         in
+         Serve.submit t (job ~timeout_ms:120.0 "slow" (chain_problem 4));
+         let results = Serve.drain t in
+         match List.nth results 0 with
+         | { Serve.status = Serve.Timed_out; response = Some r; _ } ->
+           Alcotest.(check bool) "flagged" true r.Sampler.timed_out;
+           Alcotest.(check bool) "partial reads kept" true (r.Sampler.num_reads >= 1)
+         | _ -> Alcotest.fail "expected a timed-out partial result") ]
+
+let failure_tests =
+  [ Alcotest.test_case "unembeddable job fails after fresh-seed retries" `Quick
+      (fun () ->
+         let graph = Chimera.create 2 in
+         let huge = chain_problem 40 in
+         let results, stats =
+           serve_all graph [ job "huge" huge; job "ok" (chain_problem 3) ]
+         in
+         (match (List.nth results 0).Serve.status with
+          | Serve.Failed _ -> ()
+          | _ -> Alcotest.fail "oversized job should fail");
+         (match (List.nth results 1).Serve.status with
+          | Serve.Done -> ()
+          | _ -> Alcotest.fail "small job should finish");
+         Alcotest.(check bool) "retried with fresh seeds" true
+           (stats.Serve.retries >= 1);
+         Alcotest.(check int) "one failure" 1 stats.Serve.failures);
+    Alcotest.test_case "deferred jobs requeue and complete" `Quick (fun () ->
+        let graph = Chimera.create 2 in
+        (* Each 8-var dense job takes the whole C2, so they must serialize
+           across batches via deferral. *)
+        let big = dense_problem 8 in
+        let results, stats =
+          serve_all graph (List.init 3 (fun i -> job (string_of_int i) big))
+        in
+        List.iter
+          (fun (r : Serve.result) ->
+             match r.Serve.status with
+             | Serve.Done -> ()
+             | _ -> Alcotest.fail (r.Serve.id ^ " should finish"))
+          results;
+        Alcotest.(check bool) "deferrals happened" true (stats.Serve.deferrals >= 1);
+        Alcotest.(check int) "all placed eventually" 3 stats.Serve.placed) ]
+
+let trace_tests =
+  [ Alcotest.test_case "batch spans and service summary reach the trace" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let trace = Trace.create () in
+         let jobs = List.init 3 (fun i -> job (string_of_int i) (chain_problem 4)) in
+         let _, _ = serve_all ~trace graph jobs in
+         (match Trace.find_span trace "batch" with
+          | Some span ->
+            Alcotest.(check bool) "jobs counter" true
+              (List.mem_assoc "jobs" span.Trace.counters);
+            Alcotest.(check bool) "occupancy counter" true
+              (List.mem_assoc "occupancy-pct" span.Trace.counters);
+            Alcotest.(check bool) "queue depth counter" true
+              (List.mem_assoc "queue-depth" span.Trace.counters)
+          | None -> Alcotest.fail "no batch span");
+         Alcotest.(check (option int)) "summary jobs" (Some 3)
+           (Trace.find_summary trace "serve-jobs");
+         (match Trace.find_summary trace "serve-jobs-per-sec-x1000" with
+          | Some v -> Alcotest.(check bool) "throughput summary positive" true (v > 0)
+          | None -> Alcotest.fail "no throughput summary")) ]
+
+let suite = basic_tests @ deadline_tests @ failure_tests @ trace_tests

@@ -1,0 +1,332 @@
+(** The tiler's contract: disjoint regions (no cross-tile couplers ever),
+    and composition invariance — a job's demuxed response is bit-identical
+    whether it is solved alone or packed with any other jobs, at any thread
+    count. *)
+
+open Qac_ising
+module Chimera = Qac_chimera.Chimera
+module Tiler = Qac_embed.Tiler
+module Embedding = Qac_embed.Embedding
+module Cache = Qac_embed.Cache
+module Sampler = Qac_anneal.Sampler
+module Sa = Qac_anneal.Sa
+
+(* Fast embedding parameters: these problems are tiny. *)
+let params =
+  { Tiler.default_params with
+    Tiler.embed_params = Some { Qac_embed.Cmr.default_params with tries = 4 } }
+
+(* A deterministic, pure solver closure (fixed seed, small budget). *)
+let solver ~deadline p =
+  Sa.sample
+    ~params:{ Sa.default_params with Sa.num_reads = 6; num_sweeps = 40; seed = 5 }
+    ?deadline p
+
+let check_sample (a : Sampler.sample) (b : Sampler.sample) =
+  Alcotest.(check (array int)) "spins" a.Sampler.spins b.Sampler.spins;
+  Alcotest.(check (float 1e-9)) "energy" a.Sampler.energy b.Sampler.energy;
+  Alcotest.(check int) "occurrences" a.Sampler.num_occurrences b.Sampler.num_occurrences
+
+let check_response name (a : Sampler.response) (b : Sampler.response) =
+  Alcotest.(check int) (name ^ ": num_reads") a.Sampler.num_reads b.Sampler.num_reads;
+  Alcotest.(check int)
+    (name ^ ": distinct samples")
+    (List.length a.Sampler.samples)
+    (List.length b.Sampler.samples);
+  List.iter2 check_sample a.Sampler.samples b.Sampler.samples
+
+let placed_exn t i =
+  match t.Tiler.outcomes.(i) with
+  | Tiler.Placed p -> p
+  | Tiler.Deferred -> Alcotest.fail (Printf.sprintf "job %d deferred" i)
+  | Tiler.Failed m -> Alcotest.fail (Printf.sprintf "job %d failed: %s" i m)
+
+(* Small pseudo-random problems with varied structure. *)
+let chain_problem n =
+  Problem.create ~num_vars:n
+    ~h:(Array.init n (fun i -> if i mod 2 = 0 then 0.5 else -0.25))
+    ~j:(List.init (n - 1) (fun i -> ((i, i + 1), if i mod 3 = 0 then -1.0 else 0.5)))
+    ()
+
+let ring_problem n =
+  Problem.create ~num_vars:n ~h:(Array.make n 0.1)
+    ~j:(List.init n (fun i -> ((min i ((i + 1) mod n), max i ((i + 1) mod n)), 1.0)))
+    ()
+
+let dense_problem n =
+  let j = ref [] in
+  for i = 0 to n - 1 do
+    for k = i + 1 to n - 1 do
+      j := ((i, k), if (i + k) mod 2 = 0 then 0.5 else -0.5) :: !j
+    done
+  done;
+  Problem.create ~num_vars:n ~h:(Array.init n (fun i -> float_of_int (i - 1) *. 0.2)) ~j:!j ()
+
+let jobs = [| chain_problem 5; ring_problem 4; dense_problem 4; chain_problem 3 |]
+
+(* Couplers of the merged problem must stay inside single regions: build the
+   qubit -> job map from the placed regions and check every coupler. *)
+let check_isolation t =
+  let owner = Array.make t.Tiler.merged.Problem.num_vars (-1) in
+  Array.iter
+    (function
+      | Tiler.Placed p ->
+        Array.iter
+          (fun q ->
+             Alcotest.(check bool) "regions disjoint" true (owner.(q) = -1);
+             owner.(q) <- p.Tiler.job)
+          p.Tiler.region.Tiler.qubits
+      | Tiler.Deferred | Tiler.Failed _ -> ())
+    t.Tiler.outcomes;
+  Array.iter
+    (fun ((i, j), _) ->
+       Alcotest.(check bool) "coupler inside one region" true
+         (owner.(i) >= 0 && owner.(i) = owner.(j)))
+    t.Tiler.merged.Problem.couplers;
+  Array.iteri
+    (fun q h -> if h <> 0.0 then
+        Alcotest.(check bool) "field inside a region" true (owner.(q) >= 0))
+    t.Tiler.merged.Problem.h
+
+let tiling_tests =
+  [ Alcotest.test_case "all jobs place on C6 with disjoint regions" `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        let t = Tiler.tile ~params graph jobs in
+        let placed, deferred, failed = Tiler.counts t in
+        Alcotest.(check int) "all placed" (Array.length jobs) placed;
+        Alcotest.(check int) "none deferred" 0 deferred;
+        Alcotest.(check int) "none failed" 0 failed;
+        check_isolation t;
+        Alcotest.(check bool) "occupancy positive" true (Tiler.occupancy t > 0.0);
+        Alcotest.(check bool) "occupancy below 1" true (Tiler.occupancy t < 1.0));
+    Alcotest.test_case "tiling is identical at 1 and 4 threads" `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        let t1 = Tiler.tile ~params ~num_threads:1 graph jobs in
+        let t4 = Tiler.tile ~params ~num_threads:4 graph jobs in
+        Alcotest.(check bool) "merged problems equal" true
+          (Problem.equal t1.Tiler.merged t4.Tiler.merged);
+        Array.iteri
+          (fun i _ ->
+             let p1 = placed_exn t1 i and p4 = placed_exn t4 i in
+             Alcotest.(check (array int)) "region qubits" p1.Tiler.region.Tiler.qubits
+               p4.Tiler.region.Tiler.qubits;
+             Alcotest.(check bool) "embedding equal" true
+               (p1.Tiler.embedding = p4.Tiler.embedding))
+          jobs);
+    Alcotest.test_case "broken cells are never used" `Quick (fun () ->
+        (* Break one qubit of cell (0,0): the whole cell must leave the pool. *)
+        let graph = Chimera.create ~broken:[ 3 ] 6 in
+        let t = Tiler.tile ~params graph jobs in
+        let placed, _, failed = Tiler.counts t in
+        Alcotest.(check int) "all placed" (Array.length jobs) placed;
+        Alcotest.(check int) "none failed" 0 failed;
+        Array.iter
+          (function
+            | Tiler.Placed p ->
+              Array.iter
+                (fun q ->
+                   Alcotest.(check bool) "qubit outside cell (0,0)" true (q >= 8))
+                p.Tiler.region.Tiler.qubits
+            | _ -> ())
+          t.Tiler.outcomes;
+        check_isolation t);
+    Alcotest.test_case "too-large problem fails, batch survives" `Quick (fun () ->
+        let graph = Chimera.create 2 in
+        (* A 40-variable ring cannot fit a C2 (32 qubits). *)
+        let t = Tiler.tile ~params graph [| chain_problem 3; ring_problem 40 |] in
+        (match t.Tiler.outcomes.(0) with
+         | Tiler.Placed _ -> ()
+         | _ -> Alcotest.fail "small job should place");
+        (match t.Tiler.outcomes.(1) with
+         | Tiler.Failed _ -> ()
+         | _ -> Alcotest.fail "oversized job should fail"));
+    Alcotest.test_case "floor exhaustion defers, never overlaps" `Quick (fun () ->
+        let graph = Chimera.create 2 in
+        (* Each dense 8-var job needs a whole C2-sized block; the second
+           cannot fit alongside. *)
+        let big = dense_problem 8 in
+        let t = Tiler.tile ~params graph [| big; big; big |] in
+        let placed, deferred, failed = Tiler.counts t in
+        Alcotest.(check bool) "at least one placed" true (placed >= 1);
+        Alcotest.(check int) "none failed" 0 failed;
+        Alcotest.(check bool) "rest deferred" true (deferred = 3 - placed);
+        check_isolation t);
+    Alcotest.test_case "empty problem places trivially" `Quick (fun () ->
+        let graph = Chimera.create 2 in
+        let t = Tiler.tile ~params graph [| Problem.empty |] in
+        let p = placed_exn t 0 in
+        Alcotest.(check int) "no qubits" 0 (Array.length p.Tiler.region.Tiler.qubits);
+        match Tiler.solve ~solver t with
+        | [ (0, r) ] ->
+          Alcotest.(check int) "one read" 1 r.Sampler.num_reads
+        | _ -> Alcotest.fail "expected one response");
+    Alcotest.test_case "embedding cache is shared across identical jobs" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let cache = Cache.create () in
+         let same = chain_problem 5 in
+         let t = Tiler.tile ~params ~cache graph [| same; same; same; same |] in
+         let placed, _, _ = Tiler.counts t in
+         Alcotest.(check int) "all placed" 4 placed;
+         let hits, misses = Cache.stats cache in
+         Alcotest.(check bool) "cache hits from repeated structure" true (hits >= 3);
+         Alcotest.(check bool) "few misses" true (misses <= 4)) ]
+
+let solve_tests =
+  [ Alcotest.test_case "composition invariance: alone vs batched" `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        let batch = Tiler.tile ~params graph jobs in
+        let batched = Tiler.solve ~solver batch in
+        Array.iteri
+          (fun i p ->
+             let alone = Tiler.tile ~params graph [| p |] in
+             match (Tiler.solve ~solver alone, List.assoc_opt i batched) with
+             | [ (0, ra) ], Some rb ->
+               check_response (Printf.sprintf "job %d" i) ra rb
+             | _ -> Alcotest.fail "missing response")
+          jobs);
+    Alcotest.test_case "solve is identical at 1 and 4 threads" `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        let t = Tiler.tile ~params graph jobs in
+        let r1 = Tiler.solve ~num_threads:1 ~solver t in
+        let r4 = Tiler.solve ~num_threads:4 ~solver t in
+        Alcotest.(check int) "same job set" (List.length r1) (List.length r4);
+        List.iter2
+          (fun (i1, a) (i4, b) ->
+             Alcotest.(check int) "job order" i1 i4;
+             check_response (Printf.sprintf "job %d" i1) a b)
+          r1 r4);
+    Alcotest.test_case "solved samples hit the true ground state" `Quick (fun () ->
+        (* A ferromagnetic chain's ground energy is known; the tiled solve
+           must find it through embedding + majority vote. *)
+        let n = 4 in
+        let ferro =
+          Problem.create ~num_vars:n ~h:(Array.make n 0.0)
+            ~j:(List.init (n - 1) (fun i -> ((i, i + 1), -1.0)))
+            ()
+        in
+        let graph = Chimera.create 4 in
+        let t = Tiler.tile ~params graph [| ferro |] in
+        match Tiler.solve ~solver t with
+        | [ (0, r) ] ->
+          Alcotest.(check (float 1e-9)) "ground energy"
+            (-.float_of_int (n - 1))
+            (Sampler.best r).Sampler.energy
+        | _ -> Alcotest.fail "expected one response");
+    Alcotest.test_case "per-job deadline flags only that job" `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        let t = Tiler.tile ~params graph [| chain_problem 5; chain_problem 4 |] in
+        let deadline i = if i = 0 then Some 0.0 else None in
+        (match Tiler.solve ~deadline ~solver t with
+         | [ (0, r0); (1, r1) ] ->
+           Alcotest.(check bool) "job 0 timed out" true r0.Sampler.timed_out;
+           Alcotest.(check bool) "job 0 kept partial reads" true
+             (r0.Sampler.num_reads >= 1);
+           Alcotest.(check bool) "job 1 unaffected" false r1.Sampler.timed_out
+         | _ -> Alcotest.fail "expected two responses")) ]
+
+let demux_tests =
+  [ Alcotest.test_case "merge then demux returns each job's own reads" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let t = Tiler.tile ~params graph jobs in
+         (* Solve each job's full local physical problem directly. *)
+         let locals =
+           List.filter_map
+             (fun o ->
+                match o with
+                | Tiler.Placed p ->
+                  Some (p.Tiler.job, solver ~deadline:None p.Tiler.physical)
+                | _ -> None)
+             (Array.to_list t.Tiler.outcomes)
+         in
+         let merged = Tiler.merge_responses t locals in
+         Alcotest.(check int) "merged read count"
+           (match locals with (_, r) :: _ -> r.Sampler.num_reads | [] -> 0)
+           merged.Sampler.num_reads;
+         let demuxed = Tiler.demux t merged in
+         (* Each demuxed response must equal unembedding the job's own local
+            reads — the global round-trip adds or loses nothing. *)
+         List.iter
+           (fun (i, local) ->
+              let p = placed_exn t i in
+              let expected =
+                let reads =
+                  List.concat_map
+                    (fun (s : Sampler.sample) ->
+                       let u = Embedding.unembed p.Tiler.embedding s.Sampler.spins in
+                       List.init s.Sampler.num_occurrences (fun _ ->
+                           u.Embedding.logical))
+                    local.Sampler.samples
+                in
+                Sampler.response_of_reads t.Tiler.problems.(i) reads
+              in
+              match List.assoc_opt i demuxed with
+              | Some got -> check_response (Printf.sprintf "job %d" i) expected got
+              | None -> Alcotest.fail "job missing from demux")
+           locals);
+    Alcotest.test_case "merge_responses rejects ragged read counts" `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        let t = Tiler.tile ~params graph [| chain_problem 3; chain_problem 3 |] in
+        let p0 = placed_exn t 0 and p1 = placed_exn t 1 in
+        let r0 = solver ~deadline:None p0.Tiler.physical in
+        let r1 =
+          Sa.sample
+            ~params:{ Sa.default_params with Sa.num_reads = 2; num_sweeps = 10; seed = 1 }
+            p1.Tiler.physical
+        in
+        Alcotest.check_raises "ragged"
+          (Invalid_argument "Tiler.merge_responses: responses have unequal num_reads")
+          (fun () -> ignore (Tiler.merge_responses t [ (0, r0); (1, r1) ]))) ]
+
+(* QCheck: for random batches of random problems, regions never overlap and
+   no cross-tile coupler is ever emitted, and each job demuxes to exactly
+   the solution set it gets when solved alone. *)
+let random_problem =
+  QCheck.Gen.(
+    sized_size (int_range 1 6) (fun n ->
+        let n = max 1 n in
+        let* hs = array_size (return n) (float_range (-1.0) 1.0) in
+        let* edges =
+          flatten_l
+            (List.concat
+               (List.init n (fun i ->
+                    List.init (n - i - 1) (fun k ->
+                        let j = i + k + 1 in
+                        let* keep = bool in
+                        let* w = float_range (-1.0) 1.0 in
+                        return (if keep && w <> 0.0 then Some ((i, j), w) else None)))))
+        in
+        return
+          (Problem.create ~num_vars:n ~h:hs ~j:(List.filter_map Fun.id edges) ())))
+
+let arbitrary_batch =
+  QCheck.make
+    ~print:(fun ps ->
+      String.concat "\n---\n" (List.map Problem.to_string ps))
+    QCheck.Gen.(list_size (int_range 1 5) random_problem)
+
+let qcheck_isolation =
+  QCheck.Test.make ~name:"random batches: isolation + per-job invariance" ~count:15
+    arbitrary_batch (fun problems ->
+      let graph = Chimera.create 6 in
+      let batch = Array.of_list problems in
+      let t = Tiler.tile ~params graph batch in
+      check_isolation t;
+      let batched = Tiler.solve ~solver t in
+      Array.iteri
+        (fun i p ->
+           match t.Tiler.outcomes.(i) with
+           | Tiler.Placed _ ->
+             let alone = Tiler.tile ~params graph [| p |] in
+             (match (Tiler.solve ~solver alone, List.assoc_opt i batched) with
+              | [ (0, ra) ], Some rb ->
+                check_response (Printf.sprintf "job %d" i) ra rb
+              | _ -> Alcotest.fail "missing response")
+           | Tiler.Deferred | Tiler.Failed _ -> ())
+        batch;
+      true)
+
+let suite =
+  tiling_tests @ solve_tests @ demux_tests
+  @ [ QCheck_alcotest.to_alcotest qcheck_isolation ]

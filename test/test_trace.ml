@@ -154,4 +154,61 @@ let suite =
         Alcotest.(check bool) "has total" true (contains "\"total_seconds\":");
         Alcotest.(check bool) "has a stage" true (contains "\"name\":\"synth\"");
         Alcotest.(check bool) "has a counter" true (contains "\"gates\":"));
+    Alcotest.test_case "summary values overwrite, export and pretty-print" `Quick
+      (fun () ->
+         let t = Trace.create () in
+         Trace.set_summary t "embed-cache-hits" 2;
+         Trace.set_summary t "occupancy-pct" 40;
+         Trace.set_summary t "embed-cache-hits" 5;
+         Alcotest.(check (list (pair string int))) "ordered, overwritten"
+           [ ("embed-cache-hits", 5); ("occupancy-pct", 40) ]
+           (Trace.summary t);
+         Alcotest.(check (option int)) "lookup" (Some 40)
+           (Trace.find_summary t "occupancy-pct");
+         Alcotest.(check (option int)) "missing" None (Trace.find_summary t "nope");
+         let json = Trace.to_json t in
+         let contains haystack needle =
+           Qac_qmasm.Str_split.find_substring haystack needle <> None
+         in
+         Alcotest.(check bool) "summary object in json" true
+           (contains json "\"summary\":{\"embed-cache-hits\":5,\"occupancy-pct\":40}");
+         Alcotest.(check bool) "summary line in text" true
+           (contains (Trace.to_text t) "summary: embed-cache-hits=5 occupancy-pct=40"));
+    Alcotest.test_case "empty summary exports an empty object, no text line" `Quick
+      (fun () ->
+         let t = Trace.create () in
+         let contains haystack needle =
+           Qac_qmasm.Str_split.find_substring haystack needle <> None
+         in
+         Alcotest.(check bool) "empty object" true
+           (contains (Trace.to_json t) "\"summary\":{}");
+         Alcotest.(check bool) "no text line" false
+           (contains (Trace.to_text t) "summary:"));
+    Alcotest.test_case "run with timeout_ms flags the result and the trace" `Quick
+      (fun () ->
+         let t = P.compile mult_src in
+         let trace = Trace.create () in
+         let params =
+           { Qac_anneal.Sa.default_params with
+             Qac_anneal.Sa.num_reads = 50;
+             num_sweeps = 2000 }
+         in
+         let r =
+           P.run t ~trace ~timeout_ms:0.0 ~solver:(P.Sa params) ~target:P.Logical
+         in
+         Alcotest.(check bool) "result flagged" true r.P.timed_out;
+         Alcotest.(check int) "trace counter" 1 (counter_exn trace "solve" "timed-out");
+         Alcotest.(check bool) "best-so-far solutions kept" true
+           (r.P.solutions <> []));
+    Alcotest.test_case "run without timeout stays unflagged" `Quick (fun () ->
+        let t = P.compile mult_src in
+        let trace = Trace.create () in
+        let params =
+          { Qac_anneal.Sa.default_params with
+            Qac_anneal.Sa.num_reads = 10;
+            num_sweeps = 30 }
+        in
+        let r = P.run t ~trace ~solver:(P.Sa params) ~target:P.Logical in
+        Alcotest.(check bool) "not flagged" false r.P.timed_out;
+        Alcotest.(check int) "trace counter" 0 (counter_exn trace "solve" "timed-out"));
   ]
