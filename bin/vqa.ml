@@ -126,14 +126,34 @@ let timeout_arg =
 
 let physical_arg =
   let doc =
-    "Minor-embed into a Chimera C$(docv) topology before solving (0 = solve the \
-     logical problem directly)."
+    "Minor-embed into a size-$(docv) hardware graph before solving (0 = solve \
+     the logical problem directly).  The graph family comes from --topology: \
+     Chimera C$(docv) or Pegasus P$(docv)."
   in
   Arg.(value & opt int 0 & info [ "physical" ] ~docv:"M" ~doc)
 
-let pegasus_arg =
-  let doc = "Use a Pegasus topology for --physical instead of Chimera." in
-  Arg.(value & flag & info [ "pegasus" ] ~doc)
+let topology_arg =
+  let doc = "Hardware graph family for --physical: $(b,chimera) or $(b,pegasus)." in
+  Arg.(value
+       & opt (enum [ ("chimera", `Chimera); ("pegasus", `Pegasus) ]) `Chimera
+       & info [ "topology" ] ~docv:"FAMILY" ~doc)
+
+let broken_arg =
+  let doc =
+    "Comma-separated broken qubit ids, excluded from embedding and tiling \
+     (models hardware drop-out; honored by every --topology)."
+  in
+  Arg.(value & opt (list int) [] & info [ "broken" ] ~docv:"QUBITS" ~doc)
+
+let make_graph ~topology ~broken m =
+  match topology with
+  | `Chimera -> Qac_chimera.Chimera.create ~broken m
+  | `Pegasus -> Qac_chimera.Pegasus.create ~broken m
+
+let graph_label ~topology m =
+  match topology with
+  | `Chimera -> Printf.sprintf "C%d" m
+  | `Pegasus -> Printf.sprintf "P%d" m
 
 let roof_arg =
   let doc = "Apply roof duality to elide determined qubits before embedding." in
@@ -186,8 +206,8 @@ let split_pins specs =
     specs
 
 let run_cmd =
-  let run src top steps no_optimize pins solver reads sweeps seed physical pegasus roof all
-      threads timeout_ms trace trace_json =
+  let run src top steps no_optimize pins solver reads sweeps seed physical topology broken
+      roof all threads timeout_ms trace trace_json =
     try
       let tr = make_trace ~trace ~trace_json in
       let t = compile ?top ?steps ~optimize:(not no_optimize) ?trace:tr src in
@@ -199,9 +219,7 @@ let run_cmd =
         if physical = 0 then P.Logical
         else
           P.Physical
-            { graph =
-                (if pegasus then Qac_chimera.Pegasus.create physical
-                 else Qac_chimera.Chimera.create physical);
+            { graph = make_graph ~topology ~broken physical;
               embed_params = None;
               chain_strength = None;
               roof_duality = roof }
@@ -254,8 +272,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret
             (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ pins_arg
-             $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ physical_arg $ pegasus_arg
-             $ roof_arg $ all_arg $ threads_arg $ timeout_arg $ trace_arg $ trace_json_arg))
+             $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ physical_arg $ topology_arg
+             $ broken_arg $ roof_arg $ all_arg $ threads_arg $ timeout_arg $ trace_arg
+             $ trace_json_arg))
 
 (* --- serve ----------------------------------------------------------------- *)
 
@@ -272,7 +291,7 @@ let jobs_arg =
   Arg.(required & opt (some file) None & info [ "jobs" ] ~docv:"FILE" ~doc)
 
 let serve_physical_arg =
-  let doc = "Tile jobs onto a Chimera C$(docv) graph." in
+  let doc = "Tile jobs onto a size-$(docv) hardware graph (family from --topology)." in
   Arg.(value & opt int 16 & info [ "physical" ] ~docv:"M" ~doc)
 
 let batch_jobs_arg =
@@ -334,8 +353,8 @@ let parse_job_line line_no line =
            deadline_ms = !deadline; job_pins = List.rev !pins }
 
 let serve_cmd =
-  let run jobs_file physical solver reads sweeps seed threads batch_jobs batch_window_ms
-      queue_capacity trace trace_json =
+  let run jobs_file physical topology broken solver reads sweeps seed threads batch_jobs
+      batch_window_ms queue_capacity trace trace_json =
     try
       let parsed =
         String.split_on_char '\n' (read_file jobs_file)
@@ -361,7 +380,7 @@ let serve_cmd =
       let solver ~deadline p = P.dispatch_solver ~num_threads:1 ?deadline solver_variant p in
       let tr = make_trace ~trace ~trace_json in
       let cache = Qac_embed.Cache.create () in
-      let graph = Qac_chimera.Chimera.create physical in
+      let graph = make_graph ~topology ~broken physical in
       let service =
         Serve.create ~queue_capacity ~batch_jobs
           ~batch_window_s:(batch_window_ms /. 1000.0) ~num_threads:threads
@@ -430,9 +449,10 @@ let serve_cmd =
   let doc = "serve a batch of jobs, tiled together onto one annealer graph" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(ret
-            (const run $ jobs_arg $ serve_physical_arg $ solver_arg $ reads_arg
-             $ sweeps_arg $ seed_arg $ threads_arg $ batch_jobs_arg $ batch_window_arg
-             $ queue_capacity_arg $ trace_arg $ trace_json_arg))
+            (const run $ jobs_arg $ serve_physical_arg $ topology_arg $ broken_arg
+             $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ threads_arg
+             $ batch_jobs_arg $ batch_window_arg $ queue_capacity_arg $ trace_arg
+             $ trace_json_arg))
 
 (* --- cells ----------------------------------------------------------------- *)
 
@@ -473,7 +493,7 @@ let cells_cmd =
 (* --- stats ------------------------------------------------------------------ *)
 
 let stats_cmd =
-  let run src top steps no_optimize physical =
+  let run src top steps no_optimize physical topology broken =
     try
       let t = compile ?top ?steps ~optimize:(not no_optimize) src in
       let props = P.static_properties t in
@@ -484,24 +504,28 @@ let stats_cmd =
       Printf.printf "logical variables:    %d\n" props.P.logical_vars;
       Printf.printf "logical terms:        %d\n" props.P.logical_terms;
       if physical > 0 then begin
-        let graph = Qac_chimera.Chimera.create physical in
+        let graph = make_graph ~topology ~broken physical in
+        let label = graph_label ~topology physical in
         let problem = t.P.program.Qac_qmasm.Assemble.problem in
-        match Qac_embed.Cmr.find graph problem with
+        match
+          Qac_embed.Cmr.find ~params:(Qac_embed.Cmr.params_for graph) graph problem
+        with
         | Some e ->
           let phys = Qac_embed.Embedding.apply graph problem e in
-          Printf.printf "physical qubits:      %d (C%d)\n"
+          Printf.printf "physical qubits:      %d (%s)\n"
             (Qac_embed.Embedding.num_physical_qubits e)
-            physical;
+            label;
           Printf.printf "physical terms:       %d\n" (Qac_ising.Problem.num_terms phys);
           Printf.printf "max chain length:     %d\n" (Qac_embed.Embedding.max_chain_length e)
-        | None -> Printf.printf "physical: no embedding found on C%d\n" physical
+        | None -> Printf.printf "physical: no embedding found on %s\n" label
       end;
       `Ok ()
     with Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
   in
   let doc = "print the section 6.1 static properties of a module" in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(ret (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ physical_arg))
+    Term.(ret (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ physical_arg
+               $ topology_arg $ broken_arg))
 
 let () =
   let doc = "compile classical Verilog code to a quantum annealer (ASPLOS'19 reproduction)" in

@@ -65,9 +65,18 @@ let problem_of_solution ~num_vars coeffs =
   done;
   Problem.create ~num_vars ~h ~j:!j ()
 
-let derive_exact ?(range = Scale.dwave_2000q) (table : Truthtab.t) =
+let derive_exact ?(range = Scale.dwave_2000q) ?adjacency (table : Truthtab.t) =
   let n = table.Truthtab.num_vars in
   let num_coeffs = n + num_pairs n in
+  (* Inverse of [pair_index]: which (i, j) a quadratic LP variable stands
+     for, needed to consult the adjacency predicate per pair. *)
+  let pairs = Array.make (num_pairs n) (0, 0) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      pairs.(pair_index ~num_vars:n i j) <- (i, j)
+    done
+  done;
+  let allowed i j = match adjacency with None -> true | Some f -> f i j in
   let k_index = num_coeffs in
   let g_index = num_coeffs + 1 in
   let num_lp_vars = num_coeffs + 2 in
@@ -94,7 +103,14 @@ let derive_exact ?(range = Scale.dwave_2000q) (table : Truthtab.t) =
   let bounds =
     Array.init num_lp_vars (fun v ->
         if v < n then (range.Scale.h_min, range.Scale.h_max)
-        else if v < num_coeffs then (range.Scale.j_min, range.Scale.j_max)
+        else if v < num_coeffs then begin
+          (* A coupler the target fabric lacks is pinned to zero: the LP
+             then finds the best cell realizable on that connectivity, or
+             proves none exists (forcing the ancilla ladder). *)
+          let i, j = pairs.(v - n) in
+          if allowed i j then (range.Scale.j_min, range.Scale.j_max)
+          else (0.0, 0.0)
+        end
         else if v = k_index then (neg_infinity, infinity)
         else (0.0, 1e6) (* the gap; capped to keep the LP bounded *))
   in
@@ -143,13 +159,13 @@ let better a b =
   | None, x | x, None -> x
   | Some da, Some db -> if da.gap >= db.gap then Some da else Some db
 
-let derive ?(range = Scale.dwave_2000q) ?(max_ancillas = 2) ?(seed = 0) table =
+let derive ?(range = Scale.dwave_2000q) ?adjacency ?(max_ancillas = 2) ?(seed = 0) table =
   let num_valid = List.length table.Truthtab.valid in
   let rec try_ancillas a =
     if a > max_ancillas then None
     else begin
       let result =
-        if a = 0 then derive_exact ~range table
+        if a = 0 then derive_exact ~range ?adjacency table
         else begin
           let candidates = ancilla_assignments ~num_ancillas:a ~num_valid ~seed ~budget:512 in
           List.fold_left
@@ -158,7 +174,7 @@ let derive ?(range = Scale.dwave_2000q) ?(max_ancillas = 2) ?(seed = 0) table =
                let d =
                  Option.map
                    (fun d -> { d with num_ancillas = a })
-                   (derive_exact ~range augmented)
+                   (derive_exact ~range ?adjacency augmented)
                in
                better best d)
             None candidates

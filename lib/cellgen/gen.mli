@@ -20,17 +20,30 @@ type derived = {
 val min_gap : float
 (** Gaps below this threshold count as "no solution" (1e-6). *)
 
-(** [derive_exact ?range table] solves the LP for [table] as given (no
-    ancilla search).  [None] when the optimum gap is ~0, i.e. the system of
-    inequalities is unsolvable in the paper's sense. *)
-val derive_exact : ?range:Qac_ising.Scale.range -> Truthtab.t -> derived option
+(** [derive_exact ?range ?adjacency table] solves the LP for [table] as
+    given (no ancilla search).  [adjacency i j] (for [i < j]) says whether
+    the target fabric offers a coupler between cell variables [i] and [j];
+    disallowed pairs have their J pinned to zero, so the result is
+    realizable on that connectivity verbatim (default: fully connected, the
+    paper's assumption).  [None] when the optimum gap is ~0, i.e. the system
+    of inequalities is unsolvable in the paper's sense — which an adjacency
+    restriction can cause even where the unrestricted cell exists. *)
+val derive_exact :
+  ?range:Qac_ising.Scale.range ->
+  ?adjacency:(int -> int -> bool) ->
+  Truthtab.t ->
+  derived option
 
-(** [derive ?range ?max_ancillas table] tries 0 ancillas, then 1, ... up to
-    [max_ancillas] (default 2), enumerating or sampling ancilla-column
-    assignments, and returns the gap-maximal solution at the smallest
-    sufficient ancilla count. *)
+(** [derive ?range ?adjacency ?max_ancillas table] tries 0 ancillas, then 1,
+    ... up to [max_ancillas] (default 2), enumerating or sampling
+    ancilla-column assignments, and returns the gap-maximal solution at the
+    smallest sufficient ancilla count.  [adjacency] is applied at every
+    ancilla count, and must therefore answer for ancilla indices too
+    (ancillas take indices [n .. n + max_ancillas - 1] of the augmented
+    table). *)
 val derive :
   ?range:Qac_ising.Scale.range ->
+  ?adjacency:(int -> int -> bool) ->
   ?max_ancillas:int ->
   ?seed:int ->
   Truthtab.t ->

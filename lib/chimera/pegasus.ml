@@ -10,6 +10,20 @@ type coords = {
 let default_vertical_shifts = [| 2; 2; 2; 2; 10; 10; 10; 10; 6; 6; 6; 6 |]
 let default_horizontal_shifts = [| 6; 6; 6; 6; 2; 2; 2; 2; 10; 10; 10; 10 |]
 
+(* Shift lists ride inside [Topology.params] so that two Pegasus graphs with
+   the same [m] but different crossing geometry have distinct identities
+   (the embedding cache digests the params list).  Twelve values in [0, 12)
+   pack into 4 bits each — 48 bits, comfortably inside an OCaml int. *)
+let pack_shifts shifts =
+  let packed = ref 0 in
+  for i = 11 downto 0 do
+    packed := (!packed lsl 4) lor shifts.(i)
+  done;
+  !packed
+
+let unpack_shifts packed =
+  Array.init 12 (fun i -> (packed lsr (4 * i)) land 0xF)
+
 let qubit_of_coords ~m { orientation; offset; track; position } =
   if orientation < 0 || orientation > 1 then invalid_arg "Pegasus: bad orientation";
   if offset < 0 || offset >= m then invalid_arg "Pegasus: bad offset";
@@ -130,9 +144,14 @@ let create ?(broken = []) ?(vertical_shifts = default_vertical_shifts)
   in
   Topology.create
     ~name:(Printf.sprintf "pegasus-%d" m)
-    ~params:[ ("m", m) ]
+    ~params:
+      [ ("m", m);
+        ("vshifts", pack_shifts vertical_shifts);
+        ("hshifts", pack_shifts horizontal_shifts) ]
     ~num_qubits ~edges:!edges ~broken:(broken @ off_fabric) ()
 
 let size t = Topology.param t "m"
+let vertical_shifts t = unpack_shifts (Topology.param t "vshifts")
+let horizontal_shifts t = unpack_shifts (Topology.param t "hshifts")
 let qubit t c = qubit_of_coords ~m:(size t) c
 let coords t q = coords_of_qubit ~m:(size t) q

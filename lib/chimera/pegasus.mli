@@ -38,8 +38,25 @@ val create :
   int ->
   t
 (** [create m] builds a [P_m]-family graph; [m >= 2].  Shift lists must have
-    length 12 with values in [0, 12). *)
+    length 12 with values in [0, 12).  The shift lists are packed into
+    [Topology.params] (keys ["vshifts"]/["hshifts"], 4 bits per track), so
+    two graphs with the same [m] but different crossing geometry have
+    distinct identities — the embedding cache keys on the params list. *)
+
+val default_vertical_shifts : int array
+val default_horizontal_shifts : int array
+(** The canonical Advantage shift lists (Boothby et al.). *)
 
 val size : t -> int
+
+val vertical_shifts : t -> int array
+val horizontal_shifts : t -> int array
+(** The shift lists the graph was built with, unpacked from its params. *)
+
 val qubit : t -> coords -> int
 val coords : t -> int -> coords
+
+val qubit_of_coords : m:int -> coords -> int
+val coords_of_qubit : m:int -> int -> coords
+(** Pure index arithmetic for a [P_m] numbering, usable without a graph —
+    {!Family} translates local block coordinates through these. *)

@@ -337,7 +337,7 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
       let eparams =
         match embed_params with
         | Some p -> p
-        | None -> { Cmr.default_params with Cmr.num_threads }
+        | None -> { (Cmr.params_for graph) with Cmr.num_threads }
       in
       let cache_key = Qac_embed.Cache.key graph to_embed ~params:eparams in
       let embedding =
@@ -357,7 +357,7 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
                     (* Dense interaction graphs defeat the path-based heuristic;
                        fall back to the deterministic clique template when it
                        applies. *)
-                    (match (try Qac_embed.Clique.find graph to_embed with Not_found -> None) with
+                    (match Qac_embed.Clique.find graph to_embed with
                      | Some e -> e
                      | None ->
                        error "no minor embedding found (problem too large for the topology?)")

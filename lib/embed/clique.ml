@@ -1,6 +1,10 @@
 module Chimera = Qac_chimera.Chimera
+module Pegasus = Qac_chimera.Pegasus
+module Topology = Qac_chimera.Topology
 
-let embed graph ~n =
+(* --- Chimera: the TRIAD / native clique template ----------------------------- *)
+
+let chimera_embed graph ~n =
   let m = Chimera.size graph in
   let t = Chimera.shore graph in
   if n < 1 || n > t * m then None
@@ -27,5 +31,66 @@ let embed graph ~n =
     in
     if all_working then Some { Embedding.chains } else None
   end
+
+(* --- Pegasus: native K4, chain length 1 -------------------------------------- *)
+
+(* A vertical odd pair (tracks 2j, 2j+1 at one offset/position) and a
+   horizontal odd pair that cross it form a K4 of {e single} qubits: the two
+   odd couplers give the intra-pair edges, the four crossings the rest.
+   With the canonical shifts paired tracks share their shift, so whenever
+   one pair member crosses a segment its partner usually does too — K4s are
+   everywhere.  The search scans qubit indices in order and takes the first
+   fully working quad, so the result is a deterministic function of the
+   graph alone.  Beyond K4 there is no native clique (Pegasus cliques need
+   real chains, which is {!Cmr}'s job), so [n > 4] returns [None]. *)
+let pegasus_embed graph ~n =
+  if n < 1 || n > 4 then None
+  else begin
+    let found = ref None in
+    (try
+       for v1 = 0 to Topology.num_qubits graph - 1 do
+         if Topology.is_working graph v1 then begin
+           let c = Pegasus.coords graph v1 in
+           if c.Pegasus.orientation = 0 && c.Pegasus.track mod 2 = 0 then begin
+             let v2 = Pegasus.qubit graph { c with Pegasus.track = c.Pegasus.track + 1 } in
+             if Topology.is_working graph v2 && Topology.adjacent graph v1 v2 then
+               List.iter
+                 (fun h1 ->
+                    let hc = Pegasus.coords graph h1 in
+                    if hc.Pegasus.orientation = 1 && hc.Pegasus.track mod 2 = 0 then begin
+                      let h2 =
+                        Pegasus.qubit graph { hc with Pegasus.track = hc.Pegasus.track + 1 }
+                      in
+                      if Topology.is_working graph h2
+                         && Topology.adjacent graph h1 h2
+                         && Topology.adjacent graph v1 h2
+                         && Topology.adjacent graph v2 h1
+                         && Topology.adjacent graph v2 h2
+                      then begin
+                        found := Some [| v1; v2; h1; h2 |];
+                        raise Exit
+                      end
+                    end)
+                 (Topology.neighbors graph v1)
+           end
+         end
+       done
+     with Exit -> ());
+    match !found with
+    | None -> None
+    | Some quad ->
+      Some { Embedding.chains = Array.init n (fun i -> [| quad.(i) |]) }
+  end
+
+(* --- Dispatch ---------------------------------------------------------------- *)
+
+let is_pegasus graph =
+  let name = graph.Topology.name in
+  String.length name >= 8 && String.sub name 0 8 = "pegasus-"
+
+let embed graph ~n =
+  match Topology.param graph "shore" with
+  | _ -> chimera_embed graph ~n
+  | exception Not_found -> if is_pegasus graph then pegasus_embed graph ~n else None
 
 let find graph (p : Qac_ising.Problem.t) = embed graph ~n:p.Qac_ising.Problem.num_vars

@@ -1,20 +1,31 @@
-(** Deterministic clique embeddings for Chimera graphs (the TRIAD / native
-    clique template of Choi and of D-Wave's clique embedder).
+(** Deterministic native-clique embeddings, per topology family.
 
     Path-based heuristics like {!Cmr} struggle on dense interaction graphs;
-    the template embeds [K_n] ([n <= shore * m]) with L-shaped chains along
-    the grid diagonal: variable [v = b*t + k] occupies the partition-0 track
-    [k] of column [b] (rows [0..b]) plus the partition-1 track [k] of row
-    [b] (columns [b..B-1], where [B = ceil(n/t)] blocks are in use).  Any
-    two chains meet in exactly one unit cell, where the K_{t,t} intra-cell
-    couplers realize the logical edge.  Chains have length at most
-    [b + 1 + (B - b)]. *)
+    each family has a deterministic template that sidesteps the search:
 
-(** [embed graph ~n] returns the K_n template embedding, or [None] when
-    [n > shore * size] or a needed qubit is broken. *)
-val embed : Qac_chimera.Chimera.t -> n:int -> Embedding.t option
+    - {b Chimera} (the TRIAD / native clique template of Choi and of
+      D-Wave's clique embedder): [K_n] ([n <= shore * m]) with L-shaped
+      chains along the grid diagonal — variable [v = b*t + k] occupies the
+      partition-0 track [k] of column [b] (rows [0..b]) plus the partition-1
+      track [k] of row [b] (columns [b..B-1], where [B = ceil(n/t)] blocks
+      are in use).  Any two chains meet in exactly one unit cell, where the
+      K_{t,t} intra-cell couplers realize the logical edge.
+    - {b Pegasus}: the fabric contains {e native} K4s — a vertical odd pair
+      crossed by a horizontal odd pair — so [K_n] for [n <= 4] embeds with
+      chains of length {e one} (impossible on bipartite Chimera, where K3
+      already needs a chain).  Larger cliques return [None] and fall back to
+      {!Cmr}.
+
+    Both templates are total and deterministic: no exceptions, and the
+    embedding is a function of the graph alone, preserving the tiler's
+    composition invariance. *)
+
+(** [embed graph ~n] returns the native K_n template embedding, or [None]
+    when the family has no template for [n], a needed qubit is broken, or
+    the graph belongs to no known family. *)
+val embed : Qac_chimera.Topology.t -> n:int -> Embedding.t option
 
 (** [find graph problem] embeds [problem]'s interaction graph using the
     clique template sized to its variable count — valid for any problem,
     dense or not, at the cost of clique-sized chains. *)
-val find : Qac_chimera.Chimera.t -> Qac_ising.Problem.t -> Embedding.t option
+val find : Qac_chimera.Topology.t -> Qac_ising.Problem.t -> Embedding.t option

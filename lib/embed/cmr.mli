@@ -30,6 +30,13 @@ type params = {
 
 val default_params : params
 
+(** [params_for graph] is the default parameter set retuned for [graph]'s
+    connectivity: degree-15 fabrics (Pegasus) route with far fewer restarts
+    and passes than degree-6 Chimera needs, so they get [tries = 16] and
+    [max_passes = 16]; everything else gets {!default_params}.  Pure in the
+    graph, so cache keys stay deterministic. *)
+val params_for : Qac_chimera.Topology.t -> params
+
 (** [find ?params graph problem] searches for an embedding of [problem]'s
     interaction graph into [graph].  Returns [None] when every try fails. *)
 val find :

@@ -1,16 +1,17 @@
 (** Multi-problem tiling (see tiler.mli for the contract).
 
     The load-bearing invariant is {e composition invariance}: every job is
-    embedded into a freshly built local [Chimera.create ~shore k] — never
-    into its eventual position on the chip — and only cells with all qubits
-    working enter the pool, so any k x k block of pool cells is isomorphic
-    (by translation, with identical local numbering) to that local graph.
-    The embedding, local physical problem, and demuxed response of a job
-    therefore depend on (job, params) alone, not on what else shares the
-    chip or where the job lands. *)
+    embedded into a freshly built local fabric ([Family.build_local k]) —
+    never into its eventual position on the chip — and only clean tiles
+    enter the pool, so any placed block is isomorphic (by translation, with
+    identical local numbering) to that local graph.  The embedding, local
+    physical problem, and demuxed response of a job therefore depend on
+    (job, params) alone, not on what else shares the chip or where the job
+    lands.  All fabric geometry lives in {!Qac_chimera.Family}; this module
+    only walks the tile grid. *)
 
-module Chimera = Qac_chimera.Chimera
 module Topology = Qac_chimera.Topology
+module Family = Qac_chimera.Family
 module Sampler = Qac_anneal.Sampler
 module Parallel = Qac_anneal.Parallel
 module Rng = Qac_anneal.Rng
@@ -53,64 +54,23 @@ type outcome =
   | Failed of string
 
 type t = {
-  graph : Chimera.t;
+  graph : Topology.t;
   problems : Problem.t array;
   outcomes : outcome array;
   merged : Problem.t;
 }
 
-(* --- Geometry -------------------------------------------------------------- *)
+(* --- Placement geometry ------------------------------------------------------ *)
 
-let chimera_dims graph =
-  match (Topology.param graph "m", Topology.param graph "shore") with
-  | dims -> dims
-  | exception Not_found -> invalid_arg "Tiler: graph is not a Chimera"
-
-(* Cells with every qubit working; broken qubits knock their whole cell out
-   of the pool (that is how the tiler honors hardware drop-out while keeping
-   blocks isomorphic to pristine local Chimeras). *)
-let clean_cells graph ~m ~shore =
-  Array.init m (fun r ->
-      Array.init m (fun c ->
-          let base = 2 * shore * ((r * m) + c) in
-          let ok = ref true in
-          for w = 0 to (2 * shore) - 1 do
-            if not (Topology.is_working graph (base + w)) then ok := false
-          done;
-          !ok))
-
-(* Largest clean square on an empty floor (classic dynamic program): bounds
-   what any single job can ever get, independent of batch composition. *)
-let max_clean_block clean ~m =
-  let dp = Array.make_matrix m m 0 in
-  let best = ref 0 in
-  for r = 0 to m - 1 do
-    for c = 0 to m - 1 do
-      dp.(r).(c) <-
-        (if not clean.(r).(c) then 0
-         else if r = 0 || c = 0 then 1
-         else 1 + min dp.(r - 1).(c) (min dp.(r).(c - 1) dp.(r - 1).(c - 1)));
-      best := max !best dp.(r).(c)
-    done
-  done;
-  !best
-
-(* Global qubit ids of the k x k block at (r0, c0), in local-index order:
-   slot [l] is the qubit playing the role of qubit [l] of the local C_k.
-   Both numberings are [2*shore*cell + within], so only the cell translates. *)
-let region_qubits ~m ~shore ~r0 ~c0 ~block =
-  Array.init (2 * shore * block * block) (fun l ->
-      let cell = l / (2 * shore) in
-      let within = l mod (2 * shore) in
-      let i = cell / block and j = cell mod block in
-      (2 * shore * (((r0 + i) * m) + c0 + j)) + within)
-
-(* First free block in row-major origin order; deterministic in job order. *)
-let first_fit free ~m ~block =
+(* First free footprint in row-major origin order; deterministic in job
+   order.  [fp] is the footprint in tiles, which for Pegasus exceeds the
+   block size by one (adjacent blocks would otherwise share a boundary
+   offset column). *)
+let first_fit free ~rows ~cols ~fp =
   let fits r0 c0 =
     let ok = ref true in
-    for r = r0 to r0 + block - 1 do
-      for c = c0 to c0 + block - 1 do
+    for r = r0 to r0 + fp - 1 do
+      for c = c0 to c0 + fp - 1 do
         if not free.(r).(c) then ok := false
       done
     done;
@@ -118,8 +78,8 @@ let first_fit free ~m ~block =
   in
   let found = ref None in
   (try
-     for r0 = 0 to m - block do
-       for c0 = 0 to m - block do
+     for r0 = 0 to rows - fp do
+       for c0 = 0 to cols - fp do
          if fits r0 c0 then begin
            found := Some (r0, c0);
            raise Exit
@@ -129,9 +89,9 @@ let first_fit free ~m ~block =
    with Exit -> ());
   !found
 
-let mark_used free ~r0 ~c0 ~block =
-  for r = r0 to r0 + block - 1 do
-    for c = c0 to c0 + block - 1 do
+let mark_used free ~r0 ~c0 ~fp =
+  for r = r0 to r0 + fp - 1 do
+    for c = c0 to c0 + fp - 1 do
       free.(r).(c) <- false
     done
   done
@@ -163,19 +123,21 @@ let try_embed ?cache local problem eparams =
         | None -> None))
 
 (* Find (block, embedding) for one problem — grid-independent.  The ladder
-   starts at the capacity heuristic [2*shore*k^2 >= slack * num_vars] and
+   starts at the smallest block whose capacity covers [slack * num_vars] and
    grows on failure; dense problems get the deterministic clique template as
    a last resort at each size (mirroring [Pipeline.run]'s fallback). *)
-let ladder ?cache ~params ~seed ~shore ~kmax ~kclean problem =
+let ladder ?cache ~params ~seed ~fam ~kmax ~kclean problem =
   let n = problem.Problem.num_vars in
   if n = 0 then Ok (0, { Embedding.chains = [||] })
   else begin
     let k0 =
-      let cap = int_of_float (ceil (sqrt (params.slack *. float_of_int n /. float_of_int (2 * shore)))) in
-      max 1 (min cap kmax)
-    in
-    let base =
-      match params.embed_params with Some p -> p | None -> Cmr.default_params
+      let need = params.slack *. float_of_int n in
+      let rec find k =
+        if k >= kmax then kmax
+        else if float_of_int (fam.Family.block_capacity k) >= need then k
+        else find (k + 1)
+      in
+      find 1
     in
     let rec grow k =
       if k > kmax then
@@ -186,12 +148,17 @@ let ladder ?cache ~params ~seed ~shore ~kmax ~kclean problem =
              "problem too large for the topology (needs a %dx%d clean block; largest is %dx%d)"
              k k kclean kclean)
       else begin
-        let local = Chimera.create ~shore k in
+        let local = fam.Family.build_local k in
+        let base =
+          match params.embed_params with
+          | Some p -> p
+          | None -> Cmr.params_for local
+        in
         let rec attempt a =
           if a >= params.attempts_per_size then
             (* Dense interaction graphs defeat the path-based heuristic; the
                clique template is deterministic, so it keeps the invariance. *)
-            match (try Clique.find local problem with Not_found -> None) with
+            match Clique.find local problem with
             | Some e -> Ok (k, e)
             | None -> grow (k + 1)
           else
@@ -213,10 +180,12 @@ let ladder ?cache ~params ~seed ~shore ~kmax ~kclean problem =
 (* --- Tiling ----------------------------------------------------------------- *)
 
 let tile ?(params = default_params) ?cache ?seeds ?(num_threads = 1) graph problems =
-  let m, shore = chimera_dims graph in
-  let clean = clean_cells graph ~m ~shore in
-  let kclean = max_clean_block clean ~m in
-  let kmax = min m (Option.value params.max_block ~default:m) in
+  let fam = Family.of_topology graph in
+  let kclean = Family.max_feasible_block fam in
+  let kmax =
+    min fam.Family.max_block
+      (Option.value params.max_block ~default:fam.Family.max_block)
+  in
   let n = Array.length problems in
   let seed_of i = match seeds with Some s -> s.(i) | None -> params.seed in
   (* Phase 1 — the per-job ladders are independent of the grid and of each
@@ -224,15 +193,15 @@ let tile ?(params = default_params) ?cache ?seeds ?(num_threads = 1) graph probl
   let ladders = Array.make n (Error "not attempted") in
   Parallel.run_tasks ~num_workers:num_threads n (fun i ->
       ladders.(i) <-
-        ladder ?cache ~params ~seed:(seed_of i) ~shore ~kmax ~kclean problems.(i));
+        ladder ?cache ~params ~seed:(seed_of i) ~fam ~kmax ~kclean problems.(i));
   (* Phase 2 — sequential first-fit placement in job order. *)
-  let free = Array.map Array.copy clean in
+  let free = Array.map Array.copy fam.Family.clean in
   let locals = Hashtbl.create 4 in
-  let local_chimera k =
+  let local_graph k =
     match Hashtbl.find_opt locals k with
     | Some g -> g
     | None ->
-      let g = Chimera.create ~shore k in
+      let g = fam.Family.build_local k in
       Hashtbl.add locals k g;
       g
   in
@@ -248,13 +217,14 @@ let tile ?(params = default_params) ?cache ?seeds ?(num_threads = 1) graph probl
                embedding;
                physical = Problem.empty }
          | Ok (block, embedding) ->
-           (match first_fit free ~m ~block with
+           let fp = fam.Family.footprint block in
+           (match first_fit free ~rows:fam.Family.rows ~cols:fam.Family.cols ~fp with
             | None -> Deferred
             | Some (r0, c0) ->
-              mark_used free ~r0 ~c0 ~block;
+              mark_used free ~r0 ~c0 ~fp;
               let physical =
                 Embedding.apply ?chain_strength:params.chain_strength
-                  (local_chimera block) problems.(i) embedding
+                  (local_graph block) problems.(i) embedding
               in
               Placed
                 { job = i;
@@ -262,7 +232,7 @@ let tile ?(params = default_params) ?cache ?seeds ?(num_threads = 1) graph probl
                     { origin_row = r0;
                       origin_col = c0;
                       block;
-                      qubits = region_qubits ~m ~shore ~r0 ~c0 ~block };
+                      qubits = fam.Family.block_qubits ~r0 ~c0 ~block };
                   embedding;
                   physical }))
       ladders

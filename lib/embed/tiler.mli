@@ -1,14 +1,19 @@
 (** Multi-problem tiling: pack N independent logical Ising problems onto one
-    Chimera graph by carving the hardware into disjoint regions, one per
-    problem, and solving them all in a single (merged) physical Hamiltonian
-    or as a batch of per-region subproblems.
+    hardware graph by carving it into disjoint regions, one per problem, and
+    solving them all in a single (merged) physical Hamiltonian or as a batch
+    of per-region subproblems.  All fabric-specific geometry (tile grid,
+    clean tiles, block footprints, local graphs) comes from
+    {!Qac_chimera.Family}, so any family that module knows — Chimera and
+    Pegasus — tiles identically.
 
-    {b Regions are square blocks of clean unit cells.}  A cell containing
-    any broken qubit is excluded from the pool outright, so every k x k
-    block of pool cells induces a subgraph isomorphic — by translation, with
-    identical local numbering — to [Chimera.create ~shore k].  Each problem
-    is therefore embedded into a freshly built local [C_k], never into its
-    eventual position, which buys two properties at once:
+    {b Regions are square blocks of clean tiles.}  A tile with a qubit
+    broken beyond the family's own fabric trimming is excluded from the pool
+    outright, so every placed block induces a subgraph isomorphic — by
+    translation, with identical local numbering — to the family's local
+    fabric [Family.build_local k] ([Chimera.create ~shore k], or a
+    translated [P_{k+1}]).  Each problem is therefore embedded into that
+    freshly built local graph, never into its eventual position, which buys
+    two properties at once:
 
     - {b composition invariance}: the embedding, the local physical problem,
       and hence the demuxed response for a job are pure functions of (job,
@@ -16,7 +21,8 @@
       any other jobs, at any thread count;
     - {b cache locality}: every job with the same interaction structure and
       block size shares one {!Cache} entry (the local topology is the same
-      ["chimera-kxkxk"] object for all of them).
+      family-distinct ["chimera-kxkxk"] / ["pegasus-k+1"] object for all of
+      them, so keys can never collide across fabrics).
 
     Block sizes climb a deterministic ladder: starting from a capacity
     heuristic, each size gets a fixed number of embedding attempts with
@@ -30,8 +36,8 @@ type params = {
   attempts_per_size : int;  (** embedding retries before growing the block *)
   max_block : int option;  (** block-size cap; [None] = the full grid *)
   slack : float;
-      (** capacity headroom: the starting block size k satisfies
-          [2 * shore * k^2 >= slack * num_vars] *)
+      (** capacity headroom: the ladder starts at the smallest block [k]
+          with [Family.block_capacity k >= slack * num_vars] *)
   embed_params : Cmr.params option;
       (** base CMR parameters; the ladder overrides [seed] per attempt *)
   chain_strength : float option;  (** [None]: per-problem default *)
@@ -42,11 +48,13 @@ val default_params : params
 
 type region = {
   origin_row : int;
-  origin_col : int;  (** north-west cell of the block, in grid coordinates *)
-  block : int;  (** the block is [block x block] unit cells *)
+  origin_col : int;  (** north-west tile of the block, in grid coordinates *)
+  block : int;
+      (** block size; the placed footprint is [Family.footprint block] tiles
+          per side (equal to [block] for Chimera, [block + 1] for Pegasus) *)
   qubits : int array;
       (** global qubit ids in local-index order: [qubits.(l)] is the global
-          qubit playing the role of qubit [l] of [Chimera.create ~shore block] *)
+          qubit playing the role of qubit [l] of [Family.build_local block] *)
 }
 
 type placed = {
@@ -64,7 +72,7 @@ type outcome =
   | Failed of string  (** no embedding, or too large for the topology *)
 
 type t = {
-  graph : Qac_chimera.Chimera.t;
+  graph : Qac_chimera.Topology.t;
   problems : Qac_ising.Problem.t array;
   outcomes : outcome array;  (** parallel to [problems] *)
   merged : Qac_ising.Problem.t;
@@ -78,16 +86,16 @@ type t = {
     row-major, in job order).  [cache] memoizes embeddings across jobs and
     batches.  [seeds] overrides [params.seed] per job — the batch server
     uses it to retry an embedding-failed job with a fresh seed; a job's seed
-    is part of its identity for composition invariance.  [graph] must be a
-    Chimera ({!Qac_chimera.Chimera.create}); raises [Invalid_argument]
-    otherwise.  Problems with zero variables are placed trivially (empty
-    region). *)
+    is part of its identity for composition invariance.  [graph] must belong
+    to a known topology family ({!Qac_chimera.Family.of_topology}: Chimera
+    or Pegasus); raises [Invalid_argument] otherwise.  Problems with zero
+    variables are placed trivially (empty region). *)
 val tile :
   ?params:params ->
   ?cache:Cache.t ->
   ?seeds:int array ->
   ?num_threads:int ->
-  Qac_chimera.Chimera.t ->
+  Qac_chimera.Topology.t ->
   Qac_ising.Problem.t array ->
   t
 

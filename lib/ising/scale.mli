@@ -15,6 +15,11 @@ type range = {
 val dwave_2000q : range
 (** h in [-2, 2], J in [-2, 1]. *)
 
+val advantage : range
+(** h in [-4, 4], J in [-1, 1] — the Pegasus-generation (Advantage) ranges:
+    double the field headroom, symmetric but tighter couplers.  {!Cellgen}
+    rederives its unit cells under this range for Pegasus targets. *)
+
 val unconstrained : range
 (** Infinite ranges, used for the logical (pre-embedding) problem. *)
 

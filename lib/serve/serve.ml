@@ -66,7 +66,7 @@ type t = {
   max_retries : int;
   trace : Trace.t option;
   solver : deadline:float option -> Problem.t -> Sampler.response;
-  graph : Qac_chimera.Chimera.t;
+  graph : Qac_chimera.Topology.t;
   mutable queue : pending list;  (* head = next to serve *)
   mutable next_index : int;
   mutable draining : bool;

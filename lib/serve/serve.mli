@@ -82,7 +82,7 @@ val create :
   ?max_retries:int ->
   ?trace:Qac_diag.Trace.t ->
   solver:(deadline:float option -> Qac_ising.Problem.t -> Qac_anneal.Sampler.response) ->
-  graph:Qac_chimera.Chimera.t ->
+  graph:Qac_chimera.Topology.t ->
   unit ->
   t
 

@@ -161,4 +161,41 @@ let qcheck_tests =
   in
   [ QCheck_alcotest.to_alcotest random_function_derives ]
 
-let suite = lp_tests @ truthtab_tests @ derive_tests @ qcheck_tests
+let adjacency_range_tests =
+  [ Alcotest.test_case "cells rederive inside the Advantage box" `Quick (fun () ->
+        List.iter
+          (fun (name, fn, num_inputs) ->
+             let t = Truthtab.of_function ~num_inputs fn in
+             match Gen.derive ~range:Scale.advantage ~seed:42 t with
+             | None -> Alcotest.fail (name ^ ": no derivation in Advantage range")
+             | Some d ->
+               Alcotest.(check bool) (name ^ " verifies") true (Gen.verify d);
+               Alcotest.(check bool) (name ^ " fits the box") true
+                 (Scale.fits Scale.advantage d.Gen.problem);
+               Alcotest.(check bool) (name ^ " gap positive") true
+                 (d.Gen.gap >= 1.0))
+          [ ("AND", and_fn, 2); ("OR", or_fn, 2); ("XOR", xor_fn, 2);
+            ("MUX", (fun v -> if v.(2) then v.(1) else v.(0)), 3) ]);
+    Alcotest.test_case "adjacency: NOT without its coupler is underivable" `Quick
+      (fun () ->
+         (* With J pinned to zero the rows FT/TF can never sit strictly below
+            FF/TT — the fields alone cannot separate them. *)
+         let t = Truthtab.of_function ~num_inputs:1 not_fn in
+         match Gen.derive_exact ~adjacency:(fun _ _ -> false) t with
+         | None -> ()
+         | Some _ -> Alcotest.fail "h-only NOT cell cannot separate its rows");
+    Alcotest.test_case "adjacency: forbidden pairs carry zero coupling" `Quick
+      (fun () ->
+         (* Forbid the input-input coupler on OR; the LP must route around it
+            (possibly via an ancilla) or give up — never emit it. *)
+         let t = Truthtab.of_function ~num_inputs:2 or_fn in
+         let adjacency i j = not ((i, j) = (0, 1) || (i, j) = (1, 0)) in
+         match Gen.derive ~seed:42 ~adjacency t with
+         | None -> ()
+         | Some d ->
+           Alcotest.(check bool) "verifies" true (Gen.verify d);
+           Alcotest.(check (float 1e-9)) "J01 pinned to zero" 0.0
+             (Problem.get_j d.Gen.problem 0 1));
+  ]
+
+let suite = lp_tests @ truthtab_tests @ derive_tests @ qcheck_tests @ adjacency_range_tests

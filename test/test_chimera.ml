@@ -206,4 +206,235 @@ let pegasus_tests =
         Alcotest.(check (list int)) "no neighbors" [] (Topology.neighbors g 0));
   ]
 
-let suite = suite @ topology_tests @ pegasus_tests
+(* --- Pegasus structural properties (QCheck) ---------------------------------- *)
+
+(* Edge classes per the geometric construction.  [`Bad] means the edge fits
+   no class — a construction bug. *)
+let classify g q p =
+  let a = Pegasus.coords g q and b = Pegasus.coords g p in
+  if a.Pegasus.orientation <> b.Pegasus.orientation then `Internal
+  else if
+    a.Pegasus.offset = b.Pegasus.offset
+    && a.Pegasus.track = b.Pegasus.track
+    && abs (a.Pegasus.position - b.Pegasus.position) = 1
+  then `External
+  else if
+    a.Pegasus.offset = b.Pegasus.offset
+    && a.Pegasus.position = b.Pegasus.position
+    && a.Pegasus.track / 2 = b.Pegasus.track / 2
+    && a.Pegasus.track <> b.Pegasus.track
+  then `Odd
+  else `Bad
+
+(* Whether a vertical and a horizontal segment cross, from the raw
+   plane geometry (the construction's source of truth for internal
+   couplers). *)
+let crosses ~vs ~hs v h =
+  let x = (12 * v.Pegasus.offset) + v.Pegasus.track in
+  let y0 = (12 * v.Pegasus.position) + vs.(v.Pegasus.track) in
+  let y = (12 * h.Pegasus.offset) + h.Pegasus.track in
+  let x0 = (12 * h.Pegasus.position) + hs.(h.Pegasus.track) in
+  y >= y0 && y < y0 + 12 && x >= x0 && x < x0 + 12
+
+(* Independent recount of each coupler class, restricted to working qubits
+   (closed-form counts do not survive fabric trimming, so the test recounts
+   geometrically instead of trusting a formula). *)
+let expected_class_counts g m =
+  let vs = Pegasus.vertical_shifts g and hs = Pegasus.horizontal_shifts g in
+  let working c = Topology.is_working g (Pegasus.qubit g c) in
+  let ext = ref 0 and odd = ref 0 and internal = ref 0 in
+  for u = 0 to 1 do
+    for w = 0 to m - 1 do
+      for k = 0 to 11 do
+        for z = 0 to m - 2 do
+          let c = { Pegasus.orientation = u; offset = w; track = k; position = z } in
+          if working c then begin
+            if z + 1 <= m - 2 && working { c with Pegasus.position = z + 1 } then incr ext;
+            if k mod 2 = 0 && working { c with Pegasus.track = k + 1 } then incr odd
+          end
+        done
+      done
+    done
+  done;
+  for w = 0 to m - 1 do
+    for k = 0 to 11 do
+      for z = 0 to m - 2 do
+        let v = { Pegasus.orientation = 0; offset = w; track = k; position = z } in
+        if working v then
+          for w' = 0 to m - 1 do
+            for k' = 0 to 11 do
+              for z' = 0 to m - 2 do
+                let h = { Pegasus.orientation = 1; offset = w'; track = k'; position = z' } in
+                if working h && crosses ~vs ~hs v h then incr internal
+              done
+            done
+          done
+      done
+    done
+  done;
+  (!ext, !odd, !internal)
+
+let pegasus_structural =
+  QCheck.Test.make
+    ~name:"Pegasus structure: counts, degree caps, coupler classes, round-trip"
+    ~count:12
+    QCheck.(pair (int_range 2 5) (int_bound 10_000))
+    (fun (m, seed) ->
+       let module Rng = Qac_anneal.Rng in
+       let pristine = Pegasus.create m in
+       let n = Topology.num_qubits pristine in
+       if n <> 24 * m * (m - 1) then
+         QCheck.Test.fail_reportf "P%d has %d qubits, want %d" m n (24 * m * (m - 1));
+       (* Working count after fabric trimming: 8(m-1)(3m-1), the idealized
+          node set minus the 8(m-1) boundary segments that cross nothing. *)
+       let want_working = 8 * (m - 1) * ((3 * m) - 1) in
+       if Topology.num_working_qubits pristine <> want_working then
+         QCheck.Test.fail_reportf "P%d working %d, want %d" m
+           (Topology.num_working_qubits pristine) want_working;
+       for q = 0 to n - 1 do
+         if Pegasus.qubit pristine (Pegasus.coords pristine q) <> q then
+           QCheck.Test.fail_reportf "coords round-trip broke at %d" q
+       done;
+       (* Now knock out random qubits on top of the trimming and recheck the
+          structural invariants on the damaged graph. *)
+       let rng = Rng.create seed in
+       let broken = List.init (Rng.int rng 6) (fun _ -> Rng.int rng n) in
+       let g = Pegasus.create ~broken m in
+       let ext = ref 0 and odd = ref 0 and internal = ref 0 in
+       List.iter
+         (fun (q, p) ->
+            match classify g q p with
+            | `External -> incr ext
+            | `Odd -> incr odd
+            | `Internal -> incr internal
+            | `Bad -> QCheck.Test.fail_reportf "edge (%d, %d) fits no coupler class" q p)
+         (Topology.edges g);
+       let want_ext, want_odd, want_internal = expected_class_counts g m in
+       if (!ext, !odd, !internal) <> (want_ext, want_odd, want_internal) then
+         QCheck.Test.fail_reportf
+           "coupler classes (ext %d, odd %d, int %d) disagree with geometric recount \
+            (%d, %d, %d)"
+           !ext !odd !internal want_ext want_odd want_internal;
+       (* Degree cap 15 = 12 internal + 2 external + 1 odd, per class. *)
+       for q = 0 to n - 1 do
+         let e = ref 0 and o = ref 0 and i = ref 0 in
+         List.iter
+           (fun p ->
+              match classify g q p with
+              | `External -> incr e
+              | `Odd -> incr o
+              | `Internal -> incr i
+              | `Bad -> ())
+           (Topology.neighbors g q);
+         if !e > 2 || !o > 1 || !i > 12 then
+           QCheck.Test.fail_reportf "qubit %d class degrees (ext %d, odd %d, int %d)" q !e
+             !o !i;
+         if Topology.degree g q > 15 then
+           QCheck.Test.fail_reportf "qubit %d degree %d > 15" q (Topology.degree g q)
+       done;
+       true)
+
+(* --- Topology families -------------------------------------------------------- *)
+
+module Family = Qac_chimera.Family
+
+(* The tiler's soundness rests on this: every edge of the local fabric maps
+   through [block_qubits] onto a real coupler of the chip, and every working
+   local qubit onto a working global qubit. *)
+let check_block_isomorphism fam ~k ~origins =
+  let local = fam.Family.build_local k in
+  List.iter
+    (fun (r0, c0) ->
+       let qubits = fam.Family.block_qubits ~r0 ~c0 ~block:k in
+       Alcotest.(check int)
+         "block indexes the whole local fabric"
+         (Topology.num_qubits local) (Array.length qubits);
+       for l = 0 to Topology.num_qubits local - 1 do
+         if Topology.is_working local l then
+           Alcotest.(check bool)
+             (Printf.sprintf "local qubit %d maps to a working qubit" l)
+             true
+             (Topology.is_working fam.Family.graph qubits.(l))
+       done;
+       List.iter
+         (fun (a, b) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "local edge (%d, %d) maps to a coupler" a b)
+              true
+              (Topology.adjacent fam.Family.graph qubits.(a) qubits.(b)))
+         (Topology.edges local))
+    origins
+
+let family_tests =
+  [ Alcotest.test_case "of_topology dispatches on family identity" `Quick (fun () ->
+        Alcotest.(check string) "chimera" "chimera"
+          (Family.of_topology (Chimera.create 2)).Family.family;
+        Alcotest.(check string) "pegasus" "pegasus"
+          (Family.of_topology (Pegasus.create 2)).Family.family;
+        let alien =
+          Topology.create ~name:"ring" ~params:[] ~num_qubits:3
+            ~edges:[ (0, 1); (1, 2); (0, 2) ] ()
+        in
+        match Family.of_topology alien with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection of an unknown family");
+    Alcotest.test_case "tiles partition the qubits (both families)" `Quick (fun () ->
+        List.iter
+          (fun fam ->
+             let seen = Array.make (Topology.num_qubits fam.Family.graph) false in
+             for q = 0 to Topology.num_qubits fam.Family.graph - 1 do
+               let r, c = fam.Family.tile_of_qubit q in
+               Alcotest.(check bool) "row in range" true (r >= 0 && r < fam.Family.rows);
+               Alcotest.(check bool) "col in range" true (c >= 0 && c < fam.Family.cols);
+               Alcotest.(check bool) "each qubit in one tile" false seen.(q);
+               seen.(q) <- true
+             done;
+             Alcotest.(check bool) "all qubits covered" true (Array.for_all Fun.id seen))
+          [ Family.chimera (Chimera.create 3); Family.pegasus (Pegasus.create 3) ]);
+    Alcotest.test_case "blocks are isomorphic to the local fabric (Chimera)" `Quick
+      (fun () ->
+         let fam = Family.chimera (Chimera.create 6) in
+         check_block_isomorphism fam ~k:2 ~origins:[ (0, 0); (1, 2); (4, 4) ]);
+    Alcotest.test_case "blocks are isomorphic to the local fabric (Pegasus)" `Quick
+      (fun () ->
+         let fam = Family.pegasus (Pegasus.create 4) in
+         check_block_isomorphism fam ~k:1 ~origins:[ (0, 0); (1, 1); (2, 0) ];
+         check_block_isomorphism fam ~k:2 ~origins:[ (0, 0); (1, 1) ]);
+    Alcotest.test_case "pegasus clean tiles tolerate fabric trimming only" `Quick
+      (fun () ->
+         let pristine = Family.pegasus (Pegasus.create 3) in
+         Alcotest.(check bool) "pristine fabric is all clean" true
+           (Array.for_all (Array.for_all Fun.id) pristine.Family.clean);
+         (* Breaking one pristine-working qubit dirties exactly its tile. *)
+         let victim = ref (-1) in
+         (try
+            for q = 0 to Topology.num_qubits pristine.Family.graph - 1 do
+              if Topology.is_working pristine.Family.graph q then begin
+                victim := q;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         let vr, vc = pristine.Family.tile_of_qubit !victim in
+         let damaged = Family.pegasus (Pegasus.create ~broken:[ !victim ] 3) in
+         Alcotest.(check bool) "victim tile dirty" false damaged.Family.clean.(vr).(vc);
+         let others_clean = ref true in
+         Array.iteri
+           (fun r row ->
+              Array.iteri
+                (fun c ok -> if (r, c) <> (vr, vc) && not ok then others_clean := false)
+                row)
+           damaged.Family.clean;
+         Alcotest.(check bool) "other tiles stay clean" true !others_clean);
+    Alcotest.test_case "max_feasible_block accounts for footprints" `Quick (fun () ->
+        Alcotest.(check int) "C6 hosts a 6-block" 6
+          (Family.max_feasible_block (Family.chimera (Chimera.create 6)));
+        (* P4's 4x4 tile grid fits the (k+1)-tile footprint of k=3 exactly. *)
+        Alcotest.(check int) "P4 hosts a 3-block" 3
+          (Family.max_feasible_block (Family.pegasus (Pegasus.create 4))));
+  ]
+
+let suite =
+  suite @ topology_tests @ pegasus_tests
+  @ [ QCheck_alcotest.to_alcotest pegasus_structural ]
+  @ family_tests

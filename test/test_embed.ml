@@ -331,4 +331,71 @@ let clique_tests =
         | Some e -> check_ground_preservation graph k5 e);
   ]
 
-let suite = suite @ clique_tests
+module Pegasus = Qac_chimera.Pegasus
+
+let pegasus_clique_tests =
+  let k4 =
+    Problem.create ~num_vars:4 ~h:(Array.make 4 0.1)
+      ~j:[ ((0, 1), 1.0); ((0, 2), 1.0); ((0, 3), 1.0);
+           ((1, 2), 1.0); ((1, 3), 1.0); ((2, 3), 1.0) ]
+      ()
+  in
+  [ Alcotest.test_case "Pegasus native K4 uses unit chains" `Quick (fun () ->
+        (* The payoff of the odd couplers: K4 without any chaining, where the
+           Chimera template needs length-2 chains. *)
+        let graph = Pegasus.create 2 in
+        match Clique.find graph k4 with
+        | None -> Alcotest.fail "native K4 not found on pristine P2"
+        | Some e ->
+          check_verified graph k4 e;
+          Alcotest.(check int) "unit chains" 1 (Embedding.max_chain_length e);
+          check_ground_preservation graph k4 e);
+    Alcotest.test_case "Pegasus template caps at K4" `Quick (fun () ->
+        let graph = Pegasus.create 3 in
+        Alcotest.(check bool) "K5 declined" true (Clique.embed graph ~n:5 = None);
+        Alcotest.(check bool) "K3 found" true (Clique.embed graph ~n:3 <> None));
+    Alcotest.test_case "Pegasus template is total on damaged fabrics" `Quick (fun () ->
+        (* Any broken set must yield either None or a verified embedding —
+           never an exception (the tiler calls this unguarded). *)
+        let n = 24 * 2 * 1 in
+        let st = Random.State.make [| 11 |] in
+        for _ = 1 to 20 do
+          let broken = List.init (Random.State.int st n) (fun _ -> Random.State.int st n) in
+          let graph = Pegasus.create ~broken 2 in
+          match Clique.find graph k4 with
+          | None -> ()
+          | Some e -> check_verified graph k4 e
+        done);
+  ]
+
+let family_key_tests =
+  let params = { Cmr.default_params with Cmr.seed = 3 } in
+  [ Alcotest.test_case "key separates topology families and geometries" `Quick
+      (fun () ->
+         (* C2 with shore 6 and P2 both have 48 qubits; only the family
+            identity in the key tells them apart. *)
+         let p = random_problem (Random.State.make [| 4 |]) in
+         let c = Chimera.create ~shore:6 2 and pg = Pegasus.create 2 in
+         Alcotest.(check int) "same qubit budget"
+           (Qac_chimera.Topology.num_qubits c)
+           (Qac_chimera.Topology.num_qubits pg);
+         Alcotest.(check bool) "families never collide" false
+           (Cache.key c p ~params = Cache.key pg p ~params);
+         let victim =
+           let q = ref 0 in
+           while not (Qac_chimera.Topology.is_working pg !q) do incr q done;
+           !q
+         in
+         Alcotest.(check bool) "broken Pegasus qubit" false
+           (Cache.key pg p ~params = Cache.key (Pegasus.create ~broken:[ victim ] 2) p ~params);
+         let shifted =
+           Pegasus.create
+             ~vertical_shifts:Pegasus.default_horizontal_shifts
+             ~horizontal_shifts:Pegasus.default_vertical_shifts 2
+         in
+         (* Same m, same qubit count, different crossing geometry. *)
+         Alcotest.(check bool) "shift lists are part of the identity" false
+           (Cache.key pg p ~params = Cache.key shifted p ~params));
+  ]
+
+let suite = suite @ clique_tests @ pegasus_clique_tests @ family_key_tests

@@ -239,4 +239,36 @@ let trace_tests =
           | Some v -> Alcotest.(check bool) "throughput summary positive" true (v > 0)
           | None -> Alcotest.fail "no throughput summary")) ]
 
-let suite = basic_tests @ deadline_tests @ failure_tests @ trace_tests
+let pegasus_tests =
+  [ Alcotest.test_case "multi-job batch drains Done on Pegasus" `Quick (fun () ->
+        let graph = Qac_chimera.Pegasus.create 4 in
+        let problems =
+          [ chain_problem 5; dense_problem 4; chain_problem 3; dense_problem 3 ]
+        in
+        let results, stats =
+          serve_all ~batch_jobs:(List.length problems) graph
+            (List.mapi (fun i p -> job (string_of_int i) p) problems)
+        in
+        Alcotest.(check int) "result count" (List.length problems)
+          (List.length results);
+        List.iter
+          (fun (r : Serve.result) ->
+             match r.Serve.status with
+             | Serve.Done -> ()
+             | _ -> Alcotest.fail (r.Serve.id ^ ": not done on Pegasus"))
+          results;
+        Alcotest.(check int) "no failures" 0 stats.Serve.failures;
+        (* And served responses stay equal to standalone tiled solves —
+           the reproducibility contract is family-independent. *)
+        List.iteri
+          (fun i p ->
+             let alone = Tiler.tile ~params:tiler_params graph [| p |] in
+             match Tiler.solve ~solver alone with
+             | [ (0, expected) ] ->
+               check_response (string_of_int i) expected
+                 (response_exn (List.nth results i))
+             | _ -> Alcotest.fail "standalone solve failed")
+          problems);
+  ]
+
+let suite = basic_tests @ deadline_tests @ failure_tests @ trace_tests @ pegasus_tests

@@ -307,26 +307,63 @@ let arbitrary_batch =
     QCheck.Gen.(list_size (int_range 1 5) random_problem)
 
 let qcheck_isolation =
+  (* Both families: the isolation and invariance contracts are per-family
+     obligations of the carving, not Chimera accidents. *)
   QCheck.Test.make ~name:"random batches: isolation + per-job invariance" ~count:15
     arbitrary_batch (fun problems ->
-      let graph = Chimera.create 6 in
-      let batch = Array.of_list problems in
-      let t = Tiler.tile ~params graph batch in
-      check_isolation t;
-      let batched = Tiler.solve ~solver t in
-      Array.iteri
-        (fun i p ->
-           match t.Tiler.outcomes.(i) with
-           | Tiler.Placed _ ->
-             let alone = Tiler.tile ~params graph [| p |] in
-             (match (Tiler.solve ~solver alone, List.assoc_opt i batched) with
-              | [ (0, ra) ], Some rb ->
-                check_response (Printf.sprintf "job %d" i) ra rb
-              | _ -> Alcotest.fail "missing response")
-           | Tiler.Deferred | Tiler.Failed _ -> ())
-        batch;
+      List.iter
+        (fun graph ->
+           let batch = Array.of_list problems in
+           let t = Tiler.tile ~params graph batch in
+           check_isolation t;
+           let batched = Tiler.solve ~solver t in
+           Array.iteri
+             (fun i p ->
+                match t.Tiler.outcomes.(i) with
+                | Tiler.Placed _ ->
+                  let alone = Tiler.tile ~params graph [| p |] in
+                  (match (Tiler.solve ~solver alone, List.assoc_opt i batched) with
+                   | [ (0, ra) ], Some rb ->
+                     check_response (Printf.sprintf "job %d" i) ra rb
+                   | _ -> Alcotest.fail "missing response")
+                | Tiler.Deferred | Tiler.Failed _ -> ())
+             batch)
+        [ Chimera.create 6; Qac_chimera.Pegasus.create 4 ];
       true)
 
+let pegasus_tests =
+  let graph = Qac_chimera.Pegasus.create 4 in
+  [ Alcotest.test_case "all jobs place on P4 with disjoint regions" `Quick (fun () ->
+        let t = Tiler.tile ~params graph jobs in
+        let placed, deferred, failed = Tiler.counts t in
+        Alcotest.(check int) "all placed" (Array.length jobs) placed;
+        Alcotest.(check int) "none deferred" 0 deferred;
+        Alcotest.(check int) "none failed" 0 failed;
+        check_isolation t);
+    Alcotest.test_case "composition invariance on Pegasus" `Quick (fun () ->
+        let batch = Tiler.tile ~params graph jobs in
+        let batched = Tiler.solve ~solver batch in
+        Array.iteri
+          (fun i p ->
+             let alone = Tiler.tile ~params graph [| p |] in
+             match (Tiler.solve ~solver alone, List.assoc_opt i batched) with
+             | [ (0, ra) ], Some rb -> check_response (Printf.sprintf "job %d" i) ra rb
+             | _ -> Alcotest.fail "missing response")
+          jobs);
+    Alcotest.test_case "Pegasus tiling is identical at 1 and 4 threads" `Quick
+      (fun () ->
+         let t1 = Tiler.tile ~params ~num_threads:1 graph jobs in
+         let t4 = Tiler.tile ~params ~num_threads:4 graph jobs in
+         Alcotest.(check bool) "merged problems equal" true
+           (Problem.equal t1.Tiler.merged t4.Tiler.merged);
+         Array.iteri
+           (fun i _ ->
+              let p1 = placed_exn t1 i and p4 = placed_exn t4 i in
+              Alcotest.(check (array int)) "region qubits" p1.Tiler.region.Tiler.qubits
+                p4.Tiler.region.Tiler.qubits)
+           jobs);
+  ]
+
 let suite =
-  tiling_tests @ solve_tests @ demux_tests
+  tiling_tests @ solve_tests @ demux_tests @ pegasus_tests
   @ [ QCheck_alcotest.to_alcotest qcheck_isolation ]
