@@ -171,6 +171,31 @@ let threads_arg =
   in
   Arg.(value & opt int 1 & info [ "threads" ] ~docv:"N" ~doc)
 
+let postprocess_arg =
+  let doc =
+    "Post-process samples: $(b,none), $(b,polish) (steepest-descend every \
+     sample to its local minimum; the --timeout-ms deadline bounds the \
+     polish loop too) or $(b,gauge) (solve under a spin-reversal transform \
+     to decorrelate solver bias from the problem's sign structure)."
+  in
+  Arg.(value
+       & opt (enum [ ("none", `None); ("polish", `Polish); ("gauge", `Gauge) ]) `None
+       & info [ "postprocess" ] ~docv:"MODE" ~doc)
+
+let chain_break_arg =
+  let doc =
+    "Chain-break resolution for embedded runs: $(b,vote) (majority per \
+     chain), $(b,discard) (drop reads with broken chains, falling back to \
+     voting when every read breaks) or $(b,polish) (greedy-repair the \
+     physical sample before voting)."
+  in
+  Arg.(value
+       & opt (enum [ ("vote", Qac_embed.Embedding.Vote);
+                     ("discard", Qac_embed.Embedding.Discard);
+                     ("polish", Qac_embed.Embedding.Polish) ])
+           Qac_embed.Embedding.Vote
+       & info [ "chain-break" ] ~docv:"POLICY" ~doc)
+
 let make_solver solver ~reads ~sweeps ~seed =
   match solver with
   | `Exact -> P.Exact_solver
@@ -207,7 +232,7 @@ let split_pins specs =
 
 let run_cmd =
   let run src top steps no_optimize pins solver reads sweeps seed physical topology broken
-      roof all threads timeout_ms trace trace_json =
+      roof all threads timeout_ms postprocess chain_break trace trace_json =
     try
       let tr = make_trace ~trace ~trace_json in
       let t = compile ?top ?steps ~optimize:(not no_optimize) ?trace:tr src in
@@ -228,7 +253,7 @@ let run_cmd =
       let hits0, misses0 = Qac_embed.Cache.stats cache in
       let result =
         P.run t ~pins ~pin_source ?trace:tr ~num_threads:threads ~embed_cache:cache
-          ?timeout_ms ~solver ~target
+          ?timeout_ms ~postprocess ~chain_break ~solver ~target
       in
       (match tr with
        | None -> ()
@@ -273,8 +298,8 @@ let run_cmd =
     Term.(ret
             (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ pins_arg
              $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ physical_arg $ topology_arg
-             $ broken_arg $ roof_arg $ all_arg $ threads_arg $ timeout_arg $ trace_arg
-             $ trace_json_arg))
+             $ broken_arg $ roof_arg $ all_arg $ threads_arg $ timeout_arg
+             $ postprocess_arg $ chain_break_arg $ trace_arg $ trace_json_arg))
 
 (* --- serve ----------------------------------------------------------------- *)
 
@@ -354,7 +379,7 @@ let parse_job_line line_no line =
 
 let serve_cmd =
   let run jobs_file physical topology broken solver reads sweeps seed threads batch_jobs
-      batch_window_ms queue_capacity trace trace_json =
+      batch_window_ms queue_capacity postprocess chain_break trace trace_json =
     try
       let parsed =
         String.split_on_char '\n' (read_file jobs_file)
@@ -376,15 +401,20 @@ let serve_cmd =
       in
       let solver_variant = make_solver solver ~reads ~sweeps ~seed in
       (* Per-job solves already run concurrently across the service's
-         domains, so each individual solve stays single-threaded. *)
-      let solver ~deadline p = P.dispatch_solver ~num_threads:1 ?deadline solver_variant p in
+         domains, so each individual solve stays single-threaded.  The
+         composite wrapper honors each job's own deadline inside the
+         polish loop. *)
+      let solver ~deadline p =
+        Qac_anneal.Composite.wrap ~postprocess ?deadline p
+          ~solve:(fun p -> P.dispatch_solver ~num_threads:1 ?deadline solver_variant p)
+      in
       let tr = make_trace ~trace ~trace_json in
       let cache = Qac_embed.Cache.create () in
       let graph = make_graph ~topology ~broken physical in
       let service =
         Serve.create ~queue_capacity ~batch_jobs
           ~batch_window_s:(batch_window_ms /. 1000.0) ~num_threads:threads
-          ~embed_cache:cache ?trace:tr ~solver ~graph ()
+          ~chain_break ~embed_cache:cache ?trace:tr ~solver ~graph ()
       in
       let jobs =
         List.map
@@ -451,8 +481,8 @@ let serve_cmd =
     Term.(ret
             (const run $ jobs_arg $ serve_physical_arg $ topology_arg $ broken_arg
              $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ threads_arg
-             $ batch_jobs_arg $ batch_window_arg $ queue_capacity_arg $ trace_arg
-             $ trace_json_arg))
+             $ batch_jobs_arg $ batch_window_arg $ queue_capacity_arg
+             $ postprocess_arg $ chain_break_arg $ trace_arg $ trace_json_arg))
 
 (* --- cells ----------------------------------------------------------------- *)
 

@@ -71,8 +71,11 @@ let sample ?(num_threads = 1) ?chunk_size ~seed ~num_reads sample_chunk problem 
      per-chunk times, so thread scaling is visible to benchmarks. *)
   { (Sampler.merge problem responses) with Sampler.elapsed_seconds }
 
-let sample_sa ?num_threads ?chunk_size ?deadline ~params problem =
-  sample ?num_threads ?chunk_size ~seed:params.Sa.seed ~num_reads:params.Sa.num_reads
+(* SA chunks default to one full 64-lane block ([Bitpar.max_lanes]) so a
+   chunk is exactly one packed block: the block seed derives from the chunk
+   seed positionally, keeping reads independent of the thread count. *)
+let sample_sa ?num_threads ?(chunk_size = Bitpar.max_lanes) ?deadline ~params problem =
+  sample ?num_threads ~chunk_size ~seed:params.Sa.seed ~num_reads:params.Sa.num_reads
     (fun ~seed ~num_reads ->
        Sa.sample ~params:{ params with Sa.seed; num_reads } ?deadline problem)
     problem

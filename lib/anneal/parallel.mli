@@ -45,6 +45,8 @@ val sample :
 val sample_sa :
   ?num_threads:int -> ?chunk_size:int -> ?deadline:float -> params:Sa.params ->
   Qac_ising.Problem.t -> Sampler.response
+(** SA's [chunk_size] defaults to {!Bitpar.max_lanes} (not
+    {!default_chunk_size}) so each chunk is exactly one packed block. *)
 
 val sample_sqa :
   ?num_threads:int -> ?chunk_size:int -> ?deadline:float -> params:Sqa.params ->

@@ -47,3 +47,45 @@ let split t = create (Int64.to_int (next_int64 t))
 
 (** Derive a non-negative integer seed for an independent child stream. *)
 let next_seed t = Int64.to_int (next_int64 t) land max_int
+
+(* --- Lane generators -------------------------------------------------------- *)
+
+(** Per-lane counter generators for the bit-parallel kernel ({!Bitpar}):
+    one independent stream per replica lane, states in a flat [int array]
+    so the hot loop never touches a boxed number.
+
+    Each lane is a 63-bit splitmix-style stream on the native int: the
+    state is an additive counter (odd increment, so the period is 2^63
+    regardless of the seed) and the output is a multiply-xorshift mix of
+    the counter.  Acceptance draws take the top 61 bits, matching the
+    threshold scale of {!Schedule.acceptance_tables}. *)
+module Lanes = struct
+  type t = { states : int array }
+
+  (* Odd 63-bit increment (the splitmix64 golden ratio, truncated): any
+     odd increment gives the full 2^63 period mod 2^63. *)
+  let increment = 0x1E3779B97F4A7C15
+
+  (* Multiply-xorshift mix (xorshift* output stage constants). *)
+  let[@inline] mix z =
+    let z = z lxor (z lsr 30) in
+    let z = z * 0x2545F4914F6CDD1D in
+    z lxor (z lsr 27)
+
+  let of_seeds seeds = { states = Array.copy seeds }
+
+  let create rng n = { states = Array.init n (fun _ -> next_seed rng) }
+
+  let num_lanes t = Array.length t.states
+
+  let states t = t.states
+
+  (* 61-bit uniform draw for lane [l], advancing only that lane's state.
+     [unsafe]: callers index lanes they created.  The packed kernel inlines
+     this arithmetic by hand ([Bitpar], via {!increment} and {!mix}) — the
+     equivalence tests pin the two code paths together. *)
+  let[@inline] draw t l =
+    let s = Array.unsafe_get t.states l + increment in
+    Array.unsafe_set t.states l s;
+    mix s lsr 2
+end

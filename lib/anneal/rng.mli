@@ -31,3 +31,39 @@ val split : t -> t
 val next_seed : t -> int
 (** Derive a non-negative seed for an independent child stream (per-chunk
     seeding in {!Parallel}). *)
+
+type rng := t
+
+(** Per-lane counter generators for the bit-parallel kernel: one
+    independent 63-bit splitmix-style stream per replica lane, states in a
+    flat [int array] (no boxed numbers in the hot loop).  A lane's draw
+    sequence is a pure function of its seed, so a lane annealed inside a
+    packed block is bit-identical to the same lane annealed alone. *)
+module Lanes : sig
+  type t
+
+  val create : rng -> int -> t
+  (** [create rng n] seeds [n] lanes by drawing {!next_seed} from [rng]
+      in lane order. *)
+
+  val of_seeds : int array -> t
+  (** Lane [l] seeded with [seeds.(l)] (copied). *)
+
+  val num_lanes : t -> int
+
+  val states : t -> int array
+  (** The live per-lane states (aliased): exposed so kernels can duplicate
+      a lane for the packed-vs-scalar equivalence tests. *)
+
+  val draw : t -> int -> int
+  (** [draw t l] advances lane [l] alone and returns a uniform 61-bit
+      non-negative draw, the scale of {!Schedule.acceptance_tables}.
+      Equivalent to [mix (states.(l) + increment) lsr 2] after storing the
+      incremented state — the packed kernel inlines exactly that. *)
+
+  val increment : int
+  (** The odd additive constant of the lane counter. *)
+
+  val mix : int -> int
+  (** The multiply-xorshift output mix. *)
+end

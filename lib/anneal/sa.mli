@@ -15,11 +15,15 @@ type params = {
   schedule : [ `Geometric | `Linear ];
   greedy_postprocess : bool;  (** descend to a local minimum after the ramp *)
   seed : int;
+  kernel : [ `Bitpar | `Scalar ];
+      (** [`Bitpar] (default) packs up to 64 reads per {!Bitpar} block —
+          integer quantized dynamics, one CSR walk advancing all lanes;
+          [`Scalar] keeps the float {!State} kernel read-by-read. *)
 }
 
 val default_params : params
 (** 100 reads, 200 sweeps, geometric auto schedule, postprocessing on,
-    seed 42. *)
+    seed 42, bit-parallel kernel. *)
 
 (** [sample ?params ?deadline p] — [deadline] is an absolute
     [Unix.gettimeofday] instant; the sampler checks it between sweeps and

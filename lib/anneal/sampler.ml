@@ -29,22 +29,33 @@ let sorted_samples tbl =
       | 0 -> compare a.spins b.spins
       | c -> c)
 
-(** Aggregate reads whose energies the solver already tracked (e.g. via
-    [State.energy]): no re-evaluation of the Hamiltonian per read. *)
-let response_of_evaluated_reads ?(elapsed_seconds = 0.0) ?(timed_out = false) reads =
+(** Aggregate reads that already carry occurrence counts (bit-packed blocks
+    and composite post-processors produce counted reads): counts for equal
+    configurations sum {e before} the energy sort, so a 64-lane block that
+    froze into one configuration contributes one sample with
+    [num_occurrences = 64], not 64 singleton samples. *)
+let response_of_counted_reads ?(elapsed_seconds = 0.0) ?(timed_out = false) reads =
   let tbl = Hashtbl.create 64 in
   let num_reads = ref 0 in
   List.iter
-    (fun (spins, energy) ->
-       incr num_reads;
+    (fun (spins, energy, count) ->
+       if count < 1 then invalid_arg "Sampler.response_of_counted_reads: count < 1";
+       num_reads := !num_reads + count;
        let key = pack spins in
        match Hashtbl.find_opt tbl key with
        | Some (sample : sample) ->
-         Hashtbl.replace tbl key { sample with num_occurrences = sample.num_occurrences + 1 }
+         Hashtbl.replace tbl key
+           { sample with num_occurrences = sample.num_occurrences + count }
        | None ->
-         Hashtbl.add tbl key { spins = Array.copy spins; energy; num_occurrences = 1 })
+         Hashtbl.add tbl key { spins = Array.copy spins; energy; num_occurrences = count })
     reads;
   { samples = sorted_samples tbl; num_reads = !num_reads; elapsed_seconds; timed_out }
+
+(** Aggregate reads whose energies the solver already tracked (e.g. via
+    [State.energy]): no re-evaluation of the Hamiltonian per read. *)
+let response_of_evaluated_reads ?elapsed_seconds ?timed_out reads =
+  response_of_counted_reads ?elapsed_seconds ?timed_out
+    (List.map (fun (spins, energy) -> (spins, energy, 1)) reads)
 
 (** Aggregate raw reads into a response: duplicates are merged with
     occurrence counts, samples sorted by energy then configuration. *)

@@ -36,6 +36,17 @@ val response_of_evaluated_reads :
   (Qac_ising.Problem.spin array * float) list ->
   response
 
+(** Aggregation for reads that already carry occurrence counts (bit-packed
+    blocks, composite post-processors, the tiler's demux): counts for equal
+    configurations sum {e before} the energy sort, so near-identical
+    multi-lane blocks collapse into single samples instead of inflating
+    the response.  Raises [Invalid_argument] on a count below 1. *)
+val response_of_counted_reads :
+  ?elapsed_seconds:float ->
+  ?timed_out:bool ->
+  (Qac_ising.Problem.spin array * float * int) list ->
+  response
+
 val best : response -> sample
 (** Raises [Invalid_argument] on an empty response. *)
 

@@ -24,3 +24,28 @@ val create :
 
 val beta : t -> step:int -> num_steps:int -> float
 (** Inverse temperature at sweep [step] of [num_steps]. *)
+
+val acceptance_scale : int
+(** [2^61]: thresholds and uniform draws share this scale
+    ({!Rng.Lanes.draw}). *)
+
+type acceptance = {
+  num_steps : int;
+  delta_unit : float;  (** energy per quantization level (2 * eps) *)
+  thresholds : int array array;
+      (** [thresholds.(step).(k)]: accept an uphill move of [k] levels at
+          sweep [step] iff a uniform draw in [0, {!acceptance_scale})
+          is below it.  [k = 0] holds the always-accept sentinel; [k] at
+          or past the row length is an automatic rejection (the row stops
+          at the first zero threshold, which subsumes the scalar kernel's
+          [beta * delta > 30] cutoff). *)
+}
+
+(** [acceptance_tables t ~num_steps ~delta_unit ~max_level] precomputes the
+    per-sweep Metropolis acceptance thresholds for deltas quantized to
+    multiples of [delta_unit], up to [max_level] levels — one [exp] per
+    sweep and one multiply per level, instead of an [exp] per proposal in
+    the kernels.  Shared by the bit-packed block kernel and its scalar
+    lane reference ({!Bitpar}). *)
+val acceptance_tables :
+  t -> num_steps:int -> delta_unit:float -> max_level:int -> acceptance

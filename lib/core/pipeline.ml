@@ -275,11 +275,21 @@ let solution_of_spins t ~program ?(num_occurrences = 1) ?(broken_chains = 0) spi
    when the solve span opens, the samplers return best-so-far on expiry,
    and the [timed-out] counter (0/1) lands on the solve span. *)
 let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
-    ?(embed_cache = Qac_embed.Cache.shared ()) ?timeout_ms ~solver ~target t =
+    ?(embed_cache = Qac_embed.Cache.shared ()) ?timeout_ms
+    ?(postprocess = `None) ?(chain_break = Embedding.Vote) ~solver ~target t =
   let span name f = Trace.with_span_opt trace name f in
   let count key v = Trace.counter_opt trace key v in
   let deadline_of_timeout () =
     Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) timeout_ms
+  in
+  (* One solve = composite-wrapped dispatch.  The deadline computed at
+     span open bounds the base solve {e and} the polish loop: a run under
+     time pressure returns unpolished samples rather than blowing its
+     budget in post-processing. *)
+  let composite_solve problem =
+    let deadline = deadline_of_timeout () in
+    Anneal.Composite.wrap ~postprocess ?deadline problem
+      ~solve:(fun p -> dispatch_solver ~num_threads ?deadline solver p)
   in
   let program =
     span "assemble" (fun () ->
@@ -296,10 +306,7 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
     | Logical ->
       let response =
         span "solve" (fun () ->
-            let r =
-              dispatch_solver ~num_threads ?deadline:(deadline_of_timeout ()) solver
-                logical
-            in
+            let r = composite_solve logical in
             count "reads" r.Anneal.Sampler.num_reads;
             count "timed-out" (if r.Anneal.Sampler.timed_out then 1 else 0);
             r)
@@ -373,30 +380,52 @@ let run ?(pins = []) ?(pin_source = "") ?trace ?(num_threads = 1)
       let compacted, old_of_new = Embedding.compact physical in
       let response =
         span "solve" (fun () ->
-            let r =
-              dispatch_solver ~num_threads ?deadline:(deadline_of_timeout ()) solver
-                compacted
-            in
+            let r = composite_solve compacted in
             count "reads" r.Anneal.Sampler.num_reads;
             count "timed-out" (if r.Anneal.Sampler.timed_out then 1 else 0);
             r)
       in
       let reads =
         span "unembed" (fun () ->
+            let resolved =
+              List.map
+                (fun s ->
+                   let full = Array.make physical.Problem.num_vars 1 in
+                   Array.iteri
+                     (fun k old -> full.(old) <- s.Anneal.Sampler.spins.(k))
+                     old_of_new;
+                   ( Embedding.unembed ~policy:chain_break ~problem:physical
+                       embedding full,
+                     s.Anneal.Sampler.num_occurrences ))
+                response.Anneal.Sampler.samples
+            in
+            (* [Discard] drops broken reads here; an all-broken response
+               falls back to the voted reads so the run stays non-empty. *)
+            let kept =
+              match chain_break with
+              | Embedding.Discard ->
+                let clean =
+                  List.filter
+                    (fun ((u : Embedding.unembedded), _) ->
+                       u.Embedding.broken_chains = 0)
+                    resolved
+                in
+                if clean = [] then resolved else clean
+              | Embedding.Vote | Embedding.Polish -> resolved
+            in
+            let dropped =
+              List.fold_left (fun acc (_, n) -> acc + n) 0 resolved
+              - List.fold_left (fun acc (_, n) -> acc + n) 0 kept
+            in
+            count "discarded-reads" dropped;
             List.concat_map
-              (fun s ->
-                 let full = Array.make physical.Problem.num_vars 1 in
-                 Array.iteri
-                   (fun k old -> full.(old) <- s.Anneal.Sampler.spins.(k))
-                   old_of_new;
-                 let u = Embedding.unembed embedding full in
+              (fun ((u : Embedding.unembedded), n) ->
                  let restored =
                    Qpbo.restore ~original_num_vars:num_logical_vars simplified
                      u.Embedding.logical
                  in
-                 List.init s.Anneal.Sampler.num_occurrences (fun _ ->
-                     (restored, u.Embedding.broken_chains)))
-              response.Anneal.Sampler.samples)
+                 List.init n (fun _ -> (restored, u.Embedding.broken_chains)))
+              kept)
       in
       ( reads,
         Some (Embedding.num_physical_qubits embedding),

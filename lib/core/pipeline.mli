@@ -132,7 +132,16 @@ type run_result = {
     [timeout_ms] bounds the solve stage: the absolute deadline is computed
     when solving starts, samplers return best-so-far on expiry, and
     [run_result.timed_out] (plus a [timed-out] counter on the solve span)
-    reports whether it was hit. *)
+    reports whether it was hit.
+    [postprocess] ({!Qac_anneal.Composite.postprocess}, default [`None])
+    wraps the solve: [`Polish] steepest-descends every sample (the
+    deadline bounds the polish loop too), [`Gauge] solves under a
+    spin-reversal transform.  [chain_break]
+    ({!Qac_embed.Embedding.chain_break}, default [Vote]) sets how broken
+    chains resolve on physical targets: [Discard] drops broken reads
+    (falling back to voting when every read is broken, with a
+    [discarded-reads] counter on the unembed span), [Polish]
+    greedy-repairs the physical configuration before voting. *)
 val run :
   ?pins:(string * int) list ->
   ?pin_source:string ->
@@ -140,6 +149,8 @@ val run :
   ?num_threads:int ->
   ?embed_cache:Qac_embed.Cache.t ->
   ?timeout_ms:float ->
+  ?postprocess:Qac_anneal.Composite.postprocess ->
+  ?chain_break:Qac_embed.Embedding.chain_break ->
   solver:solver ->
   target:target ->
   t ->

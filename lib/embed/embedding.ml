@@ -148,7 +148,31 @@ type unembedded = {
   broken_chains : int;
 }
 
-let unembed t physical =
+(* How broken chains (physical qubits of one logical variable disagreeing)
+   resolve to a logical spin:
+   - [Vote]: majority across the chain, first qubit breaking ties — the
+     original behaviour, and the tie-breaker for every other policy.
+   - [Discard]: resolves like [Vote] here; callers drop reads whose
+     [broken_chains] is non-zero (and fall back to the voted reads when
+     every read would drop, so responses stay non-empty).
+   - [Polish]: greedy-descend the physical configuration on the embedded
+     problem first — the chain couplers pull broken chains back into
+     agreement before the vote, so the vote mostly ratifies repaired
+     chains. *)
+type chain_break = Vote | Discard | Polish
+
+let chain_break_of_string = function
+  | "vote" -> Some Vote
+  | "discard" -> Some Discard
+  | "polish" -> Some Polish
+  | _ -> None
+
+let string_of_chain_break = function
+  | Vote -> "vote"
+  | Discard -> "discard"
+  | Polish -> "polish"
+
+let vote t physical =
   let broken = ref 0 in
   let logical =
     Array.map
@@ -162,6 +186,16 @@ let unembed t physical =
       t.chains
   in
   { logical; broken_chains = !broken }
+
+let unembed ?(policy = Vote) ?problem t physical =
+  match (policy, problem) with
+  | (Polish, Some (p : Problem.t)) when Array.length physical = p.Problem.num_vars ->
+      let repaired = Qac_anneal.Greedy.local_minimum p physical in
+      (* [broken_chains] reports the raw read's breaks (the diagnostic the
+         caller wants), while the logical spins come from the repaired
+         configuration. *)
+      { (vote t repaired) with broken_chains = (vote t physical).broken_chains }
+  | _ -> vote t physical
 
 let compact (p : Problem.t) =
   let used = Array.make p.Problem.num_vars false in

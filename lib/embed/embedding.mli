@@ -40,7 +40,29 @@ type unembedded = {
   broken_chains : int;  (** chains whose qubits disagreed *)
 }
 
-val unembed : t -> Qac_ising.Problem.spin array -> unembedded
+(** Chain-break resolution policy.  [Vote] takes the majority spin of each
+    chain (first qubit breaks ties).  [Discard] resolves like [Vote] at
+    this level; callers drop reads whose [broken_chains] is non-zero,
+    falling back to the voted reads when every read would be dropped.
+    [Polish] greedy-descends the physical configuration on the embedded
+    problem first (the chain couplers pull broken chains back into
+    agreement), then votes; it needs the physical problem via [?problem]
+    and degrades to [Vote] without it. *)
+type chain_break = Vote | Discard | Polish
+
+val chain_break_of_string : string -> chain_break option
+(** ["vote"] / ["discard"] / ["polish"]; [None] otherwise (CLI parsing). *)
+
+val string_of_chain_break : chain_break -> string
+
+val unembed :
+  ?policy:chain_break ->
+  ?problem:Qac_ising.Problem.t ->
+  t ->
+  Qac_ising.Problem.spin array ->
+  unembedded
+(** [policy] defaults to [Vote].  [broken_chains] always reports the raw
+    read's disagreeing chains, even under [Polish]. *)
 
 (** [compact p] drops variables with no coefficients, returning the smaller
     problem and the map from new to old indices.  Useful before running a

@@ -266,22 +266,50 @@ let counts t =
 
 (* --- Solving and response plumbing ------------------------------------------ *)
 
+(* Resolve per-sample physical reads to logical reads under a chain-break
+   policy.  [Discard] drops reads whose chains disagreed; when every read is
+   broken it falls back to the voted reads so the job's response stays
+   non-empty.  Each pair carries its occurrence count so the unembed runs
+   once per distinct sample, not once per read. *)
+let resolve_reads ~policy (p : placed) counted_physicals =
+  let resolved =
+    List.map
+      (fun (ph, n) ->
+         (Embedding.unembed ~policy ~problem:p.physical p.embedding ph, n))
+      counted_physicals
+  in
+  let kept =
+    match (policy : Embedding.chain_break) with
+    | Embedding.Discard ->
+      let clean =
+        List.filter (fun ((u : Embedding.unembedded), _) -> u.Embedding.broken_chains = 0)
+          resolved
+      in
+      if clean = [] then resolved else clean
+    | Embedding.Vote | Embedding.Polish -> resolved
+  in
+  List.concat_map
+    (fun ((u : Embedding.unembedded), n) -> List.init n (fun _ -> u.Embedding.logical))
+    kept
+
 (* Physical-sample list -> logical response for one job: fill the local
-   full-graph array (unused qubits +1), majority-vote the chains, aggregate.
-   Energies re-evaluate against the job's own logical Hamiltonian. *)
-let logical_response problem (p : placed) ~old_of_new ~elapsed_seconds ~timed_out samples =
-  let reads =
-    List.concat_map
+   full-graph array (unused qubits +1), resolve the chains under [policy]
+   (majority vote by default), aggregate.  Energies re-evaluate against the
+   job's own logical Hamiltonian. *)
+let logical_response ?(policy = Embedding.Vote) problem (p : placed) ~old_of_new
+    ~elapsed_seconds ~timed_out samples =
+  let counted =
+    List.map
       (fun (s : Sampler.sample) ->
          let full = Array.make p.physical.Problem.num_vars 1 in
          Array.iteri (fun k old -> full.(old) <- s.Sampler.spins.(k)) old_of_new;
-         let u = Embedding.unembed p.embedding full in
-         List.init s.Sampler.num_occurrences (fun _ -> u.Embedding.logical))
+         (full, s.Sampler.num_occurrences))
       samples
   in
-  Sampler.response_of_reads problem ~elapsed_seconds ~timed_out reads
+  Sampler.response_of_reads problem ~elapsed_seconds ~timed_out
+    (resolve_reads ~policy p counted)
 
-let solve ?(num_threads = 1) ?deadline ~solver t =
+let solve ?(num_threads = 1) ?(chain_break = Embedding.Vote) ?deadline ~solver t =
   let n = Array.length t.problems in
   let results = Array.make n None in
   Parallel.run_tasks ~num_workers:num_threads n (fun i ->
@@ -297,7 +325,7 @@ let solve ?(num_threads = 1) ?deadline ~solver t =
             in
             let compacted, old_of_new = Embedding.compact p.physical in
             let r = solver ~deadline:job_deadline compacted in
-            logical_response problem p ~old_of_new
+            logical_response ~policy:chain_break problem p ~old_of_new
               ~elapsed_seconds:r.Sampler.elapsed_seconds
               ~timed_out:r.Sampler.timed_out r.Sampler.samples
           end
@@ -345,7 +373,7 @@ let merge_responses t responses =
   let timed_out = List.exists (fun (_, r) -> r.Sampler.timed_out) responses in
   Sampler.response_of_reads t.merged ~timed_out reads
 
-let demux t (response : Sampler.response) =
+let demux ?(chain_break = Embedding.Vote) t (response : Sampler.response) =
   let jobs = ref [] in
   Array.iter
     (function
@@ -360,18 +388,15 @@ let demux t (response : Sampler.response) =
                     List.init s.Sampler.num_occurrences (fun _ -> [||]))
                  response.Sampler.samples)
           else
-            let reads =
-              List.concat_map
+            let counted =
+              List.map
                 (fun (s : Sampler.sample) ->
-                   let local =
-                     Array.map (fun q -> s.Sampler.spins.(q)) p.region.qubits
-                   in
-                   let u = Embedding.unembed p.embedding local in
-                   List.init s.Sampler.num_occurrences (fun _ -> u.Embedding.logical))
+                   ( Array.map (fun q -> s.Sampler.spins.(q)) p.region.qubits,
+                     s.Sampler.num_occurrences ))
                 response.Sampler.samples
             in
             Sampler.response_of_reads problem ~timed_out:response.Sampler.timed_out
-              reads
+              (resolve_reads ~policy:chain_break p counted)
         in
         jobs := (p.job, r) :: !jobs)
     t.outcomes;

@@ -105,17 +105,20 @@ val occupancy : t -> float
 val counts : t -> int * int * int
 (** [(placed, deferred, failed)]. *)
 
-(** [solve ?num_threads ?deadline ~solver t] solves every placed job
-    independently — compact the local physical problem, run [solver], expand
-    and majority-vote the chains back — and returns [(job, response)] pairs
-    in job order, each response in the job's own logical variable space.
-    [solver] receives the per-job deadline ([deadline job], absolute
-    [Unix.gettimeofday] instant, [None] when absent) and must be pure up to
-    its arguments: jobs run concurrently across [num_threads] domains, and
-    composition invariance holds only if the solver output depends on the
-    problem alone. *)
+(** [solve ?num_threads ?chain_break ?deadline ~solver t] solves every
+    placed job independently — compact the local physical problem, run
+    [solver], expand and resolve the chains back under [chain_break]
+    ({!Embedding.chain_break}, default [Vote]; [Discard] drops broken
+    reads per job, falling back to voting when all are broken) — and
+    returns [(job, response)] pairs in job order, each response in the
+    job's own logical variable space.  [solver] receives the per-job
+    deadline ([deadline job], absolute [Unix.gettimeofday] instant, [None]
+    when absent) and must be pure up to its arguments: jobs run
+    concurrently across [num_threads] domains, and composition invariance
+    holds only if the solver output depends on the problem alone. *)
 val solve :
   ?num_threads:int ->
+  ?chain_break:Embedding.chain_break ->
   ?deadline:(int -> float option) ->
   solver:(deadline:float option -> Qac_ising.Problem.t -> Qac_anneal.Sampler.response) ->
   t ->
@@ -129,8 +132,13 @@ val solve :
 val merge_responses :
   t -> (int * Qac_anneal.Sampler.response) list -> Qac_anneal.Sampler.response
 
-(** [demux t response] splits a response over the merged problem back into
-    per-job logical responses: each read is restricted to the job's region,
-    translated to local indices, and unembedded (majority vote).  Inverse of
-    {!merge_responses} up to chain repair. *)
-val demux : t -> Qac_anneal.Sampler.response -> (int * Qac_anneal.Sampler.response) list
+(** [demux ?chain_break t response] splits a response over the merged
+    problem back into per-job logical responses: each read is restricted to
+    the job's region, translated to local indices, and unembedded under
+    [chain_break] (default [Vote]).  Inverse of {!merge_responses} up to
+    chain repair. *)
+val demux :
+  ?chain_break:Embedding.chain_break ->
+  t ->
+  Qac_anneal.Sampler.response ->
+  (int * Qac_anneal.Sampler.response) list

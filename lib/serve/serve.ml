@@ -62,6 +62,7 @@ type t = {
   batch_window_s : float;
   num_threads : int;
   tiler_params : Tiler.params;
+  chain_break : Qac_embed.Embedding.chain_break;
   embed_cache : Cache.t option;
   max_retries : int;
   trace : Trace.t option;
@@ -152,7 +153,8 @@ let process_batch t batch ~queue_depth =
         count "occupancy-pct" (int_of_float (occupancy *. 100.0));
         let deadline i = jobs.(i).deadline in
         let responses =
-          Tiler.solve ~num_threads:t.num_threads ~deadline ~solver:t.solver tiling
+          Tiler.solve ~num_threads:t.num_threads ~chain_break:t.chain_break
+            ~deadline ~solver:t.solver tiling
         in
         let requeue = ref [] in
         Mutex.lock t.mutex;
@@ -269,7 +271,8 @@ let rec scheduler_loop t =
     end
 
 let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
-    ?(num_threads = 1) ?(tiler_params = Tiler.default_params) ?embed_cache
+    ?(num_threads = 1) ?(tiler_params = Tiler.default_params)
+    ?(chain_break = Qac_embed.Embedding.Vote) ?embed_cache
     ?(max_retries = 2) ?trace ~solver ~graph () =
   if queue_capacity < 1 then invalid_arg "Serve.create: queue_capacity must be >= 1";
   if batch_jobs < 1 then invalid_arg "Serve.create: batch_jobs must be >= 1";
@@ -281,6 +284,7 @@ let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
       batch_window_s;
       num_threads;
       tiler_params;
+      chain_break;
       embed_cache;
       max_retries;
       trace;

@@ -67,6 +67,8 @@ type t
     [batch_jobs] (default 16) and [batch_window_s] (default 0.01) set the
     flush policy; [num_threads] parallelizes tiling ladders and per-job
     solves; [tiler_params]/[embed_cache] are handed to {!Qac_embed.Tiler};
+    [chain_break] ({!Qac_embed.Embedding.chain_break}, default [Vote])
+    sets how broken chains resolve when responses unembed;
     [max_retries] (default 2) caps embedding-failure retries.
     [trace] records one ["batch"] span per flush (counters: jobs, placed,
     deferred, failed, queue-depth, occupancy-pct) plus service-wide summary
@@ -78,6 +80,7 @@ val create :
   ?batch_window_s:float ->
   ?num_threads:int ->
   ?tiler_params:Qac_embed.Tiler.params ->
+  ?chain_break:Qac_embed.Embedding.chain_break ->
   ?embed_cache:Qac_embed.Cache.t ->
   ?max_retries:int ->
   ?trace:Qac_diag.Trace.t ->

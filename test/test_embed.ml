@@ -126,6 +126,43 @@ let embedding_tests =
         Alcotest.(check int) "one broken" 1 u.Embedding.broken_chains;
         let u2 = Embedding.unembed e [| 1; 1; 1; -1 |] in
         Alcotest.(check int) "intact" 0 u2.Embedding.broken_chains);
+    Alcotest.test_case "chain-break polish repairs before voting" `Quick (fun () ->
+        let e = { Embedding.chains = [| [| 0; 1; 2 |]; [| 3 |] |] } in
+        (* Strong ferromagnetic chain couplers: the greedy repair pulls the
+           lone dissenting qubit 2 back to +1 before the vote. *)
+        let physical =
+          Problem.create ~num_vars:4
+            ~h:[| 0.0; 0.0; 0.0; 0.5 |]
+            ~j:[ ((0, 1), -2.0); ((1, 2), -2.0); ((2, 3), 0.1) ]
+            ()
+        in
+        let broken_read = [| 1; 1; -1; -1 |] in
+        let u =
+          Embedding.unembed ~policy:Embedding.Polish ~problem:physical e broken_read
+        in
+        Alcotest.(check int) "repaired majority" 1 u.Embedding.logical.(0);
+        (* The diagnostic still reports the raw read's break. *)
+        Alcotest.(check int) "raw break reported" 1 u.Embedding.broken_chains;
+        (* Without the physical problem the policy degrades to plain voting. *)
+        let v = Embedding.unembed ~policy:Embedding.Polish e broken_read in
+        Alcotest.(check bool) "no problem -> vote" true
+          (v = Embedding.unembed e broken_read));
+    Alcotest.test_case "chain-break discard resolves like vote at unembed level"
+      `Quick (fun () ->
+        let e = { Embedding.chains = [| [| 0; 1; 2 |]; [| 3 |] |] } in
+        let read = [| 1; -1; 1; -1 |] in
+        Alcotest.(check bool) "same resolution" true
+          (Embedding.unembed ~policy:Embedding.Discard e read
+           = Embedding.unembed e read));
+    Alcotest.test_case "chain-break strings round-trip" `Quick (fun () ->
+        List.iter
+          (fun p ->
+             Alcotest.(check bool) "round trip" true
+               (Embedding.chain_break_of_string (Embedding.string_of_chain_break p)
+                = Some p))
+          [ Embedding.Vote; Embedding.Discard; Embedding.Polish ];
+        Alcotest.(check bool) "unknown rejected" true
+          (Embedding.chain_break_of_string "majority" = None));
     Alcotest.test_case "embedder is randomized but deterministic per seed" `Quick
       (fun () ->
          let graph = Chimera.create 3 in

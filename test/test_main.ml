@@ -13,6 +13,7 @@ let () =
       ("embed", Test_embed.suite);
       ("anneal", Test_anneal.suite);
       ("state", Test_state.suite);
+      ("bitpar", Test_bitpar.suite);
       ("roofdual", Test_roofdual.suite);
       ("csp", Test_csp.suite);
       ("pipeline", Test_pipeline.suite);
