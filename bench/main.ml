@@ -23,6 +23,11 @@
       serving ([Qac_serve] packing jobs onto one C16 via [Qac_embed.Tiler])
       against sequential [Pipeline.run] per job on a fleet of small
       circuits, and writes [BENCH_BATCH.json].
+    - [dune exec bench/main.exe -- serve [smoke]] pushes the same mixed
+      workload through the sharded serving tier (1 vs 4 shards, affinity
+      vs round-robin routing, in-process vs through the socket front end),
+      checks responses stay bit-identical across every arm, and writes
+      [BENCH_SERVE.json].
     - [dune exec bench/main.exe -- pegasus [smoke]] compares Pegasus against
       Chimera at matched working-qubit budgets (C4 vs P3, C8 vs P5): minor
       embedding of the paper's circuits (qubit counts, max/mean chain
@@ -764,7 +769,7 @@ let batch_bench ~smoke () =
        | None -> ())
     results;
   let st = Serve.stats service in
-  let hits, misses = Qac_embed.Cache.stats batch_cache in
+  let { Qac_embed.Cache.hits; misses; _ } = Qac_embed.Cache.stats batch_cache in
   let jps seconds = float_of_int n /. seconds in
   let speedup = sequential_seconds /. batched_seconds in
   Printf.printf
@@ -806,6 +811,241 @@ let batch_bench ~smoke () =
     st.Serve.deferrals hits misses;
   close_out oc;
   Printf.printf "wrote BENCH_BATCH.json\n"
+
+(* --- Sharded serving tier ---------------------------------------------------- *)
+
+(* The mixed workload from [batch_bench] pushed through the Shard pool at 1
+   and 4 shards, with affinity vs round-robin routing as the cache
+   experiment, plus one arm through the socket front end.  Three claims
+   under test: (1) a 1-shard pool costs nothing over the in-process batch
+   path; (2) affinity routing beats round-robin on aggregate embed-cache
+   hit rate (same-shaped jobs land on the same warm cache); (3) responses
+   are bit-identical across every arm — shard count, routing policy and
+   the wire change scheduling and placement, never answers. *)
+let serve_bench ~smoke () =
+  let module P = Qac_core.Pipeline in
+  let module Serve = Qac_serve.Serve in
+  let module Shard = Qac_serve.Shard in
+  let module Server = Qac_serve.Server in
+  let module Protocol = Qac_serve.Protocol in
+  let module Tiler = Qac_embed.Tiler in
+  let module Sampler = Qac_anneal.Sampler in
+  let module Hist = Qac_diag.Hist in
+  let widths = if smoke then [ 1; 2 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let ops = [ ("add", "+"); ("xor", "^"); ("and", "&"); ("or", "|") ] in
+  let circuits =
+    List.concat_map
+      (fun w ->
+         List.map
+           (fun (opname, op) ->
+              let name = Printf.sprintf "s%d_%s" w opname in
+              let src =
+                Printf.sprintf
+                  "module %s (a, b, y); input [%d:0] a; input [%d:0] b; \
+                   output [%d:0] y; assign y = a %s b; endmodule"
+                  name (w - 1) (w - 1) w op
+              in
+              (name, w, P.compile src))
+           ops)
+      widths
+  in
+  let jobs =
+    List.mapi
+      (fun i (name, w, t) ->
+         let pins = [ ("a", i mod (1 lsl w)); ("b", ((3 * i) + 1) mod (1 lsl w)) ] in
+         let program = P.assemble_with_pins ~pins t in
+         { Serve.id = Printf.sprintf "%s#%d" name i;
+           problem = program.Qac_qmasm.Assemble.problem;
+           timeout_ms = None })
+      circuits
+  in
+  let n = List.length jobs in
+  let tries = if smoke then 2 else 8 in
+  let sa_params =
+    { Qac_anneal.Sa.default_params with
+      Qac_anneal.Sa.num_reads = (if smoke then 10 else 50);
+      num_sweeps = (if smoke then 50 else 200);
+      seed = 42 }
+  in
+  let cores = Domain.recommended_domain_count () in
+  let threads = min 8 cores in
+  let graph = Qac_chimera.Chimera.create 16 in
+  let tiler_params =
+    { Tiler.default_params with
+      Tiler.slack = 6.0;
+      Tiler.embed_params = Some { Qac_embed.Cmr.default_params with tries } }
+  in
+  let solver ~deadline p = P.dispatch_solver ~num_threads:1 ?deadline (P.Sa sa_params) p in
+  Printf.printf
+    "sharded serving: %d mixed circuits on %s, SA %d reads x %d sweeps, \
+     tries=%d (%d cores)\n"
+    n graph.Qac_chimera.Topology.name sa_params.Qac_anneal.Sa.num_reads
+    sa_params.Qac_anneal.Sa.num_sweeps tries cores;
+  (* Everything that varies with scheduling is zeroed before comparison;
+     what's left — status, spins, energies, occurrence counts, read count —
+     is the answer, and must not move. *)
+  let canon (r : Serve.result) =
+    Protocol.json_to_string
+      (Protocol.result_to_json
+         { r with
+           Serve.batch = 0;
+           wait_seconds = 0.0;
+           solve_seconds = 0.0;
+           response =
+             Option.map
+               (fun resp -> { resp with Sampler.elapsed_seconds = 0.0 })
+               r.Serve.response })
+  in
+  let canon_map results =
+    List.fold_left
+      (fun acc (r : Serve.result) -> (r.Serve.id, canon r) :: acc)
+      [] results
+    |> List.sort compare
+  in
+  let hit_rate stats =
+    let hits, lookups =
+      Array.fold_left
+        (fun (h, l) (s : Shard.shard_stats) ->
+           let c = s.Shard.cache in
+           (h + c.Qac_embed.Cache.hits,
+            l + c.Qac_embed.Cache.hits + c.Qac_embed.Cache.misses))
+        (0, 0) stats
+    in
+    if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
+  in
+  (* Baseline: the plain in-process Serve batch path (BENCH_BATCH's
+     batched arm), so the 1-shard-overhead claim lives in one file. *)
+  let baseline_cache = Qac_embed.Cache.create () in
+  let t0 = Unix.gettimeofday () in
+  let service =
+    Serve.create ~batch_jobs:n ~num_threads:threads ~tiler_params
+      ~embed_cache:baseline_cache ~solver ~graph ()
+  in
+  List.iter (fun job -> Serve.submit service job) jobs;
+  let baseline_results = Serve.drain service in
+  let baseline_seconds = Unix.gettimeofday () -. t0 in
+  let baseline_canon = canon_map baseline_results in
+  (* Pool arms: threads divide across shards so every arm gets the same
+     core budget — shard scaling must come from parallel batches and
+     cache locality, not from quietly using more hardware. *)
+  let run_pool ~num_shards ~routing =
+    let pool =
+      Shard.create ~num_shards ~routing ~batch_jobs:n
+        ~num_threads:(max 1 (threads / num_shards))
+        ~tiler_params ~solver ~graph ()
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun job -> ignore (Shard.submit pool job)) jobs;
+    let results = List.map snd (Shard.drain pool) in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let lat = Shard.latency pool in
+    (canon_map results, seconds, hit_rate (Shard.stats pool),
+     1000.0 *. Hist.p50 lat, 1000.0 *. Hist.p99 lat)
+  in
+  let one_canon, one_seconds, one_hit, one_p50, one_p99 =
+    run_pool ~num_shards:1 ~routing:Shard.Affinity
+  in
+  let four_canon, four_seconds, four_hit, four_p50, four_p99 =
+    run_pool ~num_shards:4 ~routing:Shard.Affinity
+  in
+  let rr_canon, rr_seconds, rr_hit, _, _ =
+    run_pool ~num_shards:4 ~routing:Shard.Round_robin
+  in
+  (* Socket arm: a 1-shard pool behind the server, driven over a
+     Unix-domain socket with pipelined submits then polls. *)
+  let sock_path = Filename.temp_file "qac_serve_bench" ".sock" in
+  let pool =
+    Shard.create ~num_shards:1 ~batch_jobs:n ~num_threads:threads ~tiler_params
+      ~solver ~graph ()
+  in
+  let server = Server.create ~pool ~sockaddr:(Unix.ADDR_UNIX sock_path) () in
+  let server_domain = Domain.spawn (fun () -> Server.run server) in
+  let fd = Protocol.connect (Unix.ADDR_UNIX sock_path) in
+  let t0 = Unix.gettimeofday () in
+  let tickets =
+    List.map
+      (fun job ->
+         let rec submit () =
+           match Protocol.call fd (Protocol.Submit job) with
+           | Protocol.Submitted { ticket; _ } -> ticket
+           | Protocol.Busy { retry_after_ms } ->
+             Unix.sleepf (retry_after_ms /. 1000.0);
+             submit ()
+           | _ -> failwith "serve bench: unexpected reply to submit"
+         in
+         submit ())
+      jobs
+  in
+  let socket_results =
+    List.map
+      (fun ticket ->
+         let rec poll () =
+           match Protocol.call fd (Protocol.Poll ticket) with
+           | Protocol.Completed r -> r
+           | Protocol.Pending ->
+             Unix.sleepf 0.002;
+             poll ()
+           | _ -> failwith "serve bench: unexpected reply to poll"
+         in
+         poll ())
+      tickets
+  in
+  let socket_seconds = Unix.gettimeofday () -. t0 in
+  (match Protocol.call fd Protocol.Shutdown with
+   | Protocol.Shutdown_ok -> ()
+   | _ -> failwith "serve bench: unexpected reply to shutdown");
+  Unix.close fd;
+  ignore (Domain.join server_domain);
+  let socket_canon = canon_map socket_results in
+  let deterministic =
+    List.for_all
+      (fun c -> c = baseline_canon)
+      [ one_canon; four_canon; rr_canon; socket_canon ]
+  in
+  let jps s = float_of_int n /. s in
+  Printf.printf
+    "  in-process batch:   %6.2fs (%5.2f jobs/s)\n\
+    \  1 shard:            %6.2fs (%5.2f jobs/s, p50 %.0f ms, p99 %.0f ms, \
+     cache hit %.0f%%)\n\
+    \  4 shards affinity:  %6.2fs (%5.2f jobs/s, p50 %.0f ms, p99 %.0f ms, \
+     cache hit %.0f%%)\n\
+    \  4 shards rr:        %6.2fs (%5.2f jobs/s, cache hit %.0f%%)\n\
+    \  socket (1 shard):   %6.2fs (%5.2f jobs/s)\n\
+    \  responses bit-identical across arms: %b\n"
+    baseline_seconds (jps baseline_seconds) one_seconds (jps one_seconds) one_p50
+    one_p99 (100.0 *. one_hit) four_seconds (jps four_seconds) four_p50 four_p99
+    (100.0 *. four_hit) rr_seconds (jps rr_seconds) (100.0 *. rr_hit)
+    socket_seconds (jps socket_seconds) deterministic;
+  if not deterministic then failwith "serve bench: responses diverged across arms";
+  let oc = open_out "BENCH_SERVE.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"sharded-serving\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"workload\": \"mixed %d-circuit add/xor/and/or, SA %d reads x %d sweeps, embed tries=%d\",\n\
+    \  \"topology\": %S,\n\
+    \  \"num_jobs\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"total_threads\": %d,\n\
+    \  \"note\": \"every arm shares the same core budget; threads divide across shards\",\n\
+    \  \"inproc_batch\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f },\n\
+    \  \"one_shard\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f,\n\
+    \                 \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hit_rate\": %.4f },\n\
+    \  \"four_shard_affinity\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f,\n\
+    \                 \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hit_rate\": %.4f },\n\
+    \  \"four_shard_round_robin\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f,\n\
+    \                 \"cache_hit_rate\": %.4f },\n\
+    \  \"socket_one_shard\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f },\n\
+    \  \"deterministic_across_arms\": %b\n\
+     }\n"
+    (if smoke then "smoke" else "full")
+    n sa_params.Qac_anneal.Sa.num_reads sa_params.Qac_anneal.Sa.num_sweeps tries
+    graph.Qac_chimera.Topology.name n cores threads baseline_seconds
+    (jps baseline_seconds) one_seconds (jps one_seconds) one_p50 one_p99 one_hit
+    four_seconds (jps four_seconds) four_p50 four_p99 four_hit rr_seconds
+    (jps rr_seconds) rr_hit socket_seconds (jps socket_seconds) deterministic;
+  close_out oc;
+  Printf.printf "wrote BENCH_SERVE.json\n"
 
 (* --- Pegasus vs Chimera ------------------------------------------------------ *)
 
@@ -1060,5 +1300,6 @@ let () =
   | "kernel" :: rest -> kernel_bench ~smoke:(rest = [ "smoke" ]) ()
   | "embed" :: rest -> embed_bench ~smoke:(rest = [ "smoke" ]) ()
   | "batch" :: rest -> batch_bench ~smoke:(rest = [ "smoke" ]) ()
+  | "serve" :: rest -> serve_bench ~smoke:(rest = [ "smoke" ]) ()
   | "pegasus" :: rest -> pegasus_bench ~smoke:(rest = [ "smoke" ]) ()
   | ids -> run_experiments ids

@@ -250,7 +250,7 @@ let run_cmd =
               roof_duality = roof }
       in
       let cache = Qac_embed.Cache.shared () in
-      let hits0, misses0 = Qac_embed.Cache.stats cache in
+      let stats0 = Qac_embed.Cache.stats cache in
       let result =
         P.run t ~pins ~pin_source ?trace:tr ~num_threads:threads ~embed_cache:cache
           ?timeout_ms ~postprocess ~chain_break ~solver ~target
@@ -258,9 +258,11 @@ let run_cmd =
       (match tr with
        | None -> ()
        | Some trace ->
-         let hits, misses = Qac_embed.Cache.stats cache in
-         Trace.set_summary trace "embed-cache-hits" (hits - hits0);
-         Trace.set_summary trace "embed-cache-misses" (misses - misses0);
+         let stats = Qac_embed.Cache.stats cache in
+         Trace.set_summary trace "embed-cache-hits"
+           (stats.Qac_embed.Cache.hits - stats0.Qac_embed.Cache.hits);
+         Trace.set_summary trace "embed-cache-misses"
+           (stats.Qac_embed.Cache.misses - stats0.Qac_embed.Cache.misses);
          (match target, result.P.num_physical_qubits with
           | P.Physical { graph; _ }, Some q ->
             let working = Qac_chimera.Topology.num_working_qubits graph in
@@ -304,6 +306,9 @@ let run_cmd =
 (* --- serve ----------------------------------------------------------------- *)
 
 module Serve = Qac_serve.Serve
+module Shard = Qac_serve.Shard
+module Server = Qac_serve.Server
+module Protocol = Qac_serve.Protocol
 
 let jobs_arg =
   let doc =
@@ -311,9 +316,11 @@ let jobs_arg =
      $(i,key=value) tokens.  $(i,port=int) pins a port; the reserved keys \
      $(i,top=), $(i,steps=) and $(i,deadline_ms=) select the top module, \
      the unroll depth and a per-job deadline.  Blank lines and lines \
-     starting with # are skipped.  Job ids are $(i,basename#lineno)."
+     starting with # are skipped.  Job ids are $(i,basename#lineno).  \
+     Required unless --listen is given (a server takes jobs over the \
+     socket)."
   in
-  Arg.(required & opt (some file) None & info [ "jobs" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some file) None & info [ "jobs" ] ~docv:"FILE" ~doc)
 
 let serve_physical_arg =
   let doc = "Tile jobs onto a size-$(docv) hardware graph (family from --topology)." in
@@ -330,6 +337,55 @@ let batch_window_arg =
 let queue_capacity_arg =
   let doc = "Submission-queue bound; submission blocks (backpressure) beyond it." in
   Arg.(value & opt int 256 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+
+let listen_arg =
+  let doc =
+    "Run as a long-lived server on $(docv) — $(i,HOST:PORT) for TCP \
+     (port 0 picks an ephemeral port, printed at startup) or a filesystem \
+     path for a Unix-domain socket.  Jobs then arrive over the wire (see \
+     the $(b,client) command) instead of from --jobs."
+  in
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let shards_arg =
+  let doc =
+    "Number of scheduler shards: each runs on its own domain with its own \
+     embedding cache and batch queue."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let routing_arg =
+  let doc =
+    "Shard routing: $(b,affinity) (rendezvous-hash the problem structure, \
+     so same-shaped jobs share a warm embedding cache) or \
+     $(b,round-robin)."
+  in
+  Arg.(value
+       & opt (enum [ ("affinity", Shard.Affinity); ("round-robin", Shard.Round_robin) ])
+           Shard.Affinity
+       & info [ "routing" ] ~docv:"POLICY" ~doc)
+
+(* "HOST:PORT" (TCP) or a filesystem path (Unix-domain). *)
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | Some i ->
+    (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+     | Some port ->
+       let host = if i = 0 then "127.0.0.1" else String.sub s 0 i in
+       let ip =
+         try Unix.inet_addr_of_string host
+         with Failure _ ->
+           (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found -> failwith ("cannot resolve host " ^ host))
+       in
+       Unix.ADDR_INET (ip, port)
+     | None -> Unix.ADDR_UNIX s)
+  | None -> Unix.ADDR_UNIX s
+
+let string_of_addr = function
+  | Unix.ADDR_INET (ip, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+  | Unix.ADDR_UNIX path -> path
 
 type parsed_job = {
   line_no : int;
@@ -377,28 +433,86 @@ let parse_job_line line_no line =
     Some { line_no; path; job_top = !top; job_steps = !steps;
            deadline_ms = !deadline; job_pins = List.rev !pins }
 
+(* Parse a job file, compile each referenced design once per (path, top,
+   steps), and assemble.  Returns [((compiled, program), job)] in file
+   order. *)
+let build_jobs jobs_file =
+  let parsed =
+    String.split_on_char '\n' (read_file jobs_file)
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.concat_map (fun (n, line) ->
+        if line = "" || line.[0] = '#' then []
+        else match parse_job_line n line with Some j -> [ j ] | None -> [])
+  in
+  if parsed = [] then failwith "no jobs in file";
+  let compiled = Hashtbl.create 8 in
+  let compile_memo path top steps =
+    let key = (path, top, steps) in
+    match Hashtbl.find_opt compiled key with
+    | Some t -> t
+    | None ->
+      let t = compile ?top ?steps ~optimize:true path in
+      Hashtbl.add compiled key t;
+      t
+  in
+  List.map
+    (fun pj ->
+       let t = compile_memo pj.path pj.job_top pj.job_steps in
+       let program = P.assemble_with_pins ~pins:pj.job_pins t in
+       let id = Printf.sprintf "%s#%d" (Filename.basename pj.path) pj.line_no in
+       ((t, program),
+        { Serve.id; problem = program.Qac_qmasm.Assemble.problem;
+          timeout_ms = pj.deadline_ms }))
+    parsed
+
+let print_serve_result (t, program) (r : Serve.result) =
+  let status =
+    match r.Serve.status with
+    | Serve.Done -> "done"
+    | Serve.Timed_out -> "TIMED OUT (best-so-far below, if any)"
+    | Serve.Canceled -> "CANCELED"
+    | Serve.Failed msg -> "FAILED: " ^ msg
+  in
+  Printf.printf "job %s: %s (batch %d, wait %.3fs, solve %.3fs)\n" r.Serve.id
+    status r.Serve.batch r.Serve.wait_seconds r.Serve.solve_seconds;
+  match r.Serve.response with
+  | None -> ()
+  | Some resp ->
+    (match resp.Qac_anneal.Sampler.samples with
+     | [] -> ()
+     | best :: _ ->
+       let s =
+         P.solution_of_spins t ~program
+           ~num_occurrences:best.Qac_anneal.Sampler.num_occurrences
+           best.Qac_anneal.Sampler.spins
+       in
+       Printf.printf "  best: energy %g, %d occurrence(s)%s\n" s.P.energy
+         s.P.num_occurrences
+         (if s.P.valid then "" else " [INVALID]");
+       List.iter (fun (name, v) -> Printf.printf "    %s = %d\n" name v) s.P.ports)
+
+let print_pool_summary pool =
+  let stats = Shard.stats pool in
+  Array.iter
+    (fun (s : Shard.shard_stats) ->
+       let sv = s.Shard.serve and c = s.Shard.cache in
+       let lookups = c.Qac_embed.Cache.hits + c.Qac_embed.Cache.misses in
+       Printf.printf
+         "# shard %d: %d jobs in %d batches, occupancy %.1f%%, cache %d/%d hits\n"
+         s.Shard.shard sv.Serve.jobs_done sv.Serve.batches
+         (100.0 *. sv.Serve.mean_occupancy) c.Qac_embed.Cache.hits lookups)
+    stats;
+  let lat = Shard.latency pool in
+  if Qac_diag.Hist.count lat > 0 then
+    Printf.printf "# latency p50 %.1f ms  p99 %.1f ms\n"
+      (1000.0 *. Qac_diag.Hist.p50 lat) (1000.0 *. Qac_diag.Hist.p99 lat)
+
 let serve_cmd =
   let run jobs_file physical topology broken solver reads sweeps seed threads batch_jobs
-      batch_window_ms queue_capacity postprocess chain_break trace trace_json =
+      batch_window_ms queue_capacity listen shards routing postprocess chain_break
+      trace trace_json =
     try
-      let parsed =
-        String.split_on_char '\n' (read_file jobs_file)
-        |> List.mapi (fun i line -> (i + 1, String.trim line))
-        |> List.concat_map (fun (n, line) ->
-            if line = "" || line.[0] = '#' then []
-            else match parse_job_line n line with Some j -> [ j ] | None -> [])
-      in
-      if parsed = [] then failwith "no jobs in file";
-      let compiled = Hashtbl.create 8 in
-      let compile_memo path top steps =
-        let key = (path, top, steps) in
-        match Hashtbl.find_opt compiled key with
-        | Some t -> t
-        | None ->
-          let t = compile ?top ?steps ~optimize:true path in
-          Hashtbl.add compiled key t;
-          t
-      in
+      if shards < 1 then failwith "--shards must be >= 1";
       let solver_variant = make_solver solver ~reads ~sweeps ~seed in
       (* Per-job solves already run concurrently across the service's
          domains, so each individual solve stays single-threaded.  The
@@ -408,81 +522,178 @@ let serve_cmd =
         Qac_anneal.Composite.wrap ~postprocess ?deadline p
           ~solve:(fun p -> P.dispatch_solver ~num_threads:1 ?deadline solver_variant p)
       in
-      let tr = make_trace ~trace ~trace_json in
-      let cache = Qac_embed.Cache.create () in
       let graph = make_graph ~topology ~broken physical in
-      let service =
-        Serve.create ~queue_capacity ~batch_jobs
-          ~batch_window_s:(batch_window_ms /. 1000.0) ~num_threads:threads
-          ~chain_break ~embed_cache:cache ?trace:tr ~solver ~graph ()
-      in
-      let jobs =
-        List.map
-          (fun pj ->
-             let t = compile_memo pj.path pj.job_top pj.job_steps in
-             let program = P.assemble_with_pins ~pins:pj.job_pins t in
-             let id = Printf.sprintf "%s#%d" (Filename.basename pj.path) pj.line_no in
-             ((t, program),
-              { Serve.id; problem = program.Qac_qmasm.Assemble.problem;
-                timeout_ms = pj.deadline_ms }))
-          parsed
-      in
-      List.iter (fun (_, job) -> Serve.submit service job) jobs;
-      let results = Serve.drain service in
-      (match tr with
-       | None -> ()
-       | Some trace ->
-         let hits, misses = Qac_embed.Cache.stats cache in
-         Trace.set_summary trace "embed-cache-hits" hits;
-         Trace.set_summary trace "embed-cache-misses" misses);
-      List.iter2
-        (fun ((t, program), _) (r : Serve.result) ->
-           let status =
-             match r.Serve.status with
-             | Serve.Done -> "done"
-             | Serve.Timed_out -> "TIMED OUT (best-so-far below, if any)"
-             | Serve.Failed msg -> "FAILED: " ^ msg
+      let batch_window_s = batch_window_ms /. 1000.0 in
+      (match listen with
+       | Some addr ->
+         let pool =
+           Shard.create ~num_shards:shards ~routing ~queue_capacity ~batch_jobs
+             ~batch_window_s ~num_threads:threads ~chain_break ~solver ~graph ()
+         in
+         let server = Server.create ~pool ~sockaddr:(parse_addr addr) () in
+         Printf.printf "listening on %s (%d shard%s, %s routing)\n%!"
+           (string_of_addr (Server.sockaddr server))
+           shards (if shards = 1 then "" else "s")
+           (match routing with Shard.Affinity -> "affinity" | Shard.Round_robin -> "round-robin");
+         let results = Server.run server in
+         Printf.printf "# served %d job(s)\n" (List.length results);
+         print_pool_summary pool
+       | None ->
+         let jobs_file =
+           match jobs_file with
+           | Some f -> f
+           | None -> failwith "--jobs is required (or --listen to run as a server)"
+         in
+         let jobs = build_jobs jobs_file in
+         if shards > 1 then begin
+           let pool =
+             Shard.create ~num_shards:shards ~routing ~queue_capacity ~batch_jobs
+               ~batch_window_s ~num_threads:threads ~chain_break ~solver ~graph ()
            in
-           Printf.printf "job %s: %s (batch %d, wait %.3fs, solve %.3fs)\n" r.Serve.id
-             status r.Serve.batch r.Serve.wait_seconds r.Serve.solve_seconds;
-           match r.Serve.response with
-           | None -> ()
-           | Some resp ->
-             (match resp.Qac_anneal.Sampler.samples with
-              | [] -> ()
-              | best :: _ ->
-                let s =
-                  P.solution_of_spins t ~program
-                    ~num_occurrences:best.Qac_anneal.Sampler.num_occurrences
-                    best.Qac_anneal.Sampler.spins
-                in
-                Printf.printf "  best: energy %g, %d occurrence(s)%s\n" s.P.energy
-                  s.P.num_occurrences
-                  (if s.P.valid then "" else " [INVALID]");
-                List.iter (fun (name, v) -> Printf.printf "    %s = %d\n" name v) s.P.ports))
-        jobs results;
-      let st = Serve.stats service in
-      Printf.printf
-        "# %d jobs in %d batches: %d placed, %d deferrals, %d retries, %d failures, \
-         %d timeouts\n"
-        st.Serve.jobs_done st.Serve.batches st.Serve.placed st.Serve.deferrals
-        st.Serve.retries st.Serve.failures st.Serve.timeouts;
-      Printf.printf "# mean occupancy %.1f%%  throughput %.1f jobs/s\n"
-        (100.0 *. st.Serve.mean_occupancy) st.Serve.jobs_per_second;
-      emit_trace ~trace_json tr;
+           List.iter (fun (_, job) -> ignore (Shard.submit pool job)) jobs;
+           let results = Shard.drain pool in
+           (* Tickets are assigned in submission order, so drain's ticket
+              order matches the job-file order. *)
+           List.iter2 (fun (tp, _) (_, r) -> print_serve_result tp r) jobs results;
+           print_pool_summary pool
+         end
+         else begin
+           let tr = make_trace ~trace ~trace_json in
+           let cache = Qac_embed.Cache.create () in
+           let service =
+             Serve.create ~queue_capacity ~batch_jobs ~batch_window_s
+               ~num_threads:threads ~chain_break ~embed_cache:cache ?trace:tr
+               ~solver ~graph ()
+           in
+           List.iter (fun (_, job) -> Serve.submit service job) jobs;
+           let results = Serve.drain service in
+           (match tr with
+            | None -> ()
+            | Some trace ->
+              let stats = Qac_embed.Cache.stats cache in
+              Trace.set_summary trace "embed-cache-hits" stats.Qac_embed.Cache.hits;
+              Trace.set_summary trace "embed-cache-misses" stats.Qac_embed.Cache.misses);
+           List.iter2 (fun (tp, _) r -> print_serve_result tp r) jobs results;
+           let st = Serve.stats service in
+           Printf.printf
+             "# %d jobs in %d batches: %d placed, %d deferrals, %d retries, %d failures, \
+              %d timeouts\n"
+             st.Serve.jobs_done st.Serve.batches st.Serve.placed st.Serve.deferrals
+             st.Serve.retries st.Serve.failures st.Serve.timeouts;
+           Printf.printf "# mean occupancy %.1f%%  throughput %.1f jobs/s\n"
+             (100.0 *. st.Serve.mean_occupancy) st.Serve.jobs_per_second;
+           emit_trace ~trace_json tr
+         end);
       `Ok ()
     with
     | Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
     | Failure msg -> `Error (false, msg)
     | Sys_error msg -> `Error (false, msg)
+    | Unix.Unix_error (e, fn, _) ->
+      `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e))
   in
-  let doc = "serve a batch of jobs, tiled together onto one annealer graph" in
+  let doc =
+    "serve jobs tiled onto one annealer graph — from a job file, or as a \
+     long-lived sharded server (--listen)"
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(ret
             (const run $ jobs_arg $ serve_physical_arg $ topology_arg $ broken_arg
              $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ threads_arg
              $ batch_jobs_arg $ batch_window_arg $ queue_capacity_arg
+             $ listen_arg $ shards_arg $ routing_arg
              $ postprocess_arg $ chain_break_arg $ trace_arg $ trace_json_arg))
+
+(* --- client ---------------------------------------------------------------- *)
+
+let connect_arg =
+  let doc = "Server address: $(i,HOST:PORT) or a Unix-domain socket path." in
+  Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let poll_ms_arg =
+  let doc = "Poll interval while waiting for results, in milliseconds." in
+  Arg.(value & opt float 5.0 & info [ "poll-ms" ] ~docv:"MS" ~doc)
+
+let client_stats_arg =
+  let doc = "Print the server's per-shard stats (JSON) after any jobs finish." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let client_metrics_arg =
+  let doc = "Print the server's metrics exposition (Prometheus text format)." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let client_shutdown_arg =
+  let doc = "Ask the server to drain and shut down (sent last)." in
+  Arg.(value & flag & info [ "shutdown" ] ~doc)
+
+let client_cmd =
+  let run connect_addr jobs_file poll_ms want_stats want_metrics want_shutdown =
+    try
+      let fd = Protocol.connect (parse_addr connect_addr) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+           (match jobs_file with
+            | None -> ()
+            | Some file ->
+              let jobs = build_jobs file in
+              let tickets =
+                List.map
+                  (fun (_, job) ->
+                     let rec submit () =
+                       match Protocol.call fd (Protocol.Submit job) with
+                       | Protocol.Submitted { ticket; shard } ->
+                         Printf.printf "job %s -> ticket %d (shard %d)\n%!"
+                           job.Serve.id ticket shard;
+                         ticket
+                       | Protocol.Busy { retry_after_ms } ->
+                         Unix.sleepf (retry_after_ms /. 1000.0);
+                         submit ()
+                       | Protocol.Error msg -> failwith msg
+                       | _ -> failwith "unexpected reply to submit"
+                     in
+                     submit ())
+                  jobs
+              in
+              List.iter2
+                (fun (tp, _) ticket ->
+                   let rec poll () =
+                     match Protocol.call fd (Protocol.Poll ticket) with
+                     | Protocol.Completed r -> print_serve_result tp r
+                     | Protocol.Pending ->
+                       Unix.sleepf (poll_ms /. 1000.0);
+                       poll ()
+                     | Protocol.Error msg -> failwith msg
+                     | _ -> failwith "unexpected reply to poll"
+                   in
+                   poll ())
+                jobs tickets);
+           if want_stats then
+             (match Protocol.call fd Protocol.Stats with
+              | Protocol.Stats_json s -> print_endline (Protocol.json_to_string s)
+              | _ -> failwith "unexpected reply to stats");
+           if want_metrics then
+             (match Protocol.call fd Protocol.Metrics with
+              | Protocol.Metrics_text m -> print_string m
+              | _ -> failwith "unexpected reply to metrics");
+           if want_shutdown then
+             (match Protocol.call fd Protocol.Shutdown with
+              | Protocol.Shutdown_ok -> print_endline "# server shutting down"
+              | _ -> failwith "unexpected reply to shutdown"));
+      `Ok ()
+    with
+    | Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
+    | Protocol.Protocol_error msg -> `Error (false, "protocol: " ^ msg)
+    | Failure msg -> `Error (false, msg)
+    | Sys_error msg -> `Error (false, msg)
+    | Unix.Unix_error (e, fn, _) ->
+      `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  in
+  let doc = "submit jobs to a running $(b,vqa serve --listen) server" in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(ret
+            (const run $ connect_arg $ jobs_arg $ poll_ms_arg $ client_stats_arg
+             $ client_metrics_arg $ client_shutdown_arg))
 
 (* --- cells ----------------------------------------------------------------- *)
 
@@ -560,4 +771,7 @@ let stats_cmd =
 let () =
   let doc = "compile classical Verilog code to a quantum annealer (ASPLOS'19 reproduction)" in
   let info = Cmd.info "vqa" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; serve_cmd; cells_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; serve_cmd; client_cmd; cells_cmd; stats_cmd ]))

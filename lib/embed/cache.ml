@@ -7,12 +7,31 @@ open Qac_ising
    steer the search.  The key digests exactly those three, so time-unrolled
    reruns, bench sweeps and qbsolv-style repeated subproblems with fresh
    coefficients all hit. *)
-let key graph (p : Problem.t) ~(params : Cmr.params) =
-  let b = Buffer.create 1024 in
+let add_structure b (p : Problem.t) =
   let add_int v =
     (* 63-bit ints, little-endian, fixed width: unambiguous concatenation. *)
     Buffer.add_int64_le b (Int64.of_int v)
   in
+  add_int p.Problem.num_vars;
+  Array.iter
+    (fun ((i, j), _) ->
+       add_int i;
+       add_int j)
+    p.Problem.couplers
+
+(* The problem-dependent part of {!key} on its own: what a problem "looks
+   like" to the embedder, independent of any particular hardware graph or
+   search params.  The shard router hashes this, so same-shaped traffic
+   lands on the same warm shard whatever block size the tiler ends up
+   choosing. *)
+let structure_digest (p : Problem.t) =
+  let b = Buffer.create 1024 in
+  add_structure b p;
+  Digest.string (Buffer.contents b)
+
+let key graph (p : Problem.t) ~(params : Cmr.params) =
+  let b = Buffer.create 1024 in
+  let add_int v = Buffer.add_int64_le b (Int64.of_int v) in
   Buffer.add_string b graph.Topology.name;
   Buffer.add_char b '\000';
   List.iter
@@ -24,12 +43,7 @@ let key graph (p : Problem.t) ~(params : Cmr.params) =
   add_int (Topology.num_qubits graph);
   Array.iteri (fun q w -> if not w then add_int q) graph.Topology.working;
   add_int (-1);
-  add_int p.Problem.num_vars;
-  Array.iter
-    (fun ((i, j), _) ->
-       add_int i;
-       add_int j)
-    p.Problem.couplers;
+  add_structure b p;
   add_int params.Cmr.tries;
   add_int params.Cmr.max_passes;
   add_int (Int64.to_int (Int64.bits_of_float params.Cmr.alpha));
@@ -43,6 +57,13 @@ type entry = {
   mutable last_used : int;
 }
 
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
 type t = {
   capacity : int;
   table : (Digest.t, entry) Hashtbl.t;
@@ -50,6 +71,7 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ?(capacity = 64) () =
@@ -59,7 +81,8 @@ let create ?(capacity = 64) () =
     lock = Mutex.create ();
     tick = 0;
     hits = 0;
-    misses = 0 }
+    misses = 0;
+    evictions = 0 }
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -101,19 +124,28 @@ let add t key embedding =
                 | _ -> victim := Some (k, e.last_used))
              t.table;
            match !victim with
-           | Some (k, _) -> Hashtbl.remove t.table k
+           | Some (k, _) ->
+             Hashtbl.remove t.table k;
+             t.evictions <- t.evictions + 1
            | None -> ()
          end))
 
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
-let stats t = with_lock t (fun () -> (t.hits, t.misses))
+
+let stats t =
+  with_lock t (fun () ->
+      { hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table })
 
 let clear t =
   with_lock t (fun () ->
       Hashtbl.reset t.table;
       t.tick <- 0;
       t.hits <- 0;
-      t.misses <- 0)
+      t.misses <- 0;
+      t.evictions <- 0)
 
 (* Process-wide default, shared by every [Pipeline.run] that is not handed
    an explicit cache. *)

@@ -24,6 +24,12 @@ val create : ?capacity:int -> unit -> t
 val key : Qac_chimera.Topology.t -> Qac_ising.Problem.t -> params:Cmr.params -> Digest.t
 (** Content hash of the (topology, problem structure, params) triple. *)
 
+val structure_digest : Qac_ising.Problem.t -> Digest.t
+(** The problem-dependent part of {!key} alone (variable count + coupler
+    pairs, never coefficient values).  Two problems share a digest exactly
+    when they would share every embed-cache entry on any one graph — the
+    identity the shard router hashes for cache-affinity routing. *)
+
 val find : t -> Digest.t -> Embedding.t option
 (** Hit refreshes recency and bumps the hit counter; miss bumps the miss
     counter. *)
@@ -33,8 +39,17 @@ val add : t -> Digest.t -> Embedding.t -> unit
     capacity. *)
 
 val length : t -> int
-val stats : t -> int * int
-(** [(hits, misses)] since creation (or {!clear}). *)
+
+type stats = {
+  hits : int;  (** {!find} calls that returned an embedding *)
+  misses : int;  (** {!find} calls that returned [None] *)
+  evictions : int;  (** entries dropped by the LRU policy *)
+  entries : int;  (** current table size *)
+}
+
+val stats : t -> stats
+(** Counters since creation (or {!clear}); [entries] is instantaneous.
+    Surfaced per shard by the serving tier's stats endpoint. *)
 
 val clear : t -> unit
 

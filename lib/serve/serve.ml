@@ -1,14 +1,22 @@
 (** Batch solver service (see serve.mli for the contract).
 
-    Concurrency layout: [submit]/[drain]/[stats] run on caller domains; one
-    scheduler domain owns batching, tiling, solving, and the trace.  All
-    shared state (queue, results, counters) is guarded by [mutex];
-    [not_full] wakes blocked submitters when the scheduler takes a batch.
-    The stdlib [Condition] has no timed wait, so the scheduler poll-sleeps
-    (1 ms) while idle — the batching window is a coarse wall-clock bound,
-    not a precise timer. *)
+    Concurrency layout: [submit]/[try_submit]/[peek]/[cancel]/[stats] run on
+    caller domains; one scheduler domain owns batching, tiling, solving, and
+    the trace.  All shared state (queue, results, counters, the latency
+    histogram) is guarded by [mutex]; [not_full] wakes blocked submitters
+    when the scheduler takes a batch or a cancellation frees a slot.
+
+    The scheduler never polls.  The stdlib [Condition] has no timed wait, so
+    the batching window is implemented with a self-pipe: the scheduler
+    blocks in [Unix.select] on the read end — indefinitely while the queue
+    is empty, for exactly the window remainder while a batch is filling —
+    and [submit]/[cancel]/[drain] write one wake byte after mutating the
+    queue.  An idle service costs zero CPU, and a submit that completes a
+    batch (or arrives at an empty queue with a zero window) dispatches in
+    microseconds instead of waiting out a poll quantum. *)
 
 module Trace = Qac_diag.Trace
+module Hist = Qac_diag.Hist
 module Tiler = Qac_embed.Tiler
 module Cache = Qac_embed.Cache
 module Sampler = Qac_anneal.Sampler
@@ -23,6 +31,7 @@ type job = {
 type status =
   | Done
   | Timed_out
+  | Canceled
   | Failed of string
 
 type result = {
@@ -42,13 +51,15 @@ type stats = {
   retries : int;
   failures : int;
   timeouts : int;
+  canceled : int;
+  queue_depth : int;
   mean_occupancy : float;
   jobs_per_second : float;
 }
 
 type pending = {
   pjob : job;
-  index : int;  (* submission order *)
+  index : int;  (* submission order; doubles as the caller-facing ticket *)
   submitted_at : float;
   deadline : float option;  (* absolute; fixed at submit *)
   tries : int;  (* embedding-failure retries so far *)
@@ -57,6 +68,8 @@ type pending = {
 type t = {
   mutex : Mutex.t;
   not_full : Condition.t;
+  wake_r : Unix.file_descr;  (* scheduler's select target *)
+  wake_w : Unix.file_descr;  (* non-blocking; written by submit/cancel/drain *)
   queue_capacity : int;
   batch_jobs : int;
   batch_window_s : float;
@@ -68,9 +81,11 @@ type t = {
   trace : Trace.t option;
   solver : deadline:float option -> Problem.t -> Sampler.response;
   graph : Qac_chimera.Topology.t;
+  latency : Hist.t;  (* submit -> result recorded; guarded by [mutex] *)
   mutable queue : pending list;  (* head = next to serve *)
   mutable next_index : int;
   mutable draining : bool;
+  mutable pipe_closed : bool;
   results : (int, result) Hashtbl.t;
   (* counters, all mutex-guarded *)
   mutable n_batches : int;
@@ -79,12 +94,11 @@ type t = {
   mutable n_retries : int;
   mutable n_failures : int;
   mutable n_timeouts : int;
+  mutable n_canceled : int;
   mutable occupancy_sum : float;
   mutable busy_seconds : float;
   mutable scheduler : unit Domain.t option;
 }
-
-let poll_interval = 0.001
 
 let now = Unix.gettimeofday
 
@@ -96,7 +110,44 @@ let expired deadline t =
    composition-invariance contract is preserved. *)
 let retry_seed base tries = base + (7919 * tries)
 
+(* --- Self-pipe wakeup ------------------------------------------------------- *)
+
+let wake_buf = Bytes.make 1 '\001'
+
+(* Callable from any domain, with or without [mutex] held.  A full pipe
+   means wakeups are already pending, so dropping the byte is harmless. *)
+let wake t =
+  if not t.pipe_closed then
+    try ignore (Unix.write t.wake_w wake_buf 0 1) with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
+      -> ()
+
+let drain_wake_pipe t =
+  let buf = Bytes.create 64 in
+  let rec loop () =
+    match Unix.read t.wake_r buf 0 64 with
+    | 64 -> loop ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  loop ()
+
+(* Block until woken or [timeout] elapses ([None] = forever). *)
+let wait_wake t timeout =
+  let tv = match timeout with None -> -1.0 | Some s -> Float.max s 0.0 in
+  match Unix.select [ t.wake_r ] [] [] tv with
+  | [], _, _ -> ()
+  | _ -> drain_wake_pipe t
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* --- Result recording ------------------------------------------------------- *)
+
+(* Requires [mutex] held: the results table and the latency histogram are
+   written together.  Latency is end-to-end (submit to recording), so queue
+   wait, tiling, solving and unembedding all count — what a client sees. *)
 let record t (p : pending) ~status ~response ~batch ~batch_start ~solve_seconds =
+  let finished = now () in
+  Hist.add t.latency (finished -. p.submitted_at);
   Hashtbl.replace t.results p.index
     { id = p.pjob.id;
       status;
@@ -205,6 +256,8 @@ let stats_locked t =
     retries = t.n_retries;
     failures = t.n_failures;
     timeouts = t.n_timeouts;
+    canceled = t.n_canceled;
+    queue_depth = List.length t.queue;
     mean_occupancy =
       (if t.n_batches = 0 then 0.0
        else t.occupancy_sum /. float_of_int t.n_batches);
@@ -217,6 +270,18 @@ let stats t =
   let s = stats_locked t in
   Mutex.unlock t.mutex;
   s
+
+let latency t =
+  Mutex.lock t.mutex;
+  let h = Hist.copy t.latency in
+  Mutex.unlock t.mutex;
+  h
+
+let queue_depth t =
+  Mutex.lock t.mutex;
+  let d = List.length t.queue in
+  Mutex.unlock t.mutex;
+  d
 
 (* Final service-wide summary, written from the scheduler domain just
    before it exits (the trace is single-domain by contract). *)
@@ -232,10 +297,18 @@ let write_summary t =
     Trace.set_summary trace "serve-retries" s.retries;
     Trace.set_summary trace "serve-failures" s.failures;
     Trace.set_summary trace "serve-timeouts" s.timeouts;
+    Trace.set_summary trace "serve-canceled" s.canceled;
     Trace.set_summary trace "serve-occupancy-pct"
       (int_of_float (s.mean_occupancy *. 100.0));
     Trace.set_summary trace "serve-jobs-per-sec-x1000"
-      (int_of_float (s.jobs_per_second *. 1000.0))
+      (int_of_float (s.jobs_per_second *. 1000.0));
+    let lat = latency t in
+    if Hist.count lat > 0 then begin
+      Trace.set_summary trace "serve-latency-p50-us"
+        (int_of_float (Hist.p50 lat *. 1e6));
+      Trace.set_summary trace "serve-latency-p99-us"
+        (int_of_float (Hist.p99 lat *. 1e6))
+    end
 
 let rec scheduler_loop t =
   Mutex.lock t.mutex;
@@ -247,15 +320,13 @@ let rec scheduler_loop t =
     end
     else begin
       Mutex.unlock t.mutex;
-      Unix.sleepf poll_interval;
+      wait_wake t None;  (* sleep until a submit or drain *)
       scheduler_loop t
     end
   | oldest :: _ ->
     let depth = List.length t.queue in
-    let flush =
-      depth >= t.batch_jobs || t.draining
-      || now () -. oldest.submitted_at >= t.batch_window_s
-    in
+    let window_left = t.batch_window_s -. (now () -. oldest.submitted_at) in
+    let flush = depth >= t.batch_jobs || t.draining || window_left <= 0.0 in
     if flush then begin
       let batch, rest = take t.batch_jobs t.queue in
       t.queue <- rest;
@@ -266,7 +337,9 @@ let rec scheduler_loop t =
     end
     else begin
       Mutex.unlock t.mutex;
-      Unix.sleepf poll_interval;
+      (* Sleep out the window remainder; an early wake (batch filled,
+         drain, cancel) re-evaluates the flush condition immediately. *)
+      wait_wake t (Some window_left);
       scheduler_loop t
     end
 
@@ -276,9 +349,14 @@ let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
     ?(max_retries = 2) ?trace ~solver ~graph () =
   if queue_capacity < 1 then invalid_arg "Serve.create: queue_capacity must be >= 1";
   if batch_jobs < 1 then invalid_arg "Serve.create: batch_jobs must be >= 1";
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     { mutex = Mutex.create ();
       not_full = Condition.create ();
+      wake_r;
+      wake_w;
       queue_capacity;
       batch_jobs;
       batch_window_s;
@@ -290,9 +368,11 @@ let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
       trace;
       solver;
       graph;
+      latency = Hist.create ();
       queue = [];
       next_index = 0;
       draining = false;
+      pipe_closed = false;
       results = Hashtbl.create 64;
       n_batches = 0;
       n_placed = 0;
@@ -300,6 +380,7 @@ let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
       n_retries = 0;
       n_failures = 0;
       n_timeouts = 0;
+      n_canceled = 0;
       occupancy_sum = 0.0;
       busy_seconds = 0.0;
       scheduler = None }
@@ -307,7 +388,22 @@ let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
   t.scheduler <- Some (Domain.spawn (fun () -> scheduler_loop t));
   t
 
-let submit t job =
+(* Requires [mutex] held; enqueues and wakes the scheduler. *)
+let enqueue_locked t job =
+  let submitted_at = now () in
+  let pending =
+    { pjob = job;
+      index = t.next_index;
+      submitted_at;
+      deadline = Option.map (fun ms -> submitted_at +. (ms /. 1000.0)) job.timeout_ms;
+      tries = 0 }
+  in
+  t.next_index <- t.next_index + 1;
+  t.queue <- t.queue @ [ pending ];
+  wake t;
+  pending.index
+
+let submit_ticket t job =
   Mutex.lock t.mutex;
   if t.draining then begin
     Mutex.unlock t.mutex;
@@ -320,27 +416,70 @@ let submit t job =
     Mutex.unlock t.mutex;
     invalid_arg "Serve.submit: service is draining"
   end;
-  let submitted_at = now () in
-  let pending =
-    { pjob = job;
-      index = t.next_index;
-      submitted_at;
-      deadline = Option.map (fun ms -> submitted_at +. (ms /. 1000.0)) job.timeout_ms;
-      tries = 0 }
+  let ticket = enqueue_locked t job in
+  Mutex.unlock t.mutex;
+  ticket
+
+let submit t job = ignore (submit_ticket t job)
+
+let try_submit t job =
+  Mutex.lock t.mutex;
+  if t.draining then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Serve.try_submit: service is draining"
+  end;
+  let r =
+    if List.length t.queue >= t.queue_capacity then None
+    else Some (enqueue_locked t job)
   in
-  t.next_index <- t.next_index + 1;
-  t.queue <- t.queue @ [ pending ];
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  r
+
+let peek t ticket =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.results ticket in
+  Mutex.unlock t.mutex;
+  r
+
+let cancel t ticket =
+  Mutex.lock t.mutex;
+  let found = ref false in
+  let queue' =
+    List.filter
+      (fun p ->
+         if p.index = ticket then begin
+           found := true;
+           t.n_canceled <- t.n_canceled + 1;
+           record t p ~status:Canceled ~response:None ~batch:(-1)
+             ~batch_start:(now ()) ~solve_seconds:0.0;
+           false
+         end
+         else true)
+      t.queue
+  in
+  if !found then begin
+    t.queue <- queue';
+    Condition.broadcast t.not_full;
+    wake t
+  end;
+  Mutex.unlock t.mutex;
+  !found
 
 let drain t =
   Mutex.lock t.mutex;
   t.draining <- true;
   Condition.broadcast t.not_full;
+  wake t;
   let scheduler = t.scheduler in
   t.scheduler <- None;
   Mutex.unlock t.mutex;
   (match scheduler with Some d -> Domain.join d | None -> ());
   Mutex.lock t.mutex;
+  if not t.pipe_closed then begin
+    t.pipe_closed <- true;
+    Unix.close t.wake_r;
+    Unix.close t.wake_w
+  end;
   let results =
     List.init t.next_index (fun i ->
         match Hashtbl.find_opt t.results i with

@@ -2,15 +2,21 @@
     problems onto one annealer-shaped graph ({!Qac_embed.Tiler}) and serves
     them with deadlines.
 
-    Jobs enter a bounded submission queue ({!submit} blocks when it is full
-    — backpressure, not drops).  A scheduler running on its own OCaml domain
-    flushes the queue into batches — when [batch_jobs] jobs are pending,
-    when the oldest pending job has waited [batch_window_s], or at {!drain}
-    — tiles each batch onto the graph, and solves the placed jobs
-    concurrently.  Per-job deadlines are enforced twice: a job whose
-    deadline passes while queued is failed without solving, and the deadline
-    is handed to the solver so an in-flight job returns best-so-far partial
-    results ({!Qac_anneal.Sampler.response.timed_out}).
+    Jobs enter a bounded submission queue — {!submit} blocks when it is full
+    (backpressure), {!try_submit} rejects instead (the admission-control
+    path the shard pool builds on).  A scheduler running on its own OCaml
+    domain flushes the queue into batches — when [batch_jobs] jobs are
+    pending, when the oldest pending job has waited [batch_window_s], or at
+    {!drain} — tiles each batch onto the graph, and solves the placed jobs
+    concurrently.  The scheduler is event-driven, not polling: it sleeps in
+    [select] on a self-pipe that submissions, cancellations and drain poke,
+    so an idle service burns no CPU and a batch-completing submit dispatches
+    immediately rather than after a poll quantum.
+
+    Per-job deadlines are enforced twice: a job whose deadline passes while
+    queued is failed without solving, and the deadline is handed to the
+    solver so an in-flight job returns best-so-far partial results
+    ({!Qac_anneal.Sampler.response.timed_out}).
 
     Jobs the tiler defers (no floor space in this batch) requeue at the
     {e front}, which guarantees progress: the first job of a batch always
@@ -36,6 +42,7 @@ type status =
   | Done
   | Timed_out  (** deadline hit; [response] holds best-so-far when the
                    solver got to run, [None] when it expired in the queue *)
+  | Canceled  (** {!cancel} removed the job before it was scheduled *)
   | Failed of string  (** embedding failed after retries, or too large *)
 
 type result = {
@@ -56,6 +63,8 @@ type stats = {
   retries : int;  (** embedding-failure retries with fresh seeds *)
   failures : int;
   timeouts : int;
+  canceled : int;
+  queue_depth : int;  (** jobs currently waiting (instantaneous) *)
   mean_occupancy : float;  (** mean over batches of the tiler's occupancy *)
   jobs_per_second : float;  (** jobs served / total batch processing time *)
 }
@@ -92,6 +101,33 @@ val create :
 val submit : t -> job -> unit
 (** Enqueue; blocks while the queue is at capacity.  Raises
     [Invalid_argument] after {!drain} has started. *)
+
+val submit_ticket : t -> job -> int
+(** Like {!submit}, returning the job's ticket — its index in submission
+    order, usable with {!peek} and {!cancel} while the service runs. *)
+
+val try_submit : t -> job -> int option
+(** Non-blocking admission: [None] when the queue is at capacity (the
+    caller should shed load or retry later), [Some ticket] otherwise.
+    Raises [Invalid_argument] after {!drain} has started. *)
+
+val peek : t -> int -> result option
+(** The result of a ticket, once its batch has been processed.  [None]
+    while the job is still queued or in flight.  Safe from any domain at
+    any time. *)
+
+val cancel : t -> int -> bool
+(** Remove a still-queued job; its result becomes {!Canceled}.  [false]
+    when the ticket is unknown, already finished, or already inside an
+    in-flight batch (in-flight work is never interrupted — per-job
+    deadlines are the mechanism for bounding it). *)
+
+val queue_depth : t -> int
+
+val latency : t -> Qac_diag.Hist.t
+(** Snapshot of the end-to-end latency histogram (submit to result
+    recording, seconds): every finished job — done, timed out, failed or
+    canceled — contributes one observation. *)
 
 val drain : t -> result list
 (** Flush everything still queued, stop the scheduler, and return every

@@ -1,0 +1,94 @@
+(** Socket front end (see server.mli). *)
+
+type t = {
+  pool : Shard.t;
+  listen_fd : Unix.file_descr;
+  mutable stopping : bool;
+}
+
+let create ~pool ~sockaddr () =
+  (* A client closing mid-reply must be an EPIPE error on our write, not
+     process death. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (match sockaddr with
+   | Unix.ADDR_UNIX path when Sys.file_exists path -> Unix.unlink path
+   | _ -> ());
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0
+  in
+  (try
+     (match sockaddr with
+      | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+      | Unix.ADDR_UNIX _ -> ());
+     Unix.bind fd sockaddr;
+     Unix.listen fd 16
+   with e ->
+     Unix.close fd;
+     raise e);
+  { pool; listen_fd = fd; stopping = false }
+
+let sockaddr t = Unix.getsockname t.listen_fd
+
+let respond t (request : Protocol.request) : Protocol.reply =
+  match request with
+  | Submit job ->
+    (match Shard.try_submit t.pool job with
+     | Shard.Accepted { ticket; shard } -> Submitted { ticket; shard }
+     | Shard.Rejected { retry_after_ms } -> Busy { retry_after_ms })
+  | Poll ticket ->
+    (match Shard.poll t.pool ticket with
+     | Some result -> Completed result
+     | None -> Pending
+     | exception Invalid_argument msg -> Error msg)
+  | Cancel ticket ->
+    (match Shard.cancel t.pool ticket with
+     | ok -> Cancel_ok ok
+     | exception Invalid_argument msg -> Error msg)
+  | Stats -> Stats_json (Protocol.stats_to_json (Shard.stats t.pool))
+  | Metrics -> Metrics_text (Shard.metrics t.pool)
+  | Shutdown ->
+    t.stopping <- true;
+    Shutdown_ok
+
+(* Serve one connection until EOF, a framing error, or shutdown.  A
+   malformed frame gets an [Error] reply when the stream still has a frame
+   boundary to write into, then the connection drops — once lengths can't
+   be trusted there is nothing safe to resynchronize on. *)
+let handle_connection t conn =
+  let send reply =
+    Protocol.write_frame conn (Protocol.json_to_string (Protocol.reply_to_json reply))
+  in
+  let rec loop () =
+    match Protocol.read_frame conn with
+    | None -> ()
+    | Some payload ->
+      (* A bad payload inside a well-formed frame leaves the stream in
+         sync: answer Error and keep serving this connection. *)
+      (match Protocol.request_of_json (Protocol.json_of_string payload) with
+       | exception Protocol.Protocol_error msg ->
+         send (Error msg);
+         loop ()
+       | request ->
+         send (respond t request);
+         if not t.stopping then loop ())
+    | exception Protocol.Protocol_error msg ->
+      (try send (Error msg) with _ -> ())
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+       try loop () with
+       | Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ())
+
+let run t =
+  while not t.stopping do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | conn, _ -> handle_connection t conn
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  let addr = try Some (sockaddr t) with Unix.Unix_error _ -> None in
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match addr with
+   | Some (Unix.ADDR_UNIX path) when path <> "" && Sys.file_exists path ->
+     (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+   | _ -> ());
+  Shard.drain t.pool

@@ -1,0 +1,31 @@
+(** Socket front end for a {!Shard} pool.
+
+    One accept loop serves connections sequentially; each connection may
+    pipeline any number of request frames.  The loop never blocks on
+    compute — submissions go through {!Shard.try_submit} (admission
+    control: a full shard answers [Busy] with a retry-after hint instead of
+    stalling the socket) and polls are non-blocking — so a connection only
+    occupies the loop for the time it takes to parse and route frames.
+    Clients that want concurrency should pipeline on one connection.
+
+    A [Shutdown] request stops the loop, drains the pool, and makes {!run}
+    return the drained results.  {!create} ignores [SIGPIPE]
+    process-wide so a client that disconnects mid-reply surfaces as
+    [EPIPE] (connection dropped, loop continues) rather than process
+    death. *)
+
+type t
+
+val create : pool:Shard.t -> sockaddr:Unix.sockaddr -> unit -> t
+(** Bind and listen.  TCP addresses get [SO_REUSEADDR]; port 0 binds an
+    ephemeral port (read it back with {!sockaddr}).  An existing file at a
+    Unix-domain path is unlinked first. *)
+
+val sockaddr : t -> Unix.sockaddr
+(** The bound address — the actual port when created with port 0. *)
+
+val run : t -> (int * Serve.result) list
+(** Serve until a [Shutdown] request arrives, then drain the pool and
+    return every result in ticket order.  Malformed frames get an [Error]
+    reply (when the connection still admits one) and drop only that
+    connection. *)

@@ -1,0 +1,234 @@
+(** Sharded worker pool (see shard.mli for the contract).
+
+    Each shard is a {!Serve} instance — its own scheduler domain, its own
+    bounded queue, its own embedding cache.  This layer only routes,
+    translates tickets, and aggregates observability; all scheduling
+    invariants live in [Serve].  The pool mutex guards the ticket table and
+    the round-robin counter; it is never held across a blocking shard
+    submit, so a full shard stalls only its own traffic. *)
+
+module Cache = Qac_embed.Cache
+module Hist = Qac_diag.Hist
+
+type routing =
+  | Affinity
+  | Round_robin
+
+type shard = {
+  id : int;
+  serve : Serve.t;
+  cache : Cache.t;
+}
+
+type t = {
+  shards : shard array;
+  routing : routing;
+  mutex : Mutex.t;  (* tickets + rr counter *)
+  tickets : (int, int * int) Hashtbl.t;  (* global ticket -> (shard, local) *)
+  mutable next_ticket : int;
+  mutable rr : int;
+}
+
+type admission =
+  | Accepted of { ticket : int; shard : int }
+  | Rejected of { retry_after_ms : float }
+
+type shard_stats = {
+  shard : int;
+  serve : Serve.stats;
+  cache : Cache.stats;
+  latency : Hist.t;
+}
+
+(* --- Rendezvous (HRW) hashing ----------------------------------------------- *)
+
+(* FNV-1a over the digest bytes then the shard id: explicit and stable
+   across OCaml versions (Hashtbl.hash is not specified to be), uniform
+   enough for load spreading, and cheap — 16 bytes + 8 per route. *)
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
+let fnv1a64 (s : string) ~(salt : int) =
+  let h = ref fnv_basis in
+  let eat byte = h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime in
+  String.iter (fun c -> eat (Char.code c)) s;
+  for shift = 0 to 7 do
+    eat ((salt lsr (8 * shift)) land 0xff)
+  done;
+  !h
+
+let rendezvous ~digest ~num_shards =
+  if num_shards < 1 then invalid_arg "Shard.rendezvous: num_shards must be >= 1";
+  let best = ref 0 and best_score = ref (fnv1a64 digest ~salt:0) in
+  for i = 1 to num_shards - 1 do
+    let score = fnv1a64 digest ~salt:i in
+    if Int64.unsigned_compare score !best_score > 0 then begin
+      best := i;
+      best_score := score
+    end
+  done;
+  !best
+
+(* --- Pool ------------------------------------------------------------------- *)
+
+let create ?(num_shards = 1) ?(routing = Affinity) ?queue_capacity ?batch_jobs
+    ?batch_window_s ?num_threads ?tiler_params ?chain_break
+    ?(cache_capacity = 64) ?max_retries ~solver ~graph () =
+  if num_shards < 1 then invalid_arg "Shard.create: num_shards must be >= 1";
+  let shards =
+    Array.init num_shards (fun id ->
+        let cache = Cache.create ~capacity:cache_capacity () in
+        let serve =
+          Serve.create ?queue_capacity ?batch_jobs ?batch_window_s ?num_threads
+            ?tiler_params ?chain_break ~embed_cache:cache ?max_retries ~solver
+            ~graph ()
+        in
+        { id; serve; cache })
+  in
+  { shards;
+    routing;
+    mutex = Mutex.create ();
+    tickets = Hashtbl.create 256;
+    next_ticket = 0;
+    rr = 0 }
+
+let num_shards t = Array.length t.shards
+
+let route t (problem : Qac_ising.Problem.t) =
+  rendezvous ~digest:(Cache.structure_digest problem) ~num_shards:(num_shards t)
+
+(* Pick the shard for a submission; Round_robin advances the counter. *)
+let choose t (job : Serve.job) =
+  match t.routing with
+  | Affinity -> route t job.Serve.problem
+  | Round_robin ->
+    Mutex.lock t.mutex;
+    let s = t.rr mod num_shards t in
+    t.rr <- t.rr + 1;
+    Mutex.unlock t.mutex;
+    s
+
+let register t ~shard ~local =
+  Mutex.lock t.mutex;
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  Hashtbl.replace t.tickets ticket (shard, local);
+  Mutex.unlock t.mutex;
+  ticket
+
+let submit t job =
+  let s = choose t job in
+  let local = Serve.submit_ticket t.shards.(s).serve job in
+  register t ~shard:s ~local
+
+(* Retry-after: how long until the target shard plausibly frees a slot —
+   one queue's worth of work at its measured throughput, or a conservative
+   per-job constant before any throughput has been observed. *)
+let retry_after_ms (st : Serve.stats) =
+  let per_job_ms =
+    if st.Serve.jobs_per_second > 0.0 then 1000.0 /. st.Serve.jobs_per_second
+    else 50.0
+  in
+  Float.min 60_000.0 (Float.max 1.0 (per_job_ms *. float_of_int (max 1 st.Serve.queue_depth)))
+
+let try_submit t job =
+  let s = choose t job in
+  match Serve.try_submit t.shards.(s).serve job with
+  | Some local -> Accepted { ticket = register t ~shard:s ~local; shard = s }
+  | None ->
+    Rejected { retry_after_ms = retry_after_ms (Serve.stats t.shards.(s).serve) }
+
+let lookup t ticket ~who =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.find_opt t.tickets ticket in
+  Mutex.unlock t.mutex;
+  match r with
+  | Some sl -> sl
+  | None -> invalid_arg (who ^ ": unknown ticket")
+
+let poll t ticket =
+  let shard, local = lookup t ticket ~who:"Shard.poll" in
+  Serve.peek t.shards.(shard).serve local
+
+let cancel t ticket =
+  let shard, local = lookup t ticket ~who:"Shard.cancel" in
+  Serve.cancel t.shards.(shard).serve local
+
+let stats t =
+  Array.map
+    (fun s ->
+       { shard = s.id;
+         serve = Serve.stats s.serve;
+         cache = Cache.stats s.cache;
+         latency = Serve.latency s.serve })
+    t.shards
+
+let latency t =
+  let merged = Hist.create () in
+  Array.iter (fun (s : shard) -> Hist.merge_into merged (Serve.latency s.serve)) t.shards;
+  merged
+
+let drain t =
+  let per_shard =
+    Array.map (fun (s : shard) -> Array.of_list (Serve.drain s.serve)) t.shards
+  in
+  Mutex.lock t.mutex;
+  let out =
+    List.init t.next_ticket (fun ticket ->
+        let shard, local = Hashtbl.find t.tickets ticket in
+        (ticket, per_shard.(shard).(local)))
+  in
+  Mutex.unlock t.mutex;
+  out
+
+(* --- Metrics exposition ------------------------------------------------------ *)
+
+let metrics t =
+  let b = Buffer.create 4096 in
+  let line name shard fmt =
+    Buffer.add_string b (Printf.sprintf "qac_%s{shard=\"%d\"} " name shard);
+    Printf.ksprintf
+      (fun v ->
+         Buffer.add_string b v;
+         Buffer.add_char b '\n')
+      fmt
+  in
+  Array.iter
+    (fun { shard; serve = sv; cache = c; latency = lat } ->
+       line "serve_batches" shard "%d" sv.Serve.batches;
+       line "serve_jobs_done" shard "%d" sv.Serve.jobs_done;
+       line "serve_placed" shard "%d" sv.Serve.placed;
+       line "serve_deferrals" shard "%d" sv.Serve.deferrals;
+       line "serve_retries" shard "%d" sv.Serve.retries;
+       line "serve_failures" shard "%d" sv.Serve.failures;
+       line "serve_timeouts" shard "%d" sv.Serve.timeouts;
+       line "serve_canceled" shard "%d" sv.Serve.canceled;
+       line "serve_queue_depth" shard "%d" sv.Serve.queue_depth;
+       line "serve_occupancy" shard "%g" sv.Serve.mean_occupancy;
+       line "serve_jobs_per_second" shard "%g" sv.Serve.jobs_per_second;
+       line "embed_cache_hits" shard "%d" c.Cache.hits;
+       line "embed_cache_misses" shard "%d" c.Cache.misses;
+       line "embed_cache_evictions" shard "%d" c.Cache.evictions;
+       line "embed_cache_entries" shard "%d" c.Cache.entries;
+       (* Cumulative histogram, Prometheus classic shape. *)
+       let cumulative = ref 0 in
+       List.iter
+         (fun (_, upper, count) ->
+            cumulative := !cumulative + count;
+            let le =
+              if upper = infinity then "+Inf" else Printf.sprintf "%g" upper
+            in
+            Buffer.add_string b
+              (Printf.sprintf "qac_serve_latency_seconds_bucket{shard=\"%d\",le=%S} %d\n"
+                 shard le !cumulative))
+         (Hist.buckets lat);
+       if Hist.count lat > 0 then
+         Buffer.add_string b
+           (Printf.sprintf "qac_serve_latency_seconds_bucket{shard=\"%d\",le=\"+Inf\"} %d\n"
+              shard (Hist.count lat));
+       line "serve_latency_seconds_sum" shard "%g" (Hist.sum lat);
+       line "serve_latency_seconds_count" shard "%d" (Hist.count lat);
+       line "serve_latency_p50_seconds" shard "%g" (Hist.p50 lat);
+       line "serve_latency_p99_seconds" shard "%g" (Hist.p99 lat))
+    (stats t);
+  Buffer.contents b

@@ -1,0 +1,115 @@
+(** Sharded serving tier: a pool of {!Serve} schedulers, one per OCaml
+    domain, each with its {e own} embedding cache, fed by cache-affinity
+    routing.
+
+    Why sharding beats one big scheduler: the expensive, memoizable work in
+    this pipeline is minor embedding, and PR 3/4 made its cache keyed on the
+    {e structure} of a problem ({!Qac_embed.Cache.structure_digest}).  A
+    shared cache across domains serializes on its lock and still thrashes
+    once the working set of distinct shapes exceeds capacity; a per-shard
+    cache with all same-shaped traffic routed to one shard keeps each
+    shard's cache small, hot, and uncontended — the same reason the D-Wave
+    cloud client pins a problem family to one solver endpoint.
+
+    Routing is rendezvous (highest-random-weight) hashing of the structure
+    digest over the shard ids: deterministic (same digest, same shard —
+    forever), balanced over random digests, and stable under resizing
+    (growing from [n] to [n+1] shards moves only the keys whose new maximum
+    lands on the new shard, about [1/(n+1)] of them, and never moves a key
+    between two old shards).  {!Round_robin} routing exists as the control
+    arm for benchmarks.
+
+    Tickets are pool-global: {!submit} returns a ticket valid with
+    {!poll}/{!cancel} whatever shard the job landed on.  {!try_submit} is
+    the admission-control path — a full target shard rejects with a
+    retry-after hint instead of blocking, which is what a network front end
+    must do (a blocked accept loop is a dead server). *)
+
+type routing =
+  | Affinity  (** rendezvous-hash the problem-structure digest (default) *)
+  | Round_robin  (** ignore structure; benchmark control arm *)
+
+type t
+
+type admission =
+  | Accepted of { ticket : int; shard : int }
+  | Rejected of { retry_after_ms : float }
+      (** target shard at capacity; the hint scales with its queue depth
+          and measured throughput *)
+
+type shard_stats = {
+  shard : int;
+  serve : Serve.stats;
+  cache : Qac_embed.Cache.stats;
+  latency : Qac_diag.Hist.t;
+}
+
+(** [create ~solver ~graph ()] starts [num_shards] (default 1) {!Serve}
+    schedulers.  Every optional parameter mirrors {!Serve.create} and is
+    applied to each shard; [cache_capacity] (default 64) sizes each
+    shard's private embedding cache; [num_threads] is {e per shard}.
+    [solver] must be pure up to its arguments — the composition-invariance
+    contract makes a job's response independent of the shard that serves
+    it, so any routing policy (and any shard count) returns bit-identical
+    results. *)
+val create :
+  ?num_shards:int ->
+  ?routing:routing ->
+  ?queue_capacity:int ->
+  ?batch_jobs:int ->
+  ?batch_window_s:float ->
+  ?num_threads:int ->
+  ?tiler_params:Qac_embed.Tiler.params ->
+  ?chain_break:Qac_embed.Embedding.chain_break ->
+  ?cache_capacity:int ->
+  ?max_retries:int ->
+  solver:(deadline:float option -> Qac_ising.Problem.t -> Qac_anneal.Sampler.response) ->
+  graph:Qac_chimera.Topology.t ->
+  unit ->
+  t
+
+val num_shards : t -> int
+
+val rendezvous : digest:Digest.t -> num_shards:int -> int
+(** The pure routing function: the shard in [0, num_shards) whose
+    [FNV-1a (digest, shard)] score is highest.  Exposed for tests and for
+    clients that want to predict placement. *)
+
+val route : t -> Qac_ising.Problem.t -> int
+(** The shard {!submit} would choose for this problem under {!Affinity}
+    (under {!Round_robin} the actual choice also advances a counter). *)
+
+val submit : t -> Serve.job -> int
+(** Route and enqueue; blocks on the target shard's backpressure.  Returns
+    a pool-global ticket. *)
+
+val try_submit : t -> Serve.job -> admission
+(** Route and enqueue without blocking: load is shed (with a retry-after
+    hint) when the target shard's queue is full. *)
+
+val poll : t -> int -> Serve.result option
+(** [None] while the job is queued or in flight; the result once its batch
+    finished.  Raises [Invalid_argument] on an unknown ticket. *)
+
+val cancel : t -> int -> bool
+(** Cancel a still-queued job (see {!Serve.cancel}).  Raises
+    [Invalid_argument] on an unknown ticket. *)
+
+val stats : t -> shard_stats array
+(** Per-shard snapshot, index [i] = shard [i]. *)
+
+val latency : t -> Qac_diag.Hist.t
+(** Pool-wide latency: the per-shard histograms merged. *)
+
+val metrics : t -> string
+(** Prometheus-style text exposition: one
+    [qac_<name>{shard="<i>"} <value>] line per counter per shard — the
+    {!Serve} summary counters (jobs, placed, deferrals, retries, failures,
+    timeouts, canceled, queue depth, occupancy, jobs/s), the embed-cache
+    hit/miss/eviction/entry counts, and the log-bucketed latency histogram
+    (cumulative [_bucket{le="..."}] lines plus [_sum]/[_count] and p50/p99
+    gauges). *)
+
+val drain : t -> (int * Serve.result) list
+(** Drain every shard and return all results as [(ticket, result)] in
+    ticket order.  Idempotent. *)

@@ -269,7 +269,10 @@ let cache_tests =
         (match Cache.find cache key with
          | Some e' -> Alcotest.(check bool) "same embedding" true (e = e')
          | None -> Alcotest.fail "expected a hit");
-        Alcotest.(check (pair int int)) "one hit, one miss" (1, 1) (Cache.stats cache));
+        let st = Cache.stats cache in
+        Alcotest.(check int) "one hit" 1 st.Cache.hits;
+        Alcotest.(check int) "one miss" 1 st.Cache.misses;
+        Alcotest.(check int) "one entry" 1 st.Cache.entries);
     Alcotest.test_case "key reads structure, not coefficients" `Quick (fun () ->
         let p1 =
           Problem.create ~num_vars:3 ~h:[| 0.5; 0.0; -0.5 |]
@@ -314,7 +317,30 @@ let cache_tests =
         Alcotest.(check int) "capacity" 2 (Cache.length cache);
         Alcotest.(check bool) "0 kept" true (Cache.find cache (key 0) <> None);
         Alcotest.(check bool) "1 evicted" true (Cache.find cache (key 1) = None);
-        Alcotest.(check bool) "2 kept" true (Cache.find cache (key 2) <> None));
+        Alcotest.(check bool) "2 kept" true (Cache.find cache (key 2) <> None);
+        Alcotest.(check int) "eviction counted" 1 (Cache.stats cache).Cache.evictions);
+    Alcotest.test_case "structure_digest tracks the key's problem part" `Quick
+      (fun () ->
+         let p1 =
+           Problem.create ~num_vars:3 ~h:[| 0.5; 0.0; -0.5 |]
+             ~j:[ ((0, 1), 1.0); ((1, 2), -1.0) ] ()
+         in
+         let p2 =
+           Problem.create ~num_vars:3 ~h:[| 0.0; 0.0; 0.0 |]
+             ~j:[ ((0, 1), 0.25); ((1, 2), 0.75) ] ()
+         in
+         let p3 =
+           Problem.create ~num_vars:3 ~h:[| 0.0; 0.0; 0.0 |]
+             ~j:[ ((0, 1), 0.25); ((0, 2), 0.75) ] ()
+         in
+         Alcotest.(check bool) "coefficients ignored" true
+           (Cache.structure_digest p1 = Cache.structure_digest p2);
+         Alcotest.(check bool) "coupler pairs matter" false
+           (Cache.structure_digest p1 = Cache.structure_digest p3);
+         (* Same-digest problems must share cache keys on any one graph —
+            the property the shard router relies on. *)
+         Alcotest.(check bool) "digest equality implies key equality" true
+           (Cache.key graph p1 ~params = Cache.key graph p2 ~params));
   ]
 
 let suite = embedding_tests @ property_tests @ parallel_tests @ cache_tests

@@ -24,4 +24,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("tiler", Test_tiler.suite);
       ("serve", Test_serve.suite);
+      ("hist", Test_hist.suite);
+      ("protocol", Test_protocol.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -271,4 +271,65 @@ let pegasus_tests =
           problems);
   ]
 
-let suite = basic_tests @ deadline_tests @ failure_tests @ trace_tests @ pegasus_tests
+let ticket_tests =
+  [ Alcotest.test_case "tickets: peek is None until served, result after" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let t = Serve.create ~tiler_params ~solver ~graph () in
+         let ticket = Serve.submit_ticket t (job "a" (chain_problem 4)) in
+         ignore (Serve.drain t);
+         match Serve.peek t ticket with
+         | Some { Serve.status = Serve.Done; id = "a"; _ } -> ()
+         | Some _ -> Alcotest.fail "wrong result"
+         | None -> Alcotest.fail "peek after drain should see the result");
+    Alcotest.test_case "cancel removes a queued job, not a served one" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         (* Huge batch limit + window: jobs stay queued until drain. *)
+         let t =
+           Serve.create ~batch_jobs:100 ~batch_window_s:60.0 ~tiler_params
+             ~solver ~graph ()
+         in
+         let keep = Serve.submit_ticket t (job "keep" (chain_problem 4)) in
+         let kill = Serve.submit_ticket t (job "kill" (chain_problem 4)) in
+         Alcotest.(check bool) "queued job cancels" true (Serve.cancel t kill);
+         Alcotest.(check bool) "unknown ticket doesn't" false (Serve.cancel t 99);
+         ignore (Serve.drain t);
+         Alcotest.(check bool) "served job doesn't cancel" false
+           (Serve.cancel t keep);
+         (match Serve.peek t kill with
+          | Some { Serve.status = Serve.Canceled; response = None; batch = -1; _ } -> ()
+          | _ -> Alcotest.fail "canceled job should report Canceled, no batch");
+         let stats = Serve.stats t in
+         Alcotest.(check int) "canceled counted" 1 stats.Serve.canceled;
+         Alcotest.(check int) "canceled jobs are not solved" 1 stats.Serve.placed);
+    Alcotest.test_case "try_submit rejects only when the queue is full" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let t =
+           Serve.create ~queue_capacity:2 ~batch_jobs:100 ~batch_window_s:60.0
+             ~tiler_params ~solver ~graph ()
+         in
+         Alcotest.(check bool) "first fits" true
+           (Serve.try_submit t (job "a" (chain_problem 3)) <> None);
+         Alcotest.(check bool) "second fits" true
+           (Serve.try_submit t (job "b" (chain_problem 3)) <> None);
+         Alcotest.(check (option int)) "third sheds" None
+           (Serve.try_submit t (job "c" (chain_problem 3)));
+         Alcotest.(check int) "queue depth visible" 2 (Serve.queue_depth t);
+         ignore (Serve.drain t));
+    Alcotest.test_case "latency histogram counts every finished job" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let t = Serve.create ~tiler_params ~solver ~graph () in
+         List.iter
+           (fun i -> Serve.submit t (job (string_of_int i) (chain_problem (3 + i))))
+           [ 0; 1; 2 ];
+         ignore (Serve.drain t);
+         let lat = Serve.latency t in
+         Alcotest.(check int) "one observation per job" 3 (Qac_diag.Hist.count lat);
+         Alcotest.(check bool) "positive p50" true (Qac_diag.Hist.p50 lat > 0.0)) ]
+
+let suite =
+  basic_tests @ deadline_tests @ failure_tests @ trace_tests @ pegasus_tests
+  @ ticket_tests

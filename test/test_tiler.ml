@@ -168,7 +168,7 @@ let tiling_tests =
          let t = Tiler.tile ~params ~cache graph [| same; same; same; same |] in
          let placed, _, _ = Tiler.counts t in
          Alcotest.(check int) "all placed" 4 placed;
-         let hits, misses = Cache.stats cache in
+         let { Cache.hits; misses; _ } = Cache.stats cache in
          Alcotest.(check bool) "cache hits from repeated structure" true (hits >= 3);
          Alcotest.(check bool) "few misses" true (misses <= 4)) ]
 
