@@ -822,7 +822,7 @@ let batch_bench ~smoke () =
    hit rate (same-shaped jobs land on the same warm cache); (3) responses
    are bit-identical across every arm — shard count, routing policy and
    the wire change scheduling and placement, never answers. *)
-let serve_bench ~smoke () =
+let serve_bench ~smoke ?store_dir () =
   let module P = Qac_core.Pipeline in
   let module Serve = Qac_serve.Serve in
   let module Shard = Qac_serve.Shard in
@@ -831,9 +831,10 @@ let serve_bench ~smoke () =
   let module Tiler = Qac_embed.Tiler in
   let module Sampler = Qac_anneal.Sampler in
   let module Hist = Qac_diag.Hist in
+  let module Store = Qac_embed.Store in
   let widths = if smoke then [ 1; 2 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   let ops = [ ("add", "+"); ("xor", "^"); ("and", "&"); ("or", "|") ] in
-  let circuits =
+  let specs =
     List.concat_map
       (fun w ->
          List.map
@@ -845,15 +846,16 @@ let serve_bench ~smoke () =
                    output [%d:0] y; assign y = a %s b; endmodule"
                   name (w - 1) (w - 1) w op
               in
-              (name, w, P.compile src))
+              (name, w, src))
            ops)
       widths
   in
+  let circuits = List.map (fun (name, w, src) -> (name, w, P.compile src)) specs in
+  let pins_of i w = [ ("a", i mod (1 lsl w)); ("b", ((3 * i) + 1) mod (1 lsl w)) ] in
   let jobs =
     List.mapi
       (fun i (name, w, t) ->
-         let pins = [ ("a", i mod (1 lsl w)); ("b", ((3 * i) + 1) mod (1 lsl w)) ] in
-         let program = P.assemble_with_pins ~pins t in
+         let program = P.assemble_with_pins ~pins:(pins_of i w) t in
          { Serve.id = Printf.sprintf "%s#%d" name i;
            problem = program.Qac_qmasm.Assemble.problem;
            timeout_ms = None })
@@ -913,6 +915,30 @@ let serve_bench ~smoke () =
     in
     if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
   in
+  (* One JSON object per shard: how the affinity experiment actually
+     distributed work and cache locality, not just the pool aggregate. *)
+  let per_shard_json stats =
+    let objs =
+      Array.to_list stats
+      |> List.map (fun (s : Shard.shard_stats) ->
+        let c = s.Shard.cache in
+        let h = c.Qac_embed.Cache.hits and m = c.Qac_embed.Cache.misses in
+        let rate =
+          if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+        in
+        Printf.sprintf
+          "{ \"shard\": %d, \"jobs\": %d, \"cache_hits\": %d, \
+           \"cache_misses\": %d, \"store_hits\": %d, \"hit_rate\": %.4f }"
+          s.Shard.shard s.Shard.serve.Serve.jobs_done h m
+          c.Qac_embed.Cache.store_hits rate)
+    in
+    "[ " ^ String.concat ", " objs ^ " ]"
+  in
+  let sum_embed_misses stats =
+    Array.fold_left
+      (fun acc (s : Shard.shard_stats) -> acc + s.Shard.cache.Qac_embed.Cache.misses)
+      0 stats
+  in
   (* Baseline: the plain in-process Serve batch path (BENCH_BATCH's
      batched arm), so the 1-shard-overhead claim lives in one file. *)
   let baseline_cache = Qac_embed.Cache.create () in
@@ -939,16 +965,17 @@ let serve_bench ~smoke () =
     let results = List.map snd (Shard.drain pool) in
     let seconds = Unix.gettimeofday () -. t0 in
     let lat = Shard.latency pool in
-    (canon_map results, seconds, hit_rate (Shard.stats pool),
-     1000.0 *. Hist.p50 lat, 1000.0 *. Hist.p99 lat)
+    let stats = Shard.stats pool in
+    (canon_map results, seconds, hit_rate stats,
+     1000.0 *. Hist.p50 lat, 1000.0 *. Hist.p99 lat, stats)
   in
-  let one_canon, one_seconds, one_hit, one_p50, one_p99 =
+  let one_canon, one_seconds, one_hit, one_p50, one_p99, one_stats =
     run_pool ~num_shards:1 ~routing:Shard.Affinity
   in
-  let four_canon, four_seconds, four_hit, four_p50, four_p99 =
+  let four_canon, four_seconds, four_hit, four_p50, four_p99, four_stats =
     run_pool ~num_shards:4 ~routing:Shard.Affinity
   in
-  let rr_canon, rr_seconds, rr_hit, _, _ =
+  let rr_canon, rr_seconds, rr_hit, _, _, rr_stats =
     run_pool ~num_shards:4 ~routing:Shard.Round_robin
   in
   (* Socket arm: a 1-shard pool behind the server, driven over a
@@ -997,10 +1024,120 @@ let serve_bench ~smoke () =
   Unix.close fd;
   ignore (Domain.join server_domain);
   let socket_canon = canon_map socket_results in
+  (* Store arms: the same workload rebuilt from Verilog source against a
+     persistent artifact store.  The cold arm pays parse->assemble->embed
+     and seeds the store; the warm arm re-opens the same directory through
+     a brand-new handle — a restarted process — and must find every
+     compiled problem and embedding on disk.  Timing covers the front half
+     too (snapshot-or-compile), which is exactly what a restart saves. *)
+  let snapshot_key src pins =
+    Digest.string
+      (String.concat "\x00"
+         (src :: List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) pins))
+  in
+  let run_store_arm store =
+    let cc = P.compile_cache_create () in
+    let snap_hits = ref 0 and snap_misses = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let arm_jobs =
+      List.mapi
+        (fun i (name, w, src) ->
+           let pins = pins_of i w in
+           let key = snapshot_key src pins in
+           let problem =
+             match Store.find_problem store key with
+             | Some p ->
+               incr snap_hits;
+               p
+             | None ->
+               incr snap_misses;
+               let t = P.compile_cached ~cache:cc src in
+               let program = P.assemble_with_pins ~pins t in
+               Store.put_problem store key program.Qac_qmasm.Assemble.problem;
+               program.Qac_qmasm.Assemble.problem
+           in
+           { Serve.id = Printf.sprintf "%s#%d" name i; problem; timeout_ms = None })
+        specs
+    in
+    let pool =
+      Shard.create ~num_shards:4 ~routing:Shard.Affinity ~batch_jobs:n
+        ~num_threads:(max 1 (threads / 4))
+        ~tiler_params ~store ~solver ~graph ()
+    in
+    List.iter (fun job -> ignore (Shard.submit pool job)) arm_jobs;
+    let results = List.map snd (Shard.drain pool) in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let stats = Shard.stats pool in
+    (canon_map results, seconds, !snap_hits, !snap_misses,
+     sum_embed_misses stats, hit_rate stats)
+  in
+  let store_path =
+    match store_dir with
+    | Some d -> d
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "qac_store_bench.%d" (Unix.getpid ()))
+  in
+  let cold_canon, cold_seconds, cold_snap_hits, cold_snap_misses,
+      cold_embed_misses, cold_hit =
+    run_store_arm (Store.open_dir store_path)
+  in
+  let warm_canon, warm_seconds, warm_snap_hits, warm_snap_misses,
+      warm_embed_misses, warm_hit =
+    run_store_arm (Store.open_dir store_path)
+  in
+  let store_stats = Store.stats (Store.open_dir ~readonly:true store_path) in
+  let warm_speedup = cold_seconds /. warm_seconds in
+  (* Duplicate-heavy arm: each of the first [dup_unique] jobs submitted 4x.
+     Coalescing must collapse every group onto one leader: exactly one
+     solve per unique problem, every follower answered with the leader's
+     bit-identical response.  The wide batch window keeps the flush from
+     racing ahead of the duplicate submissions. *)
+  let dup_base = List.filteri (fun i _ -> i < 8) jobs in
+  let dup_unique = List.length dup_base in
+  let dup_copies = 4 in
+  let dup_jobs =
+    List.concat_map
+      (fun (j : Serve.job) ->
+         List.init dup_copies (fun k ->
+           if k = 0 then j
+           else { j with Serve.id = Printf.sprintf "%s~d%d" j.Serve.id k }))
+      dup_base
+  in
+  let dup_pool =
+    Shard.create ~num_shards:1 ~batch_jobs:(List.length dup_jobs + 1)
+      ~batch_window_s:0.25 ~num_threads:threads ~tiler_params ~solver ~graph ()
+  in
+  let dt0 = Unix.gettimeofday () in
+  List.iter (fun job -> ignore (Shard.submit dup_pool job)) dup_jobs;
+  let dup_results = List.map snd (Shard.drain dup_pool) in
+  let dup_seconds = Unix.gettimeofday () -. dt0 in
+  let dup_sv = (Shard.stats dup_pool).(0).Shard.serve in
+  let dup_placed = dup_sv.Serve.placed in
+  let dup_coalesced = dup_sv.Serve.coalesced in
+  let base_id id =
+    match String.index_opt id '~' with
+    | Some k -> String.sub id 0 k
+    | None -> id
+  in
+  let dup_canon =
+    List.map
+      (fun (r : Serve.result) ->
+         (base_id r.Serve.id, canon { r with Serve.id = base_id r.Serve.id }))
+      dup_results
+    |> List.sort_uniq compare
+  in
+  let dup_identical =
+    List.length dup_canon = dup_unique
+    && List.for_all (fun entry -> List.mem entry baseline_canon) dup_canon
+  in
+  let dup_one_solve =
+    dup_placed = dup_unique && dup_coalesced = (dup_copies - 1) * dup_unique
+  in
   let deterministic =
     List.for_all
       (fun c -> c = baseline_canon)
-      [ one_canon; four_canon; rr_canon; socket_canon ]
+      [ one_canon; four_canon; rr_canon; socket_canon; cold_canon; warm_canon ]
   in
   let jps s = float_of_int n /. s in
   Printf.printf
@@ -1011,12 +1148,30 @@ let serve_bench ~smoke () =
      cache hit %.0f%%)\n\
     \  4 shards rr:        %6.2fs (%5.2f jobs/s, cache hit %.0f%%)\n\
     \  socket (1 shard):   %6.2fs (%5.2f jobs/s)\n\
+    \  cold store:         %6.2fs (%5.2f jobs/s, %d snapshot hits, %d misses, \
+     %d embed misses)\n\
+    \  warm restart:       %6.2fs (%5.2f jobs/s, %d snapshot hits, %d misses, \
+     %d embed misses) -> %.2fx\n\
+    \  duplicate-heavy:    %6.2fs (%d submitted, %d placed, %d coalesced)\n\
     \  responses bit-identical across arms: %b\n"
     baseline_seconds (jps baseline_seconds) one_seconds (jps one_seconds) one_p50
     one_p99 (100.0 *. one_hit) four_seconds (jps four_seconds) four_p50 four_p99
     (100.0 *. four_hit) rr_seconds (jps rr_seconds) (100.0 *. rr_hit)
-    socket_seconds (jps socket_seconds) deterministic;
+    socket_seconds (jps socket_seconds)
+    cold_seconds (jps cold_seconds) cold_snap_hits cold_snap_misses
+    cold_embed_misses
+    warm_seconds (jps warm_seconds) warm_snap_hits warm_snap_misses
+    warm_embed_misses warm_speedup
+    dup_seconds (List.length dup_jobs) dup_placed dup_coalesced deterministic;
   if not deterministic then failwith "serve bench: responses diverged across arms";
+  if not dup_one_solve then
+    failwith
+      (Printf.sprintf
+         "serve bench: duplicate-heavy arm expected %d placed / %d coalesced, \
+          got %d / %d"
+         dup_unique ((dup_copies - 1) * dup_unique) dup_placed dup_coalesced);
+  if not dup_identical then
+    failwith "serve bench: coalesced followers diverged from their leaders";
   let oc = open_out "BENCH_SERVE.json" in
   Printf.fprintf oc
     "{\n\
@@ -1030,20 +1185,46 @@ let serve_bench ~smoke () =
     \  \"note\": \"every arm shares the same core budget; threads divide across shards\",\n\
     \  \"inproc_batch\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f },\n\
     \  \"one_shard\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f,\n\
-    \                 \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hit_rate\": %.4f },\n\
+    \                 \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hit_rate\": %.4f,\n\
+    \                 \"per_shard\": %s },\n\
     \  \"four_shard_affinity\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f,\n\
-    \                 \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hit_rate\": %.4f },\n\
+    \                 \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"cache_hit_rate\": %.4f,\n\
+    \                 \"per_shard\": %s },\n\
     \  \"four_shard_round_robin\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f,\n\
-    \                 \"cache_hit_rate\": %.4f },\n\
+    \                 \"cache_hit_rate\": %.4f,\n\
+    \                 \"per_shard\": %s },\n\
     \  \"socket_one_shard\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f },\n\
+    \  \"store\": {\n\
+    \    \"dir\": %S,\n\
+    \    \"cold\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f,\n\
+    \               \"problem_snapshot_hits\": %d, \"problem_snapshot_misses\": %d,\n\
+    \               \"embed_misses\": %d, \"cache_hit_rate\": %.4f },\n\
+    \    \"warm_restart\": { \"seconds\": %.6f, \"jobs_per_sec\": %.3f,\n\
+    \               \"problem_snapshot_hits\": %d, \"problem_snapshot_misses\": %d,\n\
+    \               \"embed_misses\": %d, \"cache_hit_rate\": %.4f },\n\
+    \    \"warm_speedup\": %.2f,\n\
+    \    \"warm_zero_embed_misses\": %b,\n\
+    \    \"artifacts\": { \"embeddings\": %d, \"problems\": %d }\n\
+    \  },\n\
+    \  \"duplicate_heavy\": { \"seconds\": %.6f, \"submitted\": %d, \"unique\": %d,\n\
+    \               \"placed\": %d, \"coalesced\": %d,\n\
+    \               \"one_solve_per_unique\": %b, \"bit_identical_responses\": %b },\n\
     \  \"deterministic_across_arms\": %b\n\
      }\n"
     (if smoke then "smoke" else "full")
     n sa_params.Qac_anneal.Sa.num_reads sa_params.Qac_anneal.Sa.num_sweeps tries
     graph.Qac_chimera.Topology.name n cores threads baseline_seconds
     (jps baseline_seconds) one_seconds (jps one_seconds) one_p50 one_p99 one_hit
-    four_seconds (jps four_seconds) four_p50 four_p99 four_hit rr_seconds
-    (jps rr_seconds) rr_hit socket_seconds (jps socket_seconds) deterministic;
+    (per_shard_json one_stats) four_seconds (jps four_seconds) four_p50 four_p99
+    four_hit (per_shard_json four_stats) rr_seconds (jps rr_seconds) rr_hit
+    (per_shard_json rr_stats) socket_seconds (jps socket_seconds) store_path
+    cold_seconds (jps cold_seconds) cold_snap_hits cold_snap_misses
+    cold_embed_misses cold_hit warm_seconds (jps warm_seconds) warm_snap_hits
+    warm_snap_misses warm_embed_misses warm_hit warm_speedup
+    (warm_embed_misses = 0)
+    store_stats.Store.embeddings store_stats.Store.problems dup_seconds
+    (List.length dup_jobs) dup_unique dup_placed dup_coalesced dup_one_solve
+    dup_identical deterministic;
   close_out oc;
   Printf.printf "wrote BENCH_SERVE.json\n"
 
@@ -1300,6 +1481,16 @@ let () =
   | "kernel" :: rest -> kernel_bench ~smoke:(rest = [ "smoke" ]) ()
   | "embed" :: rest -> embed_bench ~smoke:(rest = [ "smoke" ]) ()
   | "batch" :: rest -> batch_bench ~smoke:(rest = [ "smoke" ]) ()
-  | "serve" :: rest -> serve_bench ~smoke:(rest = [ "smoke" ]) ()
+  | "serve" :: rest ->
+    (* serve [smoke] [--store DIR]: DIR persists artifacts across runs, so
+       CI can assert that a second invocation restarts warm. *)
+    let rec parse smoke store_dir = function
+      | [] -> (smoke, store_dir)
+      | "smoke" :: rest -> parse true store_dir rest
+      | "--store" :: dir :: rest -> parse smoke (Some dir) rest
+      | arg :: _ -> failwith ("serve bench: unknown argument " ^ arg)
+    in
+    let smoke, store_dir = parse false None rest in
+    serve_bench ~smoke ?store_dir ()
   | "pegasus" :: rest -> pegasus_bench ~smoke:(rest = [ "smoke" ]) ()
   | ids -> run_experiments ids

@@ -36,8 +36,20 @@ let no_optimize_arg =
   let doc = "Skip netlist optimization (dead-gate elimination, tech mapping)." in
   Arg.(value & flag & info [ "no-optimize" ] ~doc)
 
+(* Memoized: repeated compiles of one source (many jobs, one design) hit
+   the process-wide compile cache. *)
 let compile ?top ?steps ~optimize ?trace path =
-  P.compile ?top ?steps ~optimize ?trace (read_file path)
+  P.compile_cached ?top ?steps ~optimize ?trace (read_file path)
+
+let store_arg =
+  let doc =
+    "Persistent artifact store: compiled problems and minor embeddings are \
+     snapshotted into $(docv) as content-addressed, versioned binary \
+     records and reloaded by later runs — a restarted server starts warm.  \
+     Created if missing; corrupt or version-mismatched records are \
+     ignored, never fatal."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
 
 (* --- Tracing -------------------------------------------------------------- *)
 
@@ -232,9 +244,10 @@ let split_pins specs =
 
 let run_cmd =
   let run src top steps no_optimize pins solver reads sweeps seed physical topology broken
-      roof all threads timeout_ms postprocess chain_break trace trace_json =
+      roof all threads timeout_ms store_dir postprocess chain_break trace trace_json =
     try
       let tr = make_trace ~trace ~trace_json in
+      let store = Option.map Qac_embed.Store.open_dir store_dir in
       let t = compile ?top ?steps ~optimize:(not no_optimize) ?trace:tr src in
       let qmasm_pins, int_pins = split_pins pins in
       let pin_source = String.concat "\n" qmasm_pins in
@@ -249,7 +262,13 @@ let run_cmd =
               chain_strength = None;
               roof_duality = roof }
       in
-      let cache = Qac_embed.Cache.shared () in
+      let cache =
+        (* With a store, use a dedicated store-backed cache: the embedding
+           persists across process restarts, not just within this one. *)
+        match store with
+        | Some _ -> Qac_embed.Cache.create ?store ()
+        | None -> Qac_embed.Cache.shared ()
+      in
       let stats0 = Qac_embed.Cache.stats cache in
       let result =
         P.run t ~pins ~pin_source ?trace:tr ~num_threads:threads ~embed_cache:cache
@@ -300,7 +319,7 @@ let run_cmd =
     Term.(ret
             (const run $ src_arg $ top_arg $ steps_arg $ no_optimize_arg $ pins_arg
              $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ physical_arg $ topology_arg
-             $ broken_arg $ roof_arg $ all_arg $ threads_arg $ timeout_arg
+             $ broken_arg $ roof_arg $ all_arg $ threads_arg $ timeout_arg $ store_arg
              $ postprocess_arg $ chain_break_arg $ trace_arg $ trace_json_arg))
 
 (* --- serve ----------------------------------------------------------------- *)
@@ -433,10 +452,30 @@ let parse_job_line line_no line =
     Some { line_no; path; job_top = !top; job_steps = !steps;
            deadline_ms = !deadline; job_pins = List.rev !pins }
 
+(* A compiled-problem snapshot is keyed by everything that determines the
+   assembled problem: the source text, top/steps selection, and the pins. *)
+let problem_snapshot_key ~src ~top ~steps ~pins =
+  let b = Buffer.create 1024 in
+  let str s =
+    Buffer.add_string b s;
+    Buffer.add_char b '\000'
+  in
+  str src;
+  str (Option.value ~default:"" top);
+  str (match steps with Some s -> string_of_int s | None -> "");
+  List.iter
+    (fun (k, v) ->
+       str k;
+       str (string_of_int v))
+    pins;
+  Digest.string (Buffer.contents b)
+
 (* Parse a job file, compile each referenced design once per (path, top,
-   steps), and assemble.  Returns [((compiled, program), job)] in file
-   order. *)
-let build_jobs jobs_file =
+   steps), and assemble.  Returns [(compiled option, job)] in file order.
+   With [?store], each job's assembled problem is snapshotted: a snapshot
+   hit skips parse->assemble entirely and carries no compiled artifacts
+   ([None]) — results then print energies without port decoding. *)
+let build_jobs ?store ?trace jobs_file =
   let parsed =
     String.split_on_char '\n' (read_file jobs_file)
     |> List.mapi (fun i line -> (i + 1, String.trim line))
@@ -445,27 +484,39 @@ let build_jobs jobs_file =
         else match parse_job_line n line with Some j -> [ j ] | None -> [])
   in
   if parsed = [] then failwith "no jobs in file";
-  let compiled = Hashtbl.create 8 in
-  let compile_memo path top steps =
-    let key = (path, top, steps) in
-    match Hashtbl.find_opt compiled key with
-    | Some t -> t
-    | None ->
-      let t = compile ?top ?steps ~optimize:true path in
-      Hashtbl.add compiled key t;
-      t
-  in
   List.map
     (fun pj ->
-       let t = compile_memo pj.path pj.job_top pj.job_steps in
-       let program = P.assemble_with_pins ~pins:pj.job_pins t in
        let id = Printf.sprintf "%s#%d" (Filename.basename pj.path) pj.line_no in
-       ((t, program),
-        { Serve.id; problem = program.Qac_qmasm.Assemble.problem;
-          timeout_ms = pj.deadline_ms }))
+       let src = read_file pj.path in
+       let key =
+         Option.map
+           (fun _ ->
+              problem_snapshot_key ~src ~top:pj.job_top ~steps:pj.job_steps
+                ~pins:pj.job_pins)
+           store
+       in
+       let snapshot =
+         match store, key with
+         | Some s, Some k -> Qac_embed.Store.find_problem s k
+         | _ -> None
+       in
+       match snapshot with
+       | Some problem ->
+         (None, { Serve.id; problem; timeout_ms = pj.deadline_ms })
+       | None ->
+         let t =
+           P.compile_cached ?top:pj.job_top ?steps:pj.job_steps ~optimize:true
+             ?trace src
+         in
+         let program = P.assemble_with_pins ~pins:pj.job_pins t in
+         let problem = program.Qac_qmasm.Assemble.problem in
+         (match store, key with
+          | Some s, Some k -> Qac_embed.Store.put_problem s k problem
+          | _ -> ());
+         (Some (t, program), { Serve.id; problem; timeout_ms = pj.deadline_ms }))
     parsed
 
-let print_serve_result (t, program) (r : Serve.result) =
+let print_serve_result tp (r : Serve.result) =
   let status =
     match r.Serve.status with
     | Serve.Done -> "done"
@@ -481,15 +532,36 @@ let print_serve_result (t, program) (r : Serve.result) =
     (match resp.Qac_anneal.Sampler.samples with
      | [] -> ()
      | best :: _ ->
-       let s =
-         P.solution_of_spins t ~program
-           ~num_occurrences:best.Qac_anneal.Sampler.num_occurrences
-           best.Qac_anneal.Sampler.spins
-       in
-       Printf.printf "  best: energy %g, %d occurrence(s)%s\n" s.P.energy
-         s.P.num_occurrences
-         (if s.P.valid then "" else " [INVALID]");
-       List.iter (fun (name, v) -> Printf.printf "    %s = %d\n" name v) s.P.ports)
+       (match tp with
+        | Some (t, program) ->
+          let s =
+            P.solution_of_spins t ~program
+              ~num_occurrences:best.Qac_anneal.Sampler.num_occurrences
+              best.Qac_anneal.Sampler.spins
+          in
+          Printf.printf "  best: energy %g, %d occurrence(s)%s\n" s.P.energy
+            s.P.num_occurrences
+            (if s.P.valid then "" else " [INVALID]");
+          List.iter (fun (name, v) -> Printf.printf "    %s = %d\n" name v) s.P.ports
+        | None ->
+          (* Problem restored from the artifact store: the symbol table was
+             never rebuilt, so report the raw sample without port names. *)
+          Printf.printf "  best: energy %g, %d occurrence(s) [from store snapshot]\n"
+            best.Qac_anneal.Sampler.energy best.Qac_anneal.Sampler.num_occurrences))
+
+let print_store_summary = function
+  | None -> ()
+  | Some store ->
+    let st = Qac_embed.Store.stats store in
+    Printf.printf
+      "# store %s: %d embeddings, %d problems, embed %d/%d hits, problem %d/%d hits, \
+       %d writes, %d load failures\n"
+      (Qac_embed.Store.dir store) st.Qac_embed.Store.embeddings
+      st.Qac_embed.Store.problems st.Qac_embed.Store.embed_hits
+      (st.Qac_embed.Store.embed_hits + st.Qac_embed.Store.embed_misses)
+      st.Qac_embed.Store.problem_hits
+      (st.Qac_embed.Store.problem_hits + st.Qac_embed.Store.problem_misses)
+      st.Qac_embed.Store.writes st.Qac_embed.Store.load_failures
 
 let print_pool_summary pool =
   let stats = Shard.stats pool in
@@ -509,10 +581,11 @@ let print_pool_summary pool =
 
 let serve_cmd =
   let run jobs_file physical topology broken solver reads sweeps seed threads batch_jobs
-      batch_window_ms queue_capacity listen shards routing postprocess chain_break
-      trace trace_json =
+      batch_window_ms queue_capacity listen shards routing store_dir postprocess
+      chain_break trace trace_json =
     try
       if shards < 1 then failwith "--shards must be >= 1";
+      let store = Option.map Qac_embed.Store.open_dir store_dir in
       let solver_variant = make_solver solver ~reads ~sweeps ~seed in
       (* Per-job solves already run concurrently across the service's
          domains, so each individual solve stays single-threaded.  The
@@ -528,7 +601,7 @@ let serve_cmd =
        | Some addr ->
          let pool =
            Shard.create ~num_shards:shards ~routing ~queue_capacity ~batch_jobs
-             ~batch_window_s ~num_threads:threads ~chain_break ~solver ~graph ()
+             ~batch_window_s ~num_threads:threads ~chain_break ?store ~solver ~graph ()
          in
          let server = Server.create ~pool ~sockaddr:(parse_addr addr) () in
          Printf.printf "listening on %s (%d shard%s, %s routing)\n%!"
@@ -537,29 +610,34 @@ let serve_cmd =
            (match routing with Shard.Affinity -> "affinity" | Shard.Round_robin -> "round-robin");
          let results = Server.run server in
          Printf.printf "# served %d job(s)\n" (List.length results);
-         print_pool_summary pool
+         print_pool_summary pool;
+         print_store_summary store
        | None ->
          let jobs_file =
            match jobs_file with
            | Some f -> f
            | None -> failwith "--jobs is required (or --listen to run as a server)"
          in
-         let jobs = build_jobs jobs_file in
+         (* The trace is created before job building so the compile-cache
+            hit/miss summaries land on it alongside the serve counters
+            (multi-shard pools write no trace, as before). *)
+         let tr = if shards > 1 then None else make_trace ~trace ~trace_json in
+         let jobs = build_jobs ?store ?trace:tr jobs_file in
          if shards > 1 then begin
            let pool =
              Shard.create ~num_shards:shards ~routing ~queue_capacity ~batch_jobs
-               ~batch_window_s ~num_threads:threads ~chain_break ~solver ~graph ()
+               ~batch_window_s ~num_threads:threads ~chain_break ?store ~solver ~graph ()
            in
            List.iter (fun (_, job) -> ignore (Shard.submit pool job)) jobs;
            let results = Shard.drain pool in
            (* Tickets are assigned in submission order, so drain's ticket
               order matches the job-file order. *)
            List.iter2 (fun (tp, _) (_, r) -> print_serve_result tp r) jobs results;
-           print_pool_summary pool
+           print_pool_summary pool;
+           print_store_summary store
          end
          else begin
-           let tr = make_trace ~trace ~trace_json in
-           let cache = Qac_embed.Cache.create () in
+           let cache = Qac_embed.Cache.create ?store () in
            let service =
              Serve.create ~queue_capacity ~batch_jobs ~batch_window_s
                ~num_threads:threads ~chain_break ~embed_cache:cache ?trace:tr
@@ -582,6 +660,7 @@ let serve_cmd =
              st.Serve.retries st.Serve.failures st.Serve.timeouts;
            Printf.printf "# mean occupancy %.1f%%  throughput %.1f jobs/s\n"
              (100.0 *. st.Serve.mean_occupancy) st.Serve.jobs_per_second;
+           print_store_summary store;
            emit_trace ~trace_json tr
          end);
       `Ok ()
@@ -601,7 +680,7 @@ let serve_cmd =
             (const run $ jobs_arg $ serve_physical_arg $ topology_arg $ broken_arg
              $ solver_arg $ reads_arg $ sweeps_arg $ seed_arg $ threads_arg
              $ batch_jobs_arg $ batch_window_arg $ queue_capacity_arg
-             $ listen_arg $ shards_arg $ routing_arg
+             $ listen_arg $ shards_arg $ routing_arg $ store_arg
              $ postprocess_arg $ chain_break_arg $ trace_arg $ trace_json_arg))
 
 (* --- client ---------------------------------------------------------------- *)

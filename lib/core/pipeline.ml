@@ -102,6 +102,70 @@ let compile ?top ?steps ?(optimize = true) ?(options = default_options) ?trace v
     program;
     options }
 
+(* --- Compile memoization --------------------------------------------------- *)
+
+(* The whole front half is a pure function of (source, top, steps,
+   optimize, options), so same-source jobs — the serving tier's common
+   case — can skip parse->assemble entirely.  Keyed on a digest of the
+   source plus the structural options; the compiled value is immutable and
+   shared by reference. *)
+
+type compile_cache = {
+  cc_lock : Mutex.t;
+  cc_table : (string * string option * int option * bool * Qmasm.Assemble.options, t) Hashtbl.t;
+  mutable cc_hits : int;
+  mutable cc_misses : int;
+}
+
+type compile_cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+}
+
+let compile_cache_create () =
+  { cc_lock = Mutex.create (); cc_table = Hashtbl.create 16; cc_hits = 0; cc_misses = 0 }
+
+let shared_compile_cache_v = lazy (compile_cache_create ())
+let shared_compile_cache () = Lazy.force shared_compile_cache_v
+
+let compile_cache_stats c =
+  Mutex.lock c.cc_lock;
+  let s = { hits = c.cc_hits; misses = c.cc_misses; entries = Hashtbl.length c.cc_table } in
+  Mutex.unlock c.cc_lock;
+  s
+
+(* Trace summaries accumulate across compiles within one trace. *)
+let bump_summary trace key =
+  match trace with
+  | None -> ()
+  | Some tr ->
+    Trace.set_summary tr key (1 + Option.value ~default:0 (Trace.find_summary tr key))
+
+let compile_cached ?cache ?top ?steps ?(optimize = true) ?(options = default_options)
+    ?trace verilog_src =
+  let c = match cache with Some c -> c | None -> shared_compile_cache () in
+  let key = (Digest.string verilog_src, top, steps, optimize, options) in
+  Mutex.lock c.cc_lock;
+  match Hashtbl.find_opt c.cc_table key with
+  | Some t ->
+    c.cc_hits <- c.cc_hits + 1;
+    Mutex.unlock c.cc_lock;
+    bump_summary trace "compile-cache-hits";
+    t
+  | None ->
+    c.cc_misses <- c.cc_misses + 1;
+    Mutex.unlock c.cc_lock;
+    (* Compile outside the lock: a slow compile must not serialize other
+       shards' lookups.  Concurrent same-key misses both compile; last
+       write wins with an identical value. *)
+    bump_summary trace "compile-cache-misses";
+    let t = compile ?top ?steps ~optimize ~options ?trace verilog_src in
+    Mutex.lock c.cc_lock;
+    Hashtbl.replace c.cc_table key t;
+    Mutex.unlock c.cc_lock;
+    t
+
 (* --- Pins ----------------------------------------------------------------- *)
 
 let port_width t name =

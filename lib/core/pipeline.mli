@@ -47,6 +47,44 @@ val compile :
 val default_options : Qac_qmasm.Assemble.options
 (** merge_chains = true. *)
 
+(** {1 Compile memoization}
+
+    The front half is a pure function of (source, top, steps, optimize,
+    options), so repeated compiles of the same source — the serving tier's
+    common case — can return the already-compiled value by reference.
+    Mutex-guarded; safe to share across domains. *)
+
+type compile_cache
+
+val compile_cache_create : unit -> compile_cache
+
+val shared_compile_cache : unit -> compile_cache
+(** The process-wide cache {!compile_cached} defaults to. *)
+
+type compile_cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+}
+
+val compile_cache_stats : compile_cache -> compile_cache_stats
+
+val compile_cached :
+  ?cache:compile_cache ->
+  ?top:string ->
+  ?steps:int ->
+  ?optimize:bool ->
+  ?options:Qac_qmasm.Assemble.options ->
+  ?trace:Qac_diag.Trace.t ->
+  string ->
+  t
+(** Like {!compile}, but memoized on a digest of the source plus the
+    options.  A hit (miss) increments the ["compile-cache-hits"]
+    (["compile-cache-misses"]) trace summary, accumulating across calls
+    that share a trace; a miss additionally records the usual compile
+    spans.  Concurrent misses on one key may compile twice — both produce
+    identical values and the compile itself runs outside the cache lock. *)
+
 (** {1 Execution} *)
 
 type solver =

@@ -62,27 +62,32 @@ type stats = {
   misses : int;
   evictions : int;
   entries : int;
+  store_hits : int;
 }
 
 type t = {
   capacity : int;
   table : (Digest.t, entry) Hashtbl.t;
   lock : Mutex.t;
+  store : Store.t option;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable store_hits : int;
 }
 
-let create ?(capacity = 64) () =
+let create ?(capacity = 64) ?store () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
   { capacity;
     table = Hashtbl.create 64;
     lock = Mutex.create ();
+    store;
     tick = 0;
     hits = 0;
     misses = 0;
-    evictions = 0 }
+    evictions = 0;
+    store_hits = 0 }
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -94,6 +99,28 @@ let with_lock t f =
     Mutex.unlock t.lock;
     raise e
 
+let insert_locked t key embedding =
+  match Hashtbl.find_opt t.table key with
+  | Some entry -> entry.last_used <- t.tick
+  | None ->
+    Hashtbl.replace t.table key { embedding; last_used = t.tick };
+    if Hashtbl.length t.table > t.capacity then begin
+      (* Evict the least recently used entry.  Linear in the (small,
+         bounded) table; keeps the structure a plain Hashtbl. *)
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k e ->
+           match !victim with
+           | Some (_, age) when age <= e.last_used -> ()
+           | _ -> victim := Some (k, e.last_used))
+        t.table;
+      match !victim with
+      | Some (k, _) ->
+        Hashtbl.remove t.table k;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end
+
 let find t key =
   with_lock t (fun () ->
       t.tick <- t.tick + 1;
@@ -103,32 +130,24 @@ let find t key =
         t.hits <- t.hits + 1;
         Some entry.embedding
       | None ->
-        t.misses <- t.misses + 1;
-        None)
+        (* Fall through to the persistent store and promote: a warm corpus
+           makes a freshly restarted shard hit on its very first lookup.
+           Lock order is cache -> store; the store never calls back. *)
+        (match Option.bind t.store (fun s -> Store.find_embedding s key) with
+         | Some embedding ->
+           insert_locked t key embedding;
+           t.hits <- t.hits + 1;
+           t.store_hits <- t.store_hits + 1;
+           Some embedding
+         | None ->
+           t.misses <- t.misses + 1;
+           None))
 
 let add t key embedding =
   with_lock t (fun () ->
       t.tick <- t.tick + 1;
-      (match Hashtbl.find_opt t.table key with
-       | Some entry -> entry.last_used <- t.tick
-       | None ->
-         Hashtbl.replace t.table key { embedding; last_used = t.tick };
-         if Hashtbl.length t.table > t.capacity then begin
-           (* Evict the least recently used entry.  Linear in the (small,
-              bounded) table; keeps the structure a plain Hashtbl. *)
-           let victim = ref None in
-           Hashtbl.iter
-             (fun k e ->
-                match !victim with
-                | Some (_, age) when age <= e.last_used -> ()
-                | _ -> victim := Some (k, e.last_used))
-             t.table;
-           match !victim with
-           | Some (k, _) ->
-             Hashtbl.remove t.table k;
-             t.evictions <- t.evictions + 1
-           | None -> ()
-         end))
+      insert_locked t key embedding;
+      Option.iter (fun s -> Store.put_embedding s key embedding) t.store)
 
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
 
@@ -137,7 +156,8 @@ let stats t =
       { hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
-        entries = Hashtbl.length t.table })
+        entries = Hashtbl.length t.table;
+        store_hits = t.store_hits })
 
 let clear t =
   with_lock t (fun () ->
@@ -145,7 +165,8 @@ let clear t =
       t.tick <- 0;
       t.hits <- 0;
       t.misses <- 0;
-      t.evictions <- 0)
+      t.evictions <- 0;
+      t.store_hits <- 0)
 
 (* Process-wide default, shared by every [Pipeline.run] that is not handed
    an explicit cache. *)

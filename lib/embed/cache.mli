@@ -18,8 +18,13 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** LRU over [capacity] entries (default 64). *)
+val create : ?capacity:int -> ?store:Store.t -> unit -> t
+(** LRU over [capacity] entries (default 64).  With [?store], the cache is
+    backed by a persistent artifact store: {!find} misses fall through to
+    the store (a store hit promotes the embedding into the LRU and counts
+    as a cache hit), and {!add} writes through.  Several caches — one per
+    shard — may share one store; each promotion copies the immutable value
+    into the shard's own LRU. *)
 
 val key : Qac_chimera.Topology.t -> Qac_ising.Problem.t -> params:Cmr.params -> Digest.t
 (** Content hash of the (topology, problem structure, params) triple. *)
@@ -32,11 +37,12 @@ val structure_digest : Qac_ising.Problem.t -> Digest.t
 
 val find : t -> Digest.t -> Embedding.t option
 (** Hit refreshes recency and bumps the hit counter; miss bumps the miss
-    counter. *)
+    counter.  A backing-store hit counts as a cache hit (plus a
+    [store_hits] tick) and promotes the entry. *)
 
 val add : t -> Digest.t -> Embedding.t -> unit
 (** Inserts (or refreshes) and evicts the least recently used entry beyond
-    capacity. *)
+    capacity; writes through to the backing store when one is attached. *)
 
 val length : t -> int
 
@@ -45,6 +51,7 @@ type stats = {
   misses : int;  (** {!find} calls that returned [None] *)
   evictions : int;  (** entries dropped by the LRU policy *)
   entries : int;  (** current table size *)
+  store_hits : int;  (** the subset of [hits] served by the backing store *)
 }
 
 val stats : t -> stats

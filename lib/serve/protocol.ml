@@ -377,6 +377,7 @@ let stats_to_json (stats : Shard.shard_stats array) =
                        ("failures", Num (float_of_int sv.Serve.failures));
                        ("timeouts", Num (float_of_int sv.Serve.timeouts));
                        ("canceled", Num (float_of_int sv.Serve.canceled));
+                       ("coalesced", Num (float_of_int sv.Serve.coalesced));
                        ("queue_depth", Num (float_of_int sv.Serve.queue_depth));
                        ("mean_occupancy", Num (finite sv.Serve.mean_occupancy));
                        ("jobs_per_second", Num (finite sv.Serve.jobs_per_second)) ] );
@@ -385,7 +386,8 @@ let stats_to_json (stats : Shard.shard_stats array) =
                      [ ("hits", Num (float_of_int c.Cache.hits));
                        ("misses", Num (float_of_int c.Cache.misses));
                        ("evictions", Num (float_of_int c.Cache.evictions));
-                       ("entries", Num (float_of_int c.Cache.entries)) ] );
+                       ("entries", Num (float_of_int c.Cache.entries));
+                       ("store_hits", Num (float_of_int c.Cache.store_hits)) ] );
                  ( "latency",
                    Obj
                      [ ("count", Num (float_of_int (Hist.count lat)));

@@ -52,6 +52,7 @@ type stats = {
   failures : int;
   timeouts : int;
   canceled : int;
+  coalesced : int;
   queue_depth : int;
   mean_occupancy : float;
   jobs_per_second : float;
@@ -63,6 +64,15 @@ type pending = {
   submitted_at : float;
   deadline : float option;  (* absolute; fixed at submit *)
   tries : int;  (* embedding-failure retries so far *)
+}
+
+(* One delivery of a coalesced computation's result.  The leader's own
+   delivery is a subscriber like any follower's, so cancellation treats
+   them uniformly. *)
+type subscriber = {
+  ticket : int;
+  sub_id : string;
+  joined_at : float;
 }
 
 type t = {
@@ -87,6 +97,16 @@ type t = {
   mutable draining : bool;
   mutable pipe_closed : bool;
   results : (int, result) Hashtbl.t;
+  (* In-flight coalescing, all mutex-guarded.  A *work* is a queue entry
+     (identified by its leader's ticket = [pending.index]); [active] maps a
+     job's content digest to its live work while that work is queued or in
+     flight, [subscribers] lists the work's deliveries in attach order
+     (leader first), and [work_of_ticket] lets [cancel] find any ticket's
+     work. *)
+  active : (string, int) Hashtbl.t;
+  key_of_work : (int, string) Hashtbl.t;
+  subscribers : (int, subscriber list) Hashtbl.t;
+  work_of_ticket : (int, int) Hashtbl.t;
   (* counters, all mutex-guarded *)
   mutable n_batches : int;
   mutable n_placed : int;
@@ -95,6 +115,7 @@ type t = {
   mutable n_failures : int;
   mutable n_timeouts : int;
   mutable n_canceled : int;
+  mutable n_coalesced : int;
   mutable occupancy_sum : float;
   mutable busy_seconds : float;
   mutable scheduler : unit Domain.t option;
@@ -109,6 +130,33 @@ let expired deadline t =
    never-failing job tiles identically to a plain [Tiler.tile] call — the
    composition-invariance contract is preserved. *)
 let retry_seed base tries = base + (7919 * tries)
+
+(* Full-content digest for request coalescing: variable count, every
+   coefficient's exact bit pattern, and the relative timeout.  Within one
+   service the graph, solver, tiler params and base seed are fixed, so two
+   jobs sharing this key are the same computation and the composition
+   invariance of the tiler makes their responses bit-identical — one solve
+   can serve both. *)
+let coalesce_key (job : job) =
+  let b = Buffer.create 1024 in
+  let add_int v = Buffer.add_int64_le b (Int64.of_int v) in
+  let add_float v = Buffer.add_int64_le b (Int64.bits_of_float v) in
+  let p = job.problem in
+  add_int p.Problem.num_vars;
+  add_float p.Problem.offset;
+  Array.iter add_float p.Problem.h;
+  Array.iter
+    (fun ((i, j), v) ->
+       add_int i;
+       add_int j;
+       add_float v)
+    p.Problem.couplers;
+  (match job.timeout_ms with
+   | None -> add_int 0
+   | Some ms ->
+     add_int 1;
+     add_float ms);
+  Digest.string (Buffer.contents b)
 
 (* --- Self-pipe wakeup ------------------------------------------------------- *)
 
@@ -144,17 +192,40 @@ let wait_wake t timeout =
 
 (* Requires [mutex] held: the results table and the latency histogram are
    written together.  Latency is end-to-end (submit to recording), so queue
-   wait, tiling, solving and unembedding all count — what a client sees. *)
+   wait, tiling, solving and unembedding all count — what a client sees.
+
+   One call terminates a *work*: the shared outcome fans out to every
+   remaining subscriber (the leader and any coalesced followers), each
+   under its own ticket, id and wait clock.  A missing subscriber list
+   means every delivery was already canceled while the work was in flight;
+   their Canceled results stand and the late outcome is dropped. *)
 let record t (p : pending) ~status ~response ~batch ~batch_start ~solve_seconds =
-  let finished = now () in
-  Hist.add t.latency (finished -. p.submitted_at);
-  Hashtbl.replace t.results p.index
-    { id = p.pjob.id;
-      status;
-      response;
-      batch;
-      wait_seconds = batch_start -. p.submitted_at;
-      solve_seconds }
+  match Hashtbl.find_opt t.subscribers p.index with
+  | None -> ()
+  | Some subs ->
+    let finished = now () in
+    List.iter
+      (fun s ->
+         Hist.add t.latency (finished -. s.joined_at);
+         Hashtbl.replace t.results s.ticket
+           { id = s.sub_id;
+             status;
+             response;
+             batch;
+             (* A follower can attach after its batch started; its wait is
+                then the full window, never negative. *)
+             wait_seconds = Float.max 0.0 (batch_start -. s.joined_at);
+             solve_seconds };
+         Hashtbl.remove t.work_of_ticket s.ticket)
+      subs;
+    Hashtbl.remove t.subscribers p.index;
+    (match Hashtbl.find_opt t.key_of_work p.index with
+     | Some key ->
+       Hashtbl.remove t.key_of_work p.index;
+       (match Hashtbl.find_opt t.active key with
+        | Some w when w = p.index -> Hashtbl.remove t.active key
+        | _ -> ())
+     | None -> ())
 
 let rec take n = function
   | [] -> ([], [])
@@ -257,6 +328,7 @@ let stats_locked t =
     failures = t.n_failures;
     timeouts = t.n_timeouts;
     canceled = t.n_canceled;
+    coalesced = t.n_coalesced;
     queue_depth = List.length t.queue;
     mean_occupancy =
       (if t.n_batches = 0 then 0.0
@@ -298,6 +370,7 @@ let write_summary t =
     Trace.set_summary trace "serve-failures" s.failures;
     Trace.set_summary trace "serve-timeouts" s.timeouts;
     Trace.set_summary trace "serve-canceled" s.canceled;
+    Trace.set_summary trace "serve-coalesced" s.coalesced;
     Trace.set_summary trace "serve-occupancy-pct"
       (int_of_float (s.mean_occupancy *. 100.0));
     Trace.set_summary trace "serve-jobs-per-sec-x1000"
@@ -374,6 +447,10 @@ let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
       draining = false;
       pipe_closed = false;
       results = Hashtbl.create 64;
+      active = Hashtbl.create 64;
+      key_of_work = Hashtbl.create 64;
+      subscribers = Hashtbl.create 64;
+      work_of_ticket = Hashtbl.create 64;
       n_batches = 0;
       n_placed = 0;
       n_deferrals = 0;
@@ -381,6 +458,7 @@ let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
       n_failures = 0;
       n_timeouts = 0;
       n_canceled = 0;
+      n_coalesced = 0;
       occupancy_sum = 0.0;
       busy_seconds = 0.0;
       scheduler = None }
@@ -388,7 +466,7 @@ let create ?(queue_capacity = 256) ?(batch_jobs = 16) ?(batch_window_s = 0.01)
   t.scheduler <- Some (Domain.spawn (fun () -> scheduler_loop t));
   t
 
-(* Requires [mutex] held; enqueues and wakes the scheduler. *)
+(* Requires [mutex] held; enqueues a fresh work and wakes the scheduler. *)
 let enqueue_locked t job =
   let submitted_at = now () in
   let pending =
@@ -400,8 +478,31 @@ let enqueue_locked t job =
   in
   t.next_index <- t.next_index + 1;
   t.queue <- t.queue @ [ pending ];
+  let key = coalesce_key job in
+  Hashtbl.replace t.active key pending.index;
+  Hashtbl.replace t.key_of_work pending.index key;
+  Hashtbl.replace t.subscribers pending.index
+    [ { ticket = pending.index; sub_id = job.id; joined_at = submitted_at } ];
+  Hashtbl.replace t.work_of_ticket pending.index pending.index;
   wake t;
   pending.index
+
+(* Requires [mutex] held.  When an identical computation is already live
+   (queued or in flight), attach as a follower: a fresh ticket that shares
+   the leader's eventual response without consuming a queue slot or a
+   solve.  Followers ride the leader's absolute deadline. *)
+let try_attach_locked t job =
+  match Hashtbl.find_opt t.active (coalesce_key job) with
+  | None -> None
+  | Some work ->
+    let ticket = t.next_index in
+    t.next_index <- ticket + 1;
+    let sub = { ticket; sub_id = job.id; joined_at = now () } in
+    let subs = Option.value ~default:[] (Hashtbl.find_opt t.subscribers work) in
+    Hashtbl.replace t.subscribers work (subs @ [ sub ]);
+    Hashtbl.replace t.work_of_ticket ticket work;
+    t.n_coalesced <- t.n_coalesced + 1;
+    Some ticket
 
 let submit_ticket t job =
   Mutex.lock t.mutex;
@@ -409,16 +510,26 @@ let submit_ticket t job =
     Mutex.unlock t.mutex;
     invalid_arg "Serve.submit: service is draining"
   end;
-  while List.length t.queue >= t.queue_capacity && not t.draining do
-    Condition.wait t.not_full t.mutex
-  done;
-  if t.draining then begin
+  match try_attach_locked t job with
+  | Some ticket ->
     Mutex.unlock t.mutex;
-    invalid_arg "Serve.submit: service is draining"
-  end;
-  let ticket = enqueue_locked t job in
-  Mutex.unlock t.mutex;
-  ticket
+    ticket
+  | None ->
+    while List.length t.queue >= t.queue_capacity && not t.draining do
+      Condition.wait t.not_full t.mutex
+    done;
+    if t.draining then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Serve.submit: service is draining"
+    end;
+    (* An identical job may have arrived while we were blocked. *)
+    let ticket =
+      match try_attach_locked t job with
+      | Some ticket -> ticket
+      | None -> enqueue_locked t job
+    in
+    Mutex.unlock t.mutex;
+    ticket
 
 let submit t job = ignore (submit_ticket t job)
 
@@ -429,8 +540,13 @@ let try_submit t job =
     invalid_arg "Serve.try_submit: service is draining"
   end;
   let r =
-    if List.length t.queue >= t.queue_capacity then None
-    else Some (enqueue_locked t job)
+    (* Coalescing needs no queue slot, so a duplicate is admitted even at
+       capacity — it adds no work. *)
+    match try_attach_locked t job with
+    | Some ticket -> Some ticket
+    | None ->
+      if List.length t.queue >= t.queue_capacity then None
+      else Some (enqueue_locked t job)
   in
   Mutex.unlock t.mutex;
   r
@@ -441,29 +557,61 @@ let peek t ticket =
   Mutex.unlock t.mutex;
   r
 
+(* Cancel one *delivery*.  A follower may leave at any point before its
+   result is recorded — it owns no work.  The leader's delivery can be
+   withdrawn while its work is queued; the work itself is released from
+   the queue only when no subscribers remain (coalescing contract: a
+   cancellation releases the underlying solve only when no followers
+   remain).  An in-flight leader is refused as before: in-flight work is
+   never interrupted. *)
 let cancel t ticket =
   Mutex.lock t.mutex;
-  let found = ref false in
-  let queue' =
-    List.filter
-      (fun p ->
-         if p.index = ticket then begin
-           found := true;
-           t.n_canceled <- t.n_canceled + 1;
-           record t p ~status:Canceled ~response:None ~batch:(-1)
-             ~batch_start:(now ()) ~solve_seconds:0.0;
-           false
-         end
-         else true)
-      t.queue
+  let canceled =
+    if Hashtbl.mem t.results ticket then false
+    else
+      match Hashtbl.find_opt t.work_of_ticket ticket with
+      | None -> false
+      | Some work ->
+        let in_queue = List.exists (fun p -> p.index = work) t.queue in
+        if ticket = work && not in_queue then false
+        else begin
+          let subs = Option.value ~default:[] (Hashtbl.find_opt t.subscribers work) in
+          (match List.find_opt (fun s -> s.ticket = ticket) subs with
+           | None -> false
+           | Some sub ->
+             let at = now () in
+             Hist.add t.latency (at -. sub.joined_at);
+             Hashtbl.replace t.results ticket
+               { id = sub.sub_id;
+                 status = Canceled;
+                 response = None;
+                 batch = -1;
+                 wait_seconds = at -. sub.joined_at;
+                 solve_seconds = 0.0 };
+             t.n_canceled <- t.n_canceled + 1;
+             Hashtbl.remove t.work_of_ticket ticket;
+             (match List.filter (fun s -> s.ticket <> ticket) subs with
+              | [] ->
+                (* Last delivery gone: release the work. *)
+                Hashtbl.remove t.subscribers work;
+                (match Hashtbl.find_opt t.key_of_work work with
+                 | Some key ->
+                   Hashtbl.remove t.key_of_work work;
+                   (match Hashtbl.find_opt t.active key with
+                    | Some w when w = work -> Hashtbl.remove t.active key
+                    | _ -> ())
+                 | None -> ());
+                if in_queue then begin
+                  t.queue <- List.filter (fun p -> p.index <> work) t.queue;
+                  Condition.broadcast t.not_full;
+                  wake t
+                end
+              | rest -> Hashtbl.replace t.subscribers work rest);
+             true)
+        end
   in
-  if !found then begin
-    t.queue <- queue';
-    Condition.broadcast t.not_full;
-    wake t
-  end;
   Mutex.unlock t.mutex;
-  !found
+  canceled
 
 let drain t =
   Mutex.lock t.mutex;

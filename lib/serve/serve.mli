@@ -28,7 +28,20 @@
     the demuxed responses to be reproducible — bit-identical whether a job
     runs alone or inside any batch, at any [num_threads] — the solver must
     be a pure function of its arguments (the stock samplers are, given a
-    fixed seed). *)
+    fixed seed).
+
+    {b Request coalescing.}  That same purity makes duplicate work
+    detectable: two jobs with bit-identical content (every coefficient's
+    exact bits, plus the relative timeout) are the same computation under
+    this service's fixed solver, graph, tiler params and seed.  A job that
+    matches one already queued or in flight does not enqueue; it {e
+    attaches} as a follower to the live job's (the {e leader}'s) work and
+    receives its own ticket.  One solve runs; its response fans out to the
+    leader and every follower, bit-identical, each under its own ticket
+    and id with its own wait clock.  Followers consume no queue slot —
+    {!try_submit} admits a duplicate even at capacity — and ride the
+    leader's absolute deadline.  {!cancel} removes a single delivery; the
+    underlying work is released only when its last subscriber cancels. *)
 
 type job = {
   id : string;
@@ -64,7 +77,11 @@ type stats = {
   failures : int;
   timeouts : int;
   canceled : int;
-  queue_depth : int;  (** jobs currently waiting (instantaneous) *)
+  coalesced : int;
+      (** submissions served as followers of an identical live job; these
+          never consumed a queue slot or a solve *)
+  queue_depth : int;  (** distinct works currently waiting (followers do
+                          not count) *)
   mean_occupancy : float;  (** mean over batches of the tiler's occupancy *)
   jobs_per_second : float;  (** jobs served / total batch processing time *)
 }
@@ -108,8 +125,9 @@ val submit_ticket : t -> job -> int
 
 val try_submit : t -> job -> int option
 (** Non-blocking admission: [None] when the queue is at capacity (the
-    caller should shed load or retry later), [Some ticket] otherwise.
-    Raises [Invalid_argument] after {!drain} has started. *)
+    caller should shed load or retry later), [Some ticket] otherwise.  A
+    job that coalesces onto a live duplicate is always admitted — it adds
+    no work.  Raises [Invalid_argument] after {!drain} has started. *)
 
 val peek : t -> int -> result option
 (** The result of a ticket, once its batch has been processed.  [None]
@@ -117,10 +135,14 @@ val peek : t -> int -> result option
     any time. *)
 
 val cancel : t -> int -> bool
-(** Remove a still-queued job; its result becomes {!Canceled}.  [false]
-    when the ticket is unknown, already finished, or already inside an
-    in-flight batch (in-flight work is never interrupted — per-job
-    deadlines are the mechanism for bounding it). *)
+(** Withdraw one delivery; the ticket's result becomes {!Canceled}.
+    [false] when the ticket is unknown, already finished, or is the leader
+    of an in-flight batch (in-flight work is never interrupted — per-job
+    deadlines are the mechanism for bounding it).  A coalesced follower
+    can always cancel before its result lands, even mid-flight: it owns no
+    work.  Canceling the leader while followers remain withdraws only the
+    leader's delivery — the solve still runs for the followers; the queued
+    work itself is released exactly when its last subscriber cancels. *)
 
 val queue_depth : t -> int
 

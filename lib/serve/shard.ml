@@ -8,6 +8,7 @@
     submit, so a full shard stalls only its own traffic. *)
 
 module Cache = Qac_embed.Cache
+module Store = Qac_embed.Store
 module Hist = Qac_diag.Hist
 
 type routing =
@@ -23,6 +24,7 @@ type shard = {
 type t = {
   shards : shard array;
   routing : routing;
+  store : Store.t option;  (* shared artifact store behind every shard's cache *)
   mutex : Mutex.t;  (* tickets + rr counter *)
   tickets : (int, int * int) Hashtbl.t;  (* global ticket -> (shard, local) *)
   mutable next_ticket : int;
@@ -40,9 +42,9 @@ type shard_stats = {
   latency : Hist.t;
 }
 
-(* --- Rendezvous (HRW) hashing ----------------------------------------------- *)
+(* --- Affinity routing -------------------------------------------------------- *)
 
-(* FNV-1a over the digest bytes then the shard id: explicit and stable
+(* FNV-1a over the digest bytes then an optional salt: explicit and stable
    across OCaml versions (Hashtbl.hash is not specified to be), uniform
    enough for load spreading, and cheap — 16 bytes + 8 per route. *)
 let fnv_prime = 0x100000001b3L
@@ -57,27 +59,31 @@ let fnv1a64 (s : string) ~(salt : int) =
   done;
   !h
 
+(* Route by the digest alone: fold one unsalted hash over the shard count.
+   The earlier scheme scored every shard with a per-shard-salted hash and
+   took the argmax (classic HRW) — stable under resizing, but it ranked
+   shards by salted entropy, so the placement of a digest was a property
+   of the whole score vector rather than of the digest itself.  The fold
+   makes placement a pure single-hash function of the digest; the salted
+   hash survives only as the tie-break for equal folds, which the modulus
+   makes unreachable.  Cost: growing the pool reshuffles placements
+   (mod n+1 vs mod n) — acceptable for a pool whose size is fixed at
+   create time. *)
 let rendezvous ~digest ~num_shards =
   if num_shards < 1 then invalid_arg "Shard.rendezvous: num_shards must be >= 1";
-  let best = ref 0 and best_score = ref (fnv1a64 digest ~salt:0) in
-  for i = 1 to num_shards - 1 do
-    let score = fnv1a64 digest ~salt:i in
-    if Int64.unsigned_compare score !best_score > 0 then begin
-      best := i;
-      best_score := score
-    end
-  done;
-  !best
+  Int64.to_int (Int64.unsigned_rem (fnv1a64 digest ~salt:0) (Int64.of_int num_shards))
 
 (* --- Pool ------------------------------------------------------------------- *)
 
 let create ?(num_shards = 1) ?(routing = Affinity) ?queue_capacity ?batch_jobs
     ?batch_window_s ?num_threads ?tiler_params ?chain_break
-    ?(cache_capacity = 64) ?max_retries ~solver ~graph () =
+    ?(cache_capacity = 64) ?store ?max_retries ~solver ~graph () =
   if num_shards < 1 then invalid_arg "Shard.create: num_shards must be >= 1";
   let shards =
     Array.init num_shards (fun id ->
-        let cache = Cache.create ~capacity:cache_capacity () in
+        (* One store behind all shards; each shard's LRU copy-promotes out
+           of it independently. *)
+        let cache = Cache.create ~capacity:cache_capacity ?store () in
         let serve =
           Serve.create ?queue_capacity ?batch_jobs ?batch_window_s ?num_threads
             ?tiler_params ?chain_break ~embed_cache:cache ?max_retries ~solver
@@ -87,6 +93,7 @@ let create ?(num_shards = 1) ?(routing = Affinity) ?queue_capacity ?batch_jobs
   in
   { shards;
     routing;
+    store;
     mutex = Mutex.create ();
     tickets = Hashtbl.create 256;
     next_ticket = 0;
@@ -123,13 +130,22 @@ let submit t job =
 
 (* Retry-after: how long until the target shard plausibly frees a slot —
    one queue's worth of work at its measured throughput, or a conservative
-   per-job constant before any throughput has been observed. *)
+   per-job constant before any throughput has been observed.  Floored at
+   [min_retry_after_ms]: with no real service-time samples yet (or with
+   jobs/s skewed high by instantly-recorded cancellations) the naive
+   estimate collapses toward zero and tells every rejected client to
+   hammer straight back — a first-job thundering herd. *)
+let min_retry_after_ms = 10.0
+
 let retry_after_ms (st : Serve.stats) =
   let per_job_ms =
-    if st.Serve.jobs_per_second > 0.0 then 1000.0 /. st.Serve.jobs_per_second
+    if st.Serve.jobs_done > 0 && st.Serve.jobs_per_second > 0.0
+    then 1000.0 /. st.Serve.jobs_per_second
     else 50.0
   in
-  Float.min 60_000.0 (Float.max 1.0 (per_job_ms *. float_of_int (max 1 st.Serve.queue_depth)))
+  Float.min 60_000.0
+    (Float.max min_retry_after_ms
+       (per_job_ms *. float_of_int (max 1 st.Serve.queue_depth)))
 
 let try_submit t job =
   let s = choose t job in
@@ -203,6 +219,7 @@ let metrics t =
        line "serve_failures" shard "%d" sv.Serve.failures;
        line "serve_timeouts" shard "%d" sv.Serve.timeouts;
        line "serve_canceled" shard "%d" sv.Serve.canceled;
+       line "serve_coalesced" shard "%d" sv.Serve.coalesced;
        line "serve_queue_depth" shard "%d" sv.Serve.queue_depth;
        line "serve_occupancy" shard "%g" sv.Serve.mean_occupancy;
        line "serve_jobs_per_second" shard "%g" sv.Serve.jobs_per_second;
@@ -210,6 +227,7 @@ let metrics t =
        line "embed_cache_misses" shard "%d" c.Cache.misses;
        line "embed_cache_evictions" shard "%d" c.Cache.evictions;
        line "embed_cache_entries" shard "%d" c.Cache.entries;
+       line "embed_cache_store_hits" shard "%d" c.Cache.store_hits;
        (* Cumulative histogram, Prometheus classic shape. *)
        let cumulative = ref 0 in
        List.iter
@@ -231,4 +249,20 @@ let metrics t =
        line "serve_latency_p50_seconds" shard "%g" (Hist.p50 lat);
        line "serve_latency_p99_seconds" shard "%g" (Hist.p99 lat))
     (stats t);
+  (* The artifact store is pool-wide, so its counters carry no shard label. *)
+  (match t.store with
+   | None -> ()
+   | Some store ->
+     let st = Store.stats store in
+     let gline name v =
+       Buffer.add_string b (Printf.sprintf "qac_store_%s %d\n" name v)
+     in
+     gline "embeddings" st.Store.embeddings;
+     gline "problems" st.Store.problems;
+     gline "embed_hits" st.Store.embed_hits;
+     gline "embed_misses" st.Store.embed_misses;
+     gline "problem_hits" st.Store.problem_hits;
+     gline "problem_misses" st.Store.problem_misses;
+     gline "writes" st.Store.writes;
+     gline "load_failures" st.Store.load_failures);
   Buffer.contents b

@@ -11,13 +11,14 @@
     shard's cache small, hot, and uncontended — the same reason the D-Wave
     cloud client pins a problem family to one solver endpoint.
 
-    Routing is rendezvous (highest-random-weight) hashing of the structure
-    digest over the shard ids: deterministic (same digest, same shard —
-    forever), balanced over random digests, and stable under resizing
-    (growing from [n] to [n+1] shards moves only the keys whose new maximum
-    lands on the new shard, about [1/(n+1)] of them, and never moves a key
-    between two old shards).  {!Round_robin} routing exists as the control
-    arm for benchmarks.
+    Routing hashes the structure digest {e alone} and folds it over the
+    shard count: deterministic (same digest, same shard — for any pool of
+    this size, forever), balanced over random digests, and a pure
+    single-hash function of the digest — per-shard salted scores survive
+    only as a tie-break, so no salt can ever split same-shaped traffic
+    across shards.  The pool's size is fixed at {!create}; a pool of a
+    different size is a different routing function.  {!Round_robin}
+    routing exists as the control arm for benchmarks.
 
     Tickets are pool-global: {!submit} returns a ticket valid with
     {!poll}/{!cancel} whatever shard the job landed on.  {!try_submit} is
@@ -48,6 +49,10 @@ type shard_stats = {
     schedulers.  Every optional parameter mirrors {!Serve.create} and is
     applied to each shard; [cache_capacity] (default 64) sizes each
     shard's private embedding cache; [num_threads] is {e per shard}.
+    [store] plugs one shared {!Qac_embed.Store} behind every shard's
+    cache: misses fall through to the persistent corpus and promote into
+    the missing shard's own LRU, and every fresh embedding is written
+    through — a restarted pool starts warm.
     [solver] must be pure up to its arguments — the composition-invariance
     contract makes a job's response independent of the shard that serves
     it, so any routing policy (and any shard count) returns bit-identical
@@ -62,6 +67,7 @@ val create :
   ?tiler_params:Qac_embed.Tiler.params ->
   ?chain_break:Qac_embed.Embedding.chain_break ->
   ?cache_capacity:int ->
+  ?store:Qac_embed.Store.t ->
   ?max_retries:int ->
   solver:(deadline:float option -> Qac_ising.Problem.t -> Qac_anneal.Sampler.response) ->
   graph:Qac_chimera.Topology.t ->
@@ -71,9 +77,9 @@ val create :
 val num_shards : t -> int
 
 val rendezvous : digest:Digest.t -> num_shards:int -> int
-(** The pure routing function: the shard in [0, num_shards) whose
-    [FNV-1a (digest, shard)] score is highest.  Exposed for tests and for
-    clients that want to predict placement. *)
+(** The pure routing function: the unsalted [FNV-1a digest] folded over
+    [num_shards] — a function of the digest and the shard count only.
+    Exposed for tests and for clients that want to predict placement. *)
 
 val route : t -> Qac_ising.Problem.t -> int
 (** The shard {!submit} would choose for this problem under {!Affinity}
@@ -105,10 +111,13 @@ val metrics : t -> string
 (** Prometheus-style text exposition: one
     [qac_<name>{shard="<i>"} <value>] line per counter per shard — the
     {!Serve} summary counters (jobs, placed, deferrals, retries, failures,
-    timeouts, canceled, queue depth, occupancy, jobs/s), the embed-cache
-    hit/miss/eviction/entry counts, and the log-bucketed latency histogram
-    (cumulative [_bucket{le="..."}] lines plus [_sum]/[_count] and p50/p99
-    gauges). *)
+    timeouts, canceled, coalesced, queue depth, occupancy, jobs/s), the
+    embed-cache hit/miss/eviction/entry/store-hit counts, and the
+    log-bucketed latency histogram (cumulative [_bucket{le="..."}] lines
+    plus [_sum]/[_count] and p50/p99 gauges).  When the pool was created
+    with a [store], unlabeled pool-wide [qac_store_*] lines follow:
+    [embeddings], [problems], [embed_hits], [embed_misses],
+    [problem_hits], [problem_misses], [writes], [load_failures]. *)
 
 val drain : t -> (int * Serve.result) list
 (** Drain every shard and return all results as [(ticket, result)] in

@@ -23,6 +23,7 @@ let () =
       ("trace", Test_trace.suite);
       ("parallel", Test_parallel.suite);
       ("tiler", Test_tiler.suite);
+      ("store", Test_store.suite);
       ("serve", Test_serve.suite);
       ("hist", Test_hist.suite);
       ("protocol", Test_protocol.suite);

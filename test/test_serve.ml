@@ -24,14 +24,17 @@ let chain_problem n =
     ~j:(List.init (n - 1) (fun i -> ((i, i + 1), if i mod 3 = 0 then -1.0 else 0.5)))
     ()
 
-let dense_problem n =
+(* [bias] varies the fields without touching the interaction structure:
+   same embedding footprint, but distinct problem content — such jobs are
+   not coalescible duplicates of each other. *)
+let dense_problem ?(bias = 0.1) n =
   let j = ref [] in
   for i = 0 to n - 1 do
     for k = i + 1 to n - 1 do
       j := ((i, k), if (i + k) mod 2 = 0 then 0.5 else -0.5) :: !j
     done
   done;
-  Problem.create ~num_vars:n ~h:(Array.make n 0.1) ~j:!j ()
+  Problem.create ~num_vars:n ~h:(Array.make n bias) ~j:!j ()
 
 let job ?timeout_ms id problem = { Serve.id; problem; timeout_ms }
 
@@ -116,7 +119,11 @@ let basic_tests =
            r1 r4);
     Alcotest.test_case "small batch limit splits the load" `Quick (fun () ->
         let graph = Chimera.create 6 in
-        let jobs = List.init 6 (fun i -> job (string_of_int i) (chain_problem 4)) in
+        (* Distinct lengths: identical jobs would coalesce onto one leader
+           and leave nothing to split into batches. *)
+        let jobs =
+          List.init 6 (fun i -> job (string_of_int i) (chain_problem (3 + i)))
+        in
         let results, stats = serve_all ~batch_jobs:2 graph jobs in
         Alcotest.(check int) "all served" 6 (List.length results);
         Alcotest.(check bool) "several batches" true (stats.Serve.batches >= 3));
@@ -203,10 +210,11 @@ let failure_tests =
     Alcotest.test_case "deferred jobs requeue and complete" `Quick (fun () ->
         let graph = Chimera.create 2 in
         (* Each 8-var dense job takes the whole C2, so they must serialize
-           across batches via deferral. *)
-        let big = dense_problem 8 in
+           across batches via deferral.  Distinct biases keep the three
+           jobs from coalescing into one solve. *)
+        let big i = dense_problem ~bias:(0.1 +. (0.01 *. float_of_int i)) 8 in
         let results, stats =
-          serve_all graph (List.init 3 (fun i -> job (string_of_int i) big))
+          serve_all graph (List.init 3 (fun i -> job (string_of_int i) (big i)))
         in
         List.iter
           (fun (r : Serve.result) ->
@@ -313,9 +321,9 @@ let ticket_tests =
          Alcotest.(check bool) "first fits" true
            (Serve.try_submit t (job "a" (chain_problem 3)) <> None);
          Alcotest.(check bool) "second fits" true
-           (Serve.try_submit t (job "b" (chain_problem 3)) <> None);
+           (Serve.try_submit t (job "b" (chain_problem 4)) <> None);
          Alcotest.(check (option int)) "third sheds" None
-           (Serve.try_submit t (job "c" (chain_problem 3)));
+           (Serve.try_submit t (job "c" (chain_problem 5)));
          Alcotest.(check int) "queue depth visible" 2 (Serve.queue_depth t);
          ignore (Serve.drain t));
     Alcotest.test_case "latency histogram counts every finished job" `Quick
@@ -330,6 +338,114 @@ let ticket_tests =
          Alcotest.(check int) "one observation per job" 3 (Qac_diag.Hist.count lat);
          Alcotest.(check bool) "positive p50" true (Qac_diag.Hist.p50 lat > 0.0)) ]
 
+let coalesce_tests =
+  [ Alcotest.test_case "identical jobs coalesce onto one solve" `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        (* A huge batch window keeps everything queued until drain forces
+           the flush, so all three duplicates attach before any solve. *)
+        let t =
+          Serve.create ~batch_jobs:100 ~batch_window_s:60.0 ~tiler_params
+            ~solver ~graph ()
+        in
+        let p = chain_problem 4 in
+        List.iter (Serve.submit t)
+          [ job "a0" p; job "a1" p; job "a2" p; job "b" (chain_problem 5) ];
+        let results = Serve.drain t in
+        let stats = Serve.stats t in
+        Alcotest.(check int) "four results" 4 (List.length results);
+        Alcotest.(check int) "one solve per unique problem" 2 stats.Serve.placed;
+        Alcotest.(check int) "followers counted" 2 stats.Serve.coalesced;
+        List.iter
+          (fun (r : Serve.result) ->
+             match r.Serve.status with
+             | Serve.Done -> ()
+             | _ -> Alcotest.fail (r.Serve.id ^ ": not done"))
+          results;
+        let by_id id =
+          List.find (fun (r : Serve.result) -> r.Serve.id = id) results
+        in
+        let leader = response_exn (by_id "a0") in
+        check_response "a1" leader (response_exn (by_id "a1"));
+        check_response "a2" leader (response_exn (by_id "a2")));
+    Alcotest.test_case "canceling a follower leaves the leader solving" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let t =
+           Serve.create ~batch_jobs:100 ~batch_window_s:60.0 ~tiler_params
+             ~solver ~graph ()
+         in
+         let p = chain_problem 4 in
+         let lead = Serve.submit_ticket t (job "lead" p) in
+         let dup = Serve.submit_ticket t (job "dup" p) in
+         Alcotest.(check bool) "follower cancels" true (Serve.cancel t dup);
+         ignore (Serve.drain t);
+         (match Serve.peek t lead with
+          | Some { Serve.status = Serve.Done; response = Some _; _ } -> ()
+          | _ -> Alcotest.fail "leader should still finish");
+         (match Serve.peek t dup with
+          | Some { Serve.status = Serve.Canceled; response = None; _ } -> ()
+          | _ -> Alcotest.fail "follower should report Canceled");
+         let stats = Serve.stats t in
+         Alcotest.(check int) "one cancel" 1 stats.Serve.canceled;
+         Alcotest.(check int) "one solve" 1 stats.Serve.placed);
+    Alcotest.test_case "canceling the leader keeps followers served" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let t =
+           Serve.create ~batch_jobs:100 ~batch_window_s:60.0 ~tiler_params
+             ~solver ~graph ()
+         in
+         let p = chain_problem 4 in
+         let lead = Serve.submit_ticket t (job "lead" p) in
+         let dup = Serve.submit_ticket t (job "dup" p) in
+         Alcotest.(check bool) "leader delivery cancels" true (Serve.cancel t lead);
+         ignore (Serve.drain t);
+         (match Serve.peek t lead with
+          | Some { Serve.status = Serve.Canceled; response = None; _ } -> ()
+          | _ -> Alcotest.fail "canceled leader delivery should stay Canceled");
+         (match Serve.peek t dup with
+          | Some { Serve.status = Serve.Done; response = Some _; _ } -> ()
+          | _ -> Alcotest.fail "follower should be served anyway");
+         Alcotest.(check int) "solved once" 1 (Serve.stats t).Serve.placed);
+    Alcotest.test_case "canceling every subscriber releases the queue slot"
+      `Quick (fun () ->
+        let graph = Chimera.create 6 in
+        let t =
+          Serve.create ~queue_capacity:1 ~batch_jobs:100 ~batch_window_s:60.0
+            ~tiler_params ~solver ~graph ()
+        in
+        let p = chain_problem 4 in
+        let a = Serve.submit_ticket t (job "a" p) in
+        let b = Serve.submit_ticket t (job "b" p) in
+        Alcotest.(check bool) "leader cancels" true (Serve.cancel t a);
+        Alcotest.(check bool) "last follower cancels" true (Serve.cancel t b);
+        Alcotest.(check int) "slot released" 0 (Serve.queue_depth t);
+        Alcotest.(check bool) "a fresh job fits" true
+          (Serve.try_submit t (job "c" (chain_problem 5)) <> None);
+        ignore (Serve.drain t));
+    Alcotest.test_case "try_submit admits a duplicate at capacity" `Quick
+      (fun () ->
+         let graph = Chimera.create 6 in
+         let t =
+           Serve.create ~queue_capacity:1 ~batch_jobs:100 ~batch_window_s:60.0
+             ~tiler_params ~solver ~graph ()
+         in
+         let p = chain_problem 4 in
+         Alcotest.(check bool) "leader fits" true
+           (Serve.try_submit t (job "a" p) <> None);
+         (* The queue is now full, but a duplicate consumes no slot. *)
+         Alcotest.(check bool) "duplicate attaches" true
+           (Serve.try_submit t (job "a2" p) <> None);
+         Alcotest.(check (option int)) "distinct job sheds" None
+           (Serve.try_submit t (job "b" (chain_problem 5)));
+         let results = Serve.drain t in
+         Alcotest.(check int) "both answered" 2 (List.length results);
+         let by_id id =
+           List.find (fun (r : Serve.result) -> r.Serve.id = id) results
+         in
+         check_response "a2" (response_exn (by_id "a"))
+           (response_exn (by_id "a2"))) ]
+
 let suite =
   basic_tests @ deadline_tests @ failure_tests @ trace_tests @ pegasus_tests
-  @ ticket_tests
+  @ ticket_tests @ coalesce_tests
