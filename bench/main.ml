@@ -34,7 +34,12 @@
       length), end-to-end [Pipeline.run] latency, a tiled multi-job batch
       served on Pegasus, native-K4 clique embeddings, and the cell library
       rederived under the Advantage coefficient ranges.  Writes
-      [BENCH_PEGASUS.json]. *)
+      [BENCH_PEGASUS.json].
+    - [dune exec bench/main.exe -- sat [smoke]] batch-serves planted random
+      3-SAT instances (compiled to Ising penalties by [Qac_sat]) through the
+      tiler on Chimera and Pegasus, reporting solved fraction, jobs/s, and
+      embedding-cache sharing across the structurally identical batch; writes
+      [BENCH_SAT.json]. *)
 
 let run_experiments ids =
   let selected =
@@ -1472,6 +1477,159 @@ let pegasus_bench ~smoke () =
   close_out oc;
   Printf.printf "wrote BENCH_PEGASUS.json\n"
 
+(* --- SAT workload through the serving tier --------------------------------- *)
+
+(* Planted random 3-SAT, batch-served through the tiler on Chimera and
+   Pegasus.  All instances share one clause skeleton (which variables pair
+   up) and differ only in literal polarities and weights' signs — a gauge
+   change that preserves the compiled problem's coupler structure, so the
+   whole batch shares a single embedding-cache entry per graph: one CMR
+   solve, N-1 hits.  Reported per graph: solved fraction (best decoded
+   read violates nothing) and jobs/s. *)
+let sat_bench ~smoke () =
+  let module Dimacs = Qac_sat.Dimacs in
+  let module Compile = Qac_sat.Compile in
+  let module Serve = Qac_serve.Serve in
+  let module Tiler = Qac_embed.Tiler in
+  let module Cache = Qac_embed.Cache in
+  let module Topology = Qac_chimera.Topology in
+  let module Sampler = Qac_anneal.Sampler in
+  let module P = Qac_core.Pipeline in
+  let num_instances = if smoke then 8 else 32 in
+  let n = if smoke then 8 else 14 in
+  let m = if smoke then 26 else 49 in
+  let rng = Random.State.make [| 421 |] in
+  (* one skeleton of distinct-variable triples for every instance *)
+  let skeleton =
+    Array.init m (fun _ ->
+        let a = Random.State.int rng n in
+        let b = (a + 1 + Random.State.int rng (n - 1)) mod n in
+        let rec pick () =
+          let c = Random.State.int rng n in
+          if c = a || c = b then pick () else c
+        in
+        (a, b, pick ()))
+  in
+  (* Each instance is a fresh per-variable gauge of the all-positive
+     skeleton: literal polarities follow the gauge, so the instance is
+     satisfied exactly by the (hidden) gauge assignment.  A gauge flips
+     coefficient signs but cancels couplers gauge-invariantly, so every
+     instance compiles to the same coupler structure — the whole batch
+     shares one embedding-cache entry per graph by construction. *)
+  let planted_instance () =
+    let gauge = Array.init n (fun _ -> Random.State.bool rng) in
+    let clauses =
+      Array.map
+        (fun (a, b, c) ->
+           let lits =
+             Array.map
+               (fun v -> if gauge.(v) then v + 1 else -(v + 1))
+               [| a; b; c |]
+           in
+           { Dimacs.lits; weight = Dimacs.Hard })
+        skeleton
+    in
+    { Dimacs.num_vars = n; clauses; mode = Dimacs.Cnf; top = None }
+  in
+  let compiled = Array.init num_instances (fun _ -> Compile.compile (planted_instance ())) in
+  let digest0 = Cache.structure_digest compiled.(0).Compile.problem in
+  let shared_structure =
+    Array.for_all
+      (fun (c : Compile.t) -> Cache.structure_digest c.Compile.problem = digest0)
+      compiled
+  in
+  Printf.printf
+    "planted 3-SAT: %d instances, n=%d m=%d -> %d spins, %d couplers each \
+     (shared structure: %b)\n"
+    num_instances n m
+    compiled.(0).Compile.problem.Qac_ising.Problem.num_vars
+    (Array.length compiled.(0).Compile.problem.Qac_ising.Problem.couplers)
+    shared_structure;
+  let sa_params =
+    { Qac_anneal.Sa.default_params with
+      Qac_anneal.Sa.num_reads = (if smoke then 12 else 32);
+      num_sweeps = (if smoke then 100 else 400);
+      seed = 42 }
+  in
+  let solver ~deadline p = P.dispatch_solver ~num_threads:1 ?deadline (P.Sa sa_params) p in
+  let threads = min 4 (Domain.recommended_domain_count ()) in
+  let tiler_params = { Tiler.default_params with Tiler.slack = 6.0 } in
+  let run_graph graph =
+    let embed_cache = Cache.create () in
+    let t0 = Unix.gettimeofday () in
+    let service =
+      Serve.create ~batch_jobs:num_instances ~num_threads:threads ~tiler_params
+        ~embed_cache ~solver ~graph ()
+    in
+    Array.iteri
+      (fun i (c : Compile.t) ->
+         Serve.submit service
+           { Serve.id = string_of_int i; problem = c.Compile.problem; timeout_ms = None })
+      compiled;
+    let results = Serve.drain service in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let st = Serve.stats service in
+    let cache = Cache.stats embed_cache in
+    let served = ref 0 and solved = ref 0 in
+    List.iter
+      (fun (r : Serve.result) ->
+         match r.Serve.status, r.Serve.response with
+         | Serve.Done, Some resp ->
+           incr served;
+           let c = compiled.(int_of_string r.Serve.id) in
+           let best_violations =
+             List.fold_left
+               (fun acc (s : Sampler.sample) ->
+                  let a = Compile.decode c s.Sampler.spins in
+                  min acc (fst (Dimacs.violations c.Compile.formula a)))
+               max_int resp.Sampler.samples
+           in
+           if best_violations = 0 then incr solved
+         | _ -> ())
+      results;
+    let solved_fraction = float_of_int !solved /. float_of_int num_instances in
+    Printf.printf
+      "  %-14s %d/%d done, solved %d/%d (%.0f%%), %.2f jobs/s, %d batches, \
+       occupancy %.1f%%, embed cache %d hit / %d miss\n"
+      graph.Topology.name !served num_instances !solved num_instances
+      (100.0 *. solved_fraction) st.Serve.jobs_per_second st.Serve.batches
+      (100.0 *. st.Serve.mean_occupancy) cache.Cache.hits cache.Cache.misses;
+    Printf.sprintf
+      "    { \"graph\": %S, \"jobs\": %d, \"done\": %d, \"solved\": %d,\n\
+      \      \"solved_fraction\": %.4f, \"jobs_per_second\": %.3f, \"seconds\": %.6f,\n\
+      \      \"batches\": %d, \"mean_occupancy_pct\": %.1f,\n\
+      \      \"embed_cache_hits\": %d, \"embed_cache_misses\": %d }"
+      graph.Topology.name num_instances !served !solved solved_fraction
+      st.Serve.jobs_per_second seconds st.Serve.batches
+      (100.0 *. st.Serve.mean_occupancy)
+      cache.Cache.hits cache.Cache.misses
+  in
+  let graphs =
+    if smoke then [ Qac_chimera.Chimera.create 6; Qac_chimera.Pegasus.create 4 ]
+    else [ Qac_chimera.Chimera.create 16; Qac_chimera.Pegasus.create 6 ]
+  in
+  let rows = List.map run_graph graphs in
+  let oc = open_out "BENCH_SAT.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"sat-serve\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"workload\": \"planted random 3-SAT (per-instance variable gauges of one all-positive clause skeleton) compiled to Ising penalties and batch-served through the tiler; gauge changes preserve coupler structure, so every job shares the embedding-cache entry\",\n\
+    \  \"instances\": %d, \"variables\": %d, \"clauses\": %d,\n\
+    \  \"spins_per_instance\": %d, \"shared_structure_digest\": %b,\n\
+    \  \"sa\": { \"reads\": %d, \"sweeps\": %d },\n\
+    \  \"threads\": %d,\n\
+    \  \"graphs\": [\n%s\n  ]\n\
+     }\n"
+    (if smoke then "smoke" else "full")
+    num_instances n m
+    compiled.(0).Compile.problem.Qac_ising.Problem.num_vars
+    shared_structure sa_params.Qac_anneal.Sa.num_reads
+    sa_params.Qac_anneal.Sa.num_sweeps threads
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "wrote BENCH_SAT.json\n"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
@@ -1493,4 +1651,5 @@ let () =
     let smoke, store_dir = parse false None rest in
     serve_bench ~smoke ?store_dir ()
   | "pegasus" :: rest -> pegasus_bench ~smoke:(rest = [ "smoke" ]) ()
+  | "sat" :: rest -> sat_bench ~smoke:(rest = [ "smoke" ]) ()
   | ids -> run_experiments ids

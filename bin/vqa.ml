@@ -322,6 +322,175 @@ let run_cmd =
              $ broken_arg $ roof_arg $ all_arg $ threads_arg $ timeout_arg $ store_arg
              $ postprocess_arg $ chain_break_arg $ trace_arg $ trace_json_arg))
 
+(* --- sat ------------------------------------------------------------------ *)
+
+module Sat = Qac_sat.Compile
+module Dimacs = Qac_sat.Dimacs
+
+let sat_file_arg =
+  let doc = "DIMACS CNF or WCNF file (the header picks the mode)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let maxsat_arg =
+  let doc =
+    "Treat a plain CNF as MaxSAT: report the best assignment found and its \
+     violated-clause count ($(b,o) line) even when the formula was not fully \
+     satisfied.  WCNF inputs always run as (weighted) MaxSAT."
+  in
+  Arg.(value & flag & info [ "maxsat" ] ~doc)
+
+(* Minor-embed a compiled SAT problem, solve on the hardware graph, and
+   unembed — the single-job version of the pipeline's physical target. *)
+let sat_solve_physical ~graph ~chain_break ~threads ?deadline solver p =
+  let eparams =
+    { (Qac_embed.Cmr.params_for graph) with Qac_embed.Cmr.num_threads = threads }
+  in
+  let cache = Qac_embed.Cache.shared () in
+  let key = Qac_embed.Cache.key graph p ~params:eparams in
+  let embedding =
+    match Qac_embed.Cache.find cache key with
+    | Some e -> e
+    | None ->
+      let e =
+        match Qac_embed.Cmr.find ~params:eparams graph p with
+        | Some e -> e
+        | None ->
+          (match Qac_embed.Clique.find graph p with
+           | Some e -> e
+           | None ->
+             Qac_diag.Diag.error ~stage:"sat"
+               "no minor embedding found (formula too large for the topology?)")
+      in
+      Qac_embed.Cache.add cache key e;
+      e
+  in
+  let physical = Qac_embed.Embedding.apply graph p embedding in
+  let compacted, old_of_new = Qac_embed.Embedding.compact physical in
+  let response = P.dispatch_solver ~num_threads:threads ?deadline solver compacted in
+  let logical_samples =
+    List.map
+      (fun (s : Qac_anneal.Sampler.sample) ->
+         let full = Array.make physical.Qac_ising.Problem.num_vars 1 in
+         Array.iteri
+           (fun k old -> full.(old) <- s.Qac_anneal.Sampler.spins.(k))
+           old_of_new;
+         let u =
+           Qac_embed.Embedding.unembed ~policy:chain_break ~problem:physical
+             embedding full
+         in
+         (u.Qac_embed.Embedding.logical, s.Qac_anneal.Sampler.num_occurrences))
+      response.Qac_anneal.Sampler.samples
+  in
+  (logical_samples, Some (Qac_embed.Embedding.num_physical_qubits embedding), response)
+
+let sat_cmd =
+  let run file maxsat solver reads sweeps seed physical topology broken threads
+      timeout_ms chain_break =
+    try
+      let formula = Dimacs.parse_file file in
+      let compiled = Sat.compile formula in
+      let p = compiled.Sat.problem in
+      let exact = solver = `Exact in
+      let solver = make_solver solver ~reads ~sweeps ~seed in
+      let deadline =
+        Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) timeout_ms
+      in
+      let samples, physical_qubits, (response : Qac_anneal.Sampler.response) =
+        if physical = 0 then
+          let response = P.dispatch_solver ~num_threads:threads ?deadline solver p in
+          ( List.map
+              (fun (s : Qac_anneal.Sampler.sample) ->
+                 (s.Qac_anneal.Sampler.spins, s.Qac_anneal.Sampler.num_occurrences))
+              response.Qac_anneal.Sampler.samples,
+            None, response )
+        else
+          let graph = make_graph ~topology ~broken physical in
+          sat_solve_physical ~graph ~chain_break ~threads ?deadline solver p
+      in
+      (* Decode every read and keep the cheapest assignment; [cost] ranks by
+         the same objective the Hamiltonian encodes, so a read whose
+         ancillas (or chains) came back suboptimal still scores by what its
+         decision bits actually violate. *)
+      let best =
+        List.fold_left
+          (fun acc (spins, _) ->
+             let a = Sat.decode compiled spins in
+             let c = Sat.cost compiled a in
+             match acc with
+             | Some (_, best_c) when best_c <= c -> acc
+             | _ -> Some (a, c))
+          None samples
+      in
+      Printf.printf "c %d variables, %d clauses -> %d spins (%d ancillas), %d couplers\n"
+        formula.Dimacs.num_vars
+        (Array.length formula.Dimacs.clauses)
+        p.Qac_ising.Problem.num_vars compiled.Sat.num_ancillas
+        (Array.length p.Qac_ising.Problem.couplers);
+      (match physical_qubits with
+       | Some q -> Printf.printf "c physical qubits: %d\n" q
+       | None -> ());
+      Printf.printf "c reads: %d  elapsed: %.3fs\n"
+        response.Qac_anneal.Sampler.num_reads
+        response.Qac_anneal.Sampler.elapsed_seconds;
+      if response.Qac_anneal.Sampler.timed_out then
+        print_endline "c timed out: best-so-far";
+      let print_v a =
+        let buf = Buffer.create (4 * Array.length a) in
+        Buffer.add_char buf 'v';
+        Array.iteri
+          (fun i v ->
+             Buffer.add_char buf ' ';
+             Buffer.add_string buf (string_of_int (if v then i + 1 else -(i + 1))))
+          a;
+        Buffer.add_string buf " 0";
+        print_endline (Buffer.contents buf)
+      in
+      (match best with
+       | None -> print_endline "s UNKNOWN"
+       | Some (a, _) ->
+         let hard, soft = Dimacs.violations formula a in
+         let pure = Dimacs.num_soft formula = 0 in
+         if pure && not maxsat then begin
+           (* Decision mode.  Exact enumeration proves UNSAT: the compiled
+              ground energy is the minimum violated-clause count. *)
+           if hard = 0 then begin
+             print_endline "s SATISFIABLE";
+             print_v a
+           end
+           else if exact then print_endline "s UNSATISFIABLE"
+           else begin
+             Printf.printf "c best read violates %d clause(s)\n" hard;
+             print_endline "s UNKNOWN"
+           end
+         end
+         else if pure then begin
+           (* --maxsat on a plain CNF: minimize the violated-clause count. *)
+           Printf.printf "o %d\n" hard;
+           print_endline (if exact then "s OPTIMUM FOUND" else "s UNKNOWN");
+           print_v a
+         end
+         else if hard = 0 then begin
+           Printf.printf "o %g\n" soft;
+           print_endline (if exact then "s OPTIMUM FOUND" else "s SATISFIABLE");
+           print_v a
+         end
+         else if exact then print_endline "s UNSATISFIABLE"
+         else begin
+           Printf.printf "c best read violates %d hard clause(s)\n" hard;
+           print_endline "s UNKNOWN"
+         end);
+      `Ok ()
+    with
+    | Qac_diag.Diag.Error d -> `Error (false, Qac_diag.Diag.to_string d)
+    | Failure msg -> `Error (false, msg)
+  in
+  let doc = "solve a DIMACS CNF/WCNF formula on the annealing substrate" in
+  Cmd.v (Cmd.info "sat" ~doc)
+    Term.(ret
+            (const run $ sat_file_arg $ maxsat_arg $ solver_arg $ reads_arg $ sweeps_arg
+             $ seed_arg $ physical_arg $ topology_arg $ broken_arg $ threads_arg
+             $ timeout_arg $ chain_break_arg))
+
 (* --- serve ----------------------------------------------------------------- *)
 
 module Serve = Qac_serve.Serve
@@ -853,4 +1022,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; serve_cmd; client_cmd; cells_cmd; stats_cmd ]))
+          [ compile_cmd; run_cmd; sat_cmd; serve_cmd; client_cmd; cells_cmd; stats_cmd ]))

@@ -38,6 +38,23 @@ let apply range p =
   let s = factor range p in
   if s >= 1.0 then p else Problem.scale p s
 
+(* Ratio of the largest to the smallest nonzero coefficient magnitude.  A
+   uniform downscale ([apply]) preserves this ratio, so it measures how much
+   analog precision a problem demands of the hardware regardless of range
+   fitting — the MaxSAT weight-spread guard compares it against 2^bits. *)
+let dynamic_range p =
+  let lo = ref infinity and hi = ref 0.0 in
+  let see v =
+    let m = Float.abs v in
+    if m > 0.0 then begin
+      if m < !lo then lo := m;
+      if m > !hi then hi := m
+    end
+  in
+  Array.iter see p.Problem.h;
+  Array.iter (fun (_, v) -> see v) p.Problem.couplers;
+  if !hi = 0.0 then 1.0 else !hi /. !lo
+
 let quantize ~bits p =
   if bits < 1 then invalid_arg "Scale.quantize: bits must be >= 1";
   let levels = float_of_int ((1 lsl bits) - 1) in

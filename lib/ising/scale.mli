@@ -33,6 +33,13 @@ val apply : range -> Problem.t -> Problem.t
 (** [apply range p] rescales [p] to fit [range]; [fits range (apply range p)]
     always holds. *)
 
+val dynamic_range : Problem.t -> float
+(** Ratio of the largest to the smallest nonzero coefficient magnitude
+    ([1.0] for a problem with no terms).  Invariant under uniform scaling,
+    so it measures the analog precision a problem demands of the hardware;
+    the SAT frontend refuses MaxSAT weight spreads that push it beyond
+    [2^precision_bits]. *)
+
 (** [quantize ~bits p] rounds each coefficient to one of [2^bits] evenly
     spaced levels over its current extent, modelling the limited analog
     precision the paper notes.  Used in noise-sensitivity experiments. *)

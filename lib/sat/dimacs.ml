@@ -1,0 +1,196 @@
+(** DIMACS CNF/WCNF parser (see dimacs.mli). *)
+
+let stage = "dimacs"
+let error ?line fmt = Qac_diag.Diag.error ?line ~stage fmt
+
+type weight = Hard | Soft of float
+
+type clause = {
+  lits : int array;
+  weight : weight;
+}
+
+type mode = Cnf | Wcnf
+
+type t = {
+  num_vars : int;
+  clauses : clause array;
+  mode : mode;
+  top : float option;
+}
+
+type header = {
+  hmode : mode;
+  hvars : int;
+  hclauses : int;
+  htop : float option;
+}
+
+(* Mutable cursor threaded through the line fold: the clause under
+   construction (literals in reverse) and, for WCNF, its pending weight —
+   [None] marks a clause boundary, where the next token must be a weight. *)
+type state = {
+  mutable header : header option;
+  mutable acc : clause list;  (** finished clauses, reversed *)
+  mutable cur : int list;  (** current clause literals, reversed *)
+  mutable cur_weight : weight option;  (** set for WCNF once the weight token is read *)
+  mutable in_clause : bool;  (** a clause has been started (weight read or literal seen) *)
+  mutable stopped : bool;  (** saw the SATLIB ["%"] terminator *)
+}
+
+let tokens_of_line line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_header ~line toks =
+  match toks with
+  | "p" :: "cnf" :: rest ->
+    (match rest with
+     | [ nv; nc ] ->
+       (match int_of_string_opt nv, int_of_string_opt nc with
+        | Some v, Some c when v >= 0 && c >= 0 ->
+          { hmode = Cnf; hvars = v; hclauses = c; htop = None }
+        | _ -> error ~line "bad 'p cnf' header: expected two non-negative integers")
+     | _ -> error ~line "bad 'p cnf' header: expected 'p cnf VARS CLAUSES'")
+  | "p" :: "wcnf" :: rest ->
+    (match rest with
+     | [ nv; nc ] | [ nv; nc; _ ] ->
+       (match int_of_string_opt nv, int_of_string_opt nc with
+        | Some v, Some c when v >= 0 && c >= 0 ->
+          let htop =
+            match rest with
+            | [ _; _; top ] ->
+              (match float_of_string_opt top with
+               | Some t when Float.is_finite t && t > 0.0 -> Some t
+               | _ -> error ~line "bad 'p wcnf' header: TOP must be a positive number")
+            | _ -> None
+          in
+          { hmode = Wcnf; hvars = v; hclauses = c; htop }
+        | _ -> error ~line "bad 'p wcnf' header: expected non-negative integer counts")
+     | _ -> error ~line "bad 'p wcnf' header: expected 'p wcnf VARS CLAUSES [TOP]'")
+  | "p" :: fmt :: _ -> error ~line "unknown DIMACS format %S (expected cnf or wcnf)" fmt
+  | _ -> error ~line "malformed 'p' header line"
+
+let finish_clause st ~line ~(h : header) =
+  let weight =
+    match h.hmode with
+    | Cnf -> Hard
+    | Wcnf ->
+      (match st.cur_weight with
+       | Some Hard -> Hard
+       | Some (Soft w) ->
+         (match h.htop with
+          | Some top when w >= top -. 1e-12 -> Hard
+          | _ -> Soft w)
+       | None -> error ~line "WCNF clause is missing its weight")
+  in
+  let lits = Array.of_list (List.rev st.cur) in
+  st.acc <- { lits; weight } :: st.acc;
+  st.cur <- [];
+  st.cur_weight <- None;
+  st.in_clause <- false
+
+let consume_token st ~line tok =
+  let h =
+    match st.header with
+    | Some h -> h
+    | None -> error ~line "clause data before the 'p cnf/wcnf' header"
+  in
+  if h.hmode = Wcnf && not st.in_clause then begin
+    (* Clause start: the first token is the weight ('h' marks a hard
+       clause, new-style WCNF). *)
+    st.in_clause <- true;
+    match tok with
+    | "h" | "H" -> st.cur_weight <- Some Hard
+    | _ ->
+      (match float_of_string_opt tok with
+       | Some w when Float.is_finite w && w > 0.0 -> st.cur_weight <- Some (Soft w)
+       | Some _ -> error ~line "clause weight %S must be positive and finite" tok
+       | None -> error ~line "expected a clause weight, got %S" tok)
+  end
+  else
+    match int_of_string_opt tok with
+    | Some 0 -> finish_clause st ~line ~h
+    | Some l ->
+      st.in_clause <- true;
+      let v = abs l in
+      if v > h.hvars then
+        error ~line "literal %d out of range (%d variable%s declared)" l h.hvars
+          (if h.hvars = 1 then "" else "s")
+      else st.cur <- l :: st.cur
+    | None -> error ~line "expected a literal, got %S" tok
+
+let parse text =
+  let st =
+    { header = None; acc = []; cur = []; cur_weight = None; in_clause = false;
+      stopped = false }
+  in
+  let last_line = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim raw in
+      if st.stopped || s = "" then ()
+      else if s.[0] = 'c' && (String.length s = 1 || s.[1] = ' ' || s.[1] = '\t') then ()
+      else if s = "%" then st.stopped <- true
+      else if s.[0] = 'p' then begin
+        (match st.header with
+         | Some _ -> error ~line "duplicate 'p' header"
+         | None -> ());
+        st.header <- Some (parse_header ~line (tokens_of_line s))
+      end
+      else begin
+        last_line := line;
+        List.iter (consume_token st ~line) (tokens_of_line s)
+      end);
+  let h =
+    match st.header with
+    | Some h -> h
+    | None -> error "missing 'p cnf/wcnf' header"
+  in
+  if st.in_clause || st.cur <> [] then
+    error ~line:!last_line "unterminated clause at end of input (missing 0)";
+  let clauses = Array.of_list (List.rev st.acc) in
+  if Array.length clauses <> h.hclauses then
+    error "header declares %d clause%s, file has %d" h.hclauses
+      (if h.hclauses = 1 then "" else "s")
+      (Array.length clauses);
+  { num_vars = h.hvars; clauses; mode = h.hmode; top = h.htop }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let num_hard t =
+  Array.fold_left (fun n c -> if c.weight = Hard then n + 1 else n) 0 t.clauses
+
+let num_soft t = Array.length t.clauses - num_hard t
+
+let soft_weight_sum t =
+  Array.fold_left
+    (fun s c -> match c.weight with Hard -> s | Soft w -> s +. w)
+    0.0 t.clauses
+
+let clause_satisfied c a =
+  Array.exists
+    (fun l ->
+       let v = abs l - 1 in
+       if l > 0 then a.(v) else not a.(v))
+    c.lits
+
+let violations t a =
+  if Array.length a <> t.num_vars then
+    invalid_arg "Dimacs.violations: assignment length mismatch";
+  Array.fold_left
+    (fun (hard, soft) c ->
+       if clause_satisfied c a then (hard, soft)
+       else
+         match c.weight with
+         | Hard -> (hard + 1, soft)
+         | Soft w -> (hard, soft +. w))
+    (0, 0.0) t.clauses
+
+let satisfied t a = fst (violations t a) = 0

@@ -401,6 +401,7 @@ let stats_to_json (stats : Shard.shard_stats array) =
 
 type request =
   | Submit of Serve.job
+  | Submit_sat of { id : string; dimacs : string; timeout_ms : float option }
   | Poll of int
   | Cancel of int
   | Stats
@@ -420,6 +421,12 @@ type reply =
 
 let request_to_json = function
   | Submit job -> Obj [ ("op", Str "submit"); ("job", job_to_json job) ]
+  | Submit_sat { id; dimacs; timeout_ms } ->
+    Obj
+      [ ("op", Str "submit_sat");
+        ("id", Str id);
+        ("dimacs", Str dimacs);
+        ("timeout_ms", match timeout_ms with None -> Null | Some ms -> Num ms) ]
   | Poll ticket -> Obj [ ("op", Str "poll"); ("ticket", Num (float_of_int ticket)) ]
   | Cancel ticket ->
     Obj [ ("op", Str "cancel"); ("ticket", Num (float_of_int ticket)) ]
@@ -430,6 +437,11 @@ let request_to_json = function
 let request_of_json j =
   match as_str (field j "op") with
   | "submit" -> Submit (job_of_json (field j "job"))
+  | "submit_sat" ->
+    Submit_sat
+      { id = as_str (field j "id");
+        dimacs = as_str (field j "dimacs");
+        timeout_ms = Option.map as_num (field_opt j "timeout_ms") }
   | "poll" -> Poll (as_int (field j "ticket"))
   | "cancel" -> Cancel (as_int (field j "ticket"))
   | "stats" -> Stats

@@ -38,6 +38,15 @@ val json_of_string : string -> json
 
 type request =
   | Submit of Serve.job
+  | Submit_sat of { id : string; dimacs : string; timeout_ms : float option }
+      (** a SAT/MaxSAT job as DIMACS CNF/WCNF text: the server parses and
+          compiles it ({!Qac_sat.Compile}) and submits the resulting Ising
+          problem like any other job.  Response spins are in the compiled
+          problem's variable space — formula variables first, ancillas
+          after — so a client holding the same DIMACS text can decode by
+          compiling locally.  Malformed or refused input (parse errors,
+          weight spread beyond the coefficient budget) answers [Error]
+          with the diagnostic, not a dropped connection. *)
   | Poll of int  (** ticket *)
   | Cancel of int  (** ticket *)
   | Stats

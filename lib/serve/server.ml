@@ -30,11 +30,23 @@ let create ~pool ~sockaddr () =
 let sockaddr t = Unix.getsockname t.listen_fd
 
 let respond t (request : Protocol.request) : Protocol.reply =
+  let submit job =
+    match Shard.try_submit t.pool job with
+    | Shard.Accepted { ticket; shard } -> Protocol.Submitted { ticket; shard }
+    | Shard.Rejected { retry_after_ms } -> Busy { retry_after_ms }
+  in
   match request with
-  | Submit job ->
-    (match Shard.try_submit t.pool job with
-     | Shard.Accepted { ticket; shard } -> Submitted { ticket; shard }
-     | Shard.Rejected { retry_after_ms } -> Busy { retry_after_ms })
+  | Submit job -> submit job
+  | Submit_sat { id; dimacs; timeout_ms } ->
+    (* Frontend errors (bad DIMACS, refused weight spread) are the
+       client's fault and get a structured Error reply; the connection
+       stays in sync and keeps serving. *)
+    (match
+       let compiled = Qac_sat.Compile.compile (Qac_sat.Dimacs.parse dimacs) in
+       { Serve.id; problem = compiled.Qac_sat.Compile.problem; timeout_ms }
+     with
+     | exception Qac_diag.Diag.Error d -> Error (Qac_diag.Diag.to_string d)
+     | job -> submit job)
   | Poll ticket ->
     (match Shard.poll t.pool ticket with
      | Some result -> Completed result

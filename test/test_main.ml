@@ -28,4 +28,5 @@ let () =
       ("hist", Test_hist.suite);
       ("protocol", Test_protocol.suite);
       ("shard", Test_shard.suite);
+      ("sat", Test_sat.suite);
     ]
